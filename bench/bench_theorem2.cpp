@@ -1,0 +1,141 @@
+/// \file bench_theorem2.cpp
+/// \brief E4 — empirical study of Theorem 2 (Section 5.2): the memory-only
+/// heuristic is a (2 - 1/M)-approximation of the optimal maximum memory.
+///
+/// Three experiments per processor count M:
+///  1. the pure greedy (the paper's memory-only cost function) on block
+///     weights from random systems, against the exact branch-and-bound
+///     optimum — mean/max ratio vs the bound;
+///  2. Graham's adversarial family, where the bound is tight (ratio
+///     exactly 2 - 1/M);
+///  3. the full load balancer in MemoryOnly mode end-to-end (timing
+///     feasibility included, which the theorem's analysis ignores),
+///     measured against the same block-weight optimum.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "lbmem/baseline/bnb_partitioner.hpp"
+#include "lbmem/baseline/partition.hpp"
+#include "lbmem/gen/suites.hpp"
+#include "lbmem/lb/block_builder.hpp"
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/util/table.hpp"
+
+int main() {
+  using namespace lbmem;
+
+  std::cout << "=== E4: Theorem 2 — omega/omega_opt <= 2 - 1/M ===\n\n";
+
+  std::cout << "--- (1) pure greedy on block weights vs exact optimum ---\n";
+  Table t1({"M", "samples", "mean ratio", "max ratio", "bound 2-1/M",
+            "violations"});
+  for (const int m : {2, 3, 4, 5, 6, 8}) {
+    SuiteSpec spec;
+    spec.params.tasks = 10;
+    spec.params.period_levels = 2;
+    spec.params.mem_max = 40;
+    spec.processors = m;
+    spec.count = 25;
+    spec.base_seed = 20'000 + static_cast<std::uint64_t>(m);
+    const auto suite = make_suite(spec);
+
+    double mean_ratio = 0;
+    double max_ratio = 0;
+    int samples = 0;
+    int violations = 0;
+    const double bound = 2.0 - 1.0 / m;
+    for (const SuiteInstance& instance : suite) {
+      std::vector<Mem> weights;
+      for (const Block& b : build_blocks(instance.schedule).blocks) {
+        weights.push_back(b.mem_sum);
+      }
+      if (weights.size() > 24) continue;  // keep B&B provably exact
+      const BnbResult exact = bnb_partition(weights, m);
+      if (!exact.proven_optimal || exact.partition.max_load == 0) continue;
+      const PartitionResult greedy = greedy_min_load(weights, m);
+      const double ratio = static_cast<double>(greedy.max_load) /
+                           static_cast<double>(exact.partition.max_load);
+      mean_ratio += ratio;
+      max_ratio = std::max(max_ratio, ratio);
+      if (ratio > bound + 1e-12) ++violations;
+      ++samples;
+    }
+    if (samples) mean_ratio /= samples;
+    t1.add_row({std::to_string(m), std::to_string(samples),
+                format_double(mean_ratio, 4), format_double(max_ratio, 4),
+                format_double(bound, 4), std::to_string(violations)});
+  }
+  std::cout << t1.to_string() << "\n";
+
+  std::cout << "--- (2) Graham's adversarial family: bound tight ---\n";
+  Table t2({"M", "greedy omega", "omega_opt", "ratio", "2-1/M"});
+  for (const int m : {2, 3, 4, 5, 6, 8}) {
+    std::vector<Mem> weights(static_cast<std::size_t>(m * (m - 1)), Mem{1});
+    weights.push_back(m);
+    const PartitionResult greedy = greedy_min_load(weights, m);
+    const BnbResult exact = bnb_partition(weights, m);
+    t2.add_row({std::to_string(m), std::to_string(greedy.max_load),
+                std::to_string(exact.partition.max_load),
+                format_double(static_cast<double>(greedy.max_load) /
+                                  static_cast<double>(
+                                      exact.partition.max_load),
+                              4),
+                format_double(2.0 - 1.0 / m, 4)});
+  }
+  std::cout << t2.to_string() << "\n";
+
+  std::cout << "--- (3) full balancer (MemoryOnly policy, timing "
+               "constraints active) vs block-weight optimum ---\n";
+  Table t3({"M", "samples", "mean ratio", "max ratio", "bound 2-1/M",
+            "over bound"});
+  for (const int m : {2, 3, 4, 6}) {
+    SuiteSpec spec;
+    spec.params.tasks = 10;
+    spec.params.period_levels = 2;
+    spec.params.mem_max = 40;
+    spec.processors = m;
+    spec.count = 20;
+    spec.base_seed = 30'000 + static_cast<std::uint64_t>(m);
+    const auto suite = make_suite(spec);
+
+    BalanceOptions options;
+    options.policy = CostPolicy::MemoryOnly;
+    const LoadBalancer balancer(options);
+
+    double mean_ratio = 0;
+    double max_ratio = 0;
+    int samples = 0;
+    int over = 0;
+    const double bound = 2.0 - 1.0 / m;
+    for (const SuiteInstance& instance : suite) {
+      std::vector<Mem> weights;
+      for (const Block& b : build_blocks(instance.schedule).blocks) {
+        weights.push_back(b.mem_sum);
+      }
+      if (weights.size() > 24) continue;
+      const BnbResult exact = bnb_partition(weights, m);
+      if (!exact.proven_optimal || exact.partition.max_load == 0) continue;
+      const BalanceResult r = balancer.balance(instance.schedule);
+      const double ratio = static_cast<double>(r.schedule.max_memory()) /
+                           static_cast<double>(exact.partition.max_load);
+      mean_ratio += ratio;
+      max_ratio = std::max(max_ratio, ratio);
+      if (ratio > bound + 1e-12) ++over;
+      ++samples;
+    }
+    if (samples) mean_ratio /= samples;
+    t3.add_row({std::to_string(m), std::to_string(samples),
+                format_double(mean_ratio, 4), format_double(max_ratio, 4),
+                format_double(bound, 4), std::to_string(over)});
+  }
+  std::cout << t3.to_string()
+            << "\npaper claim: the memory-only heuristic is (2-1/M)-"
+               "approximated. (1) and (2) verify the theorem exactly; (3) "
+               "shows the end-to-end balancer, whose timing/eligibility "
+               "constraints are outside the theorem's model, may exceed "
+               "the bound on instances where feasible destinations are "
+               "restricted.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+/// \file avionics.cpp
+/// \brief A multi-rate flight-control pipeline (the paper's Section-1
+/// avionics motivation) balanced with the library.
+///
+/// Topology (periods in ms-as-ticks):
+///   IMU sensors (5 ms) and air-data sensors (10 ms) feed a state
+///   estimator (10 ms); the estimator feeds the inner control loop (10 ms)
+///   and a guidance layer (40 ms); guidance feeds the outer loop (40 ms)
+///   and a telemetry/logging stage (80 ms) that also drains raw IMU data.
+///
+/// The example shows the full pipeline: model construction, initial
+/// scheduling, balancing, validation, execution metrics (idle fractions,
+/// multi-rate buffer peaks), and a memory-capacity check against a typical
+/// small embedded memory budget.
+
+#include <iostream>
+
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/report/gantt.hpp"
+#include "lbmem/report/summary.hpp"
+#include "lbmem/sched/scheduler.hpp"
+#include "lbmem/sim/engine.hpp"
+#include "lbmem/validate/validator.hpp"
+
+int main() {
+  using namespace lbmem;
+
+  TaskGraph g;
+  const TaskId imu = g.add_task("imu", 5, 1, 6);
+  const TaskId airdata = g.add_task("airdata", 10, 2, 4);
+  const TaskId estimator = g.add_task("estimator", 10, 3, 12);
+  const TaskId inner = g.add_task("inner_loop", 10, 2, 8);
+  const TaskId guidance = g.add_task("guidance", 40, 6, 16);
+  const TaskId outer = g.add_task("outer_loop", 40, 4, 10);
+  const TaskId telemetry = g.add_task("telemetry", 80, 8, 20);
+
+  g.add_dependence(imu, estimator, /*data_size=*/3);
+  g.add_dependence(airdata, estimator, 2);
+  g.add_dependence(estimator, inner, 2);
+  g.add_dependence(estimator, guidance, 4);  // 4:1 rate
+  g.add_dependence(guidance, outer, 3);
+  g.add_dependence(imu, telemetry, 1);       // 16:1 rate!
+  g.add_dependence(guidance, telemetry, 2);
+  g.freeze();
+  (void)inner;
+  (void)outer;
+
+  std::cout << "avionics pipeline: " << g.task_count() << " tasks, "
+            << g.dependence_count() << " dependences, hyper-period "
+            << g.hyperperiod() << ", utilization " << g.utilization()
+            << "\n\n";
+
+  const Architecture arch(/*processors=*/3, /*memory_capacity=*/160);
+  const CommModel comm = CommModel::affine(/*latency=*/1, /*bandwidth=*/4);
+
+  SchedulerOptions sched_options;
+  sched_options.policy = PlacementPolicy::PeriodCluster;
+  const Schedule before = build_initial_schedule(g, arch, comm, sched_options);
+  // The initial scheduler satisfies only dependence and strict periodicity;
+  // it is free to overload a processor's memory (the paper's Section-1
+  // problem statement). Expect a capacity violation here.
+  const ValidationReport before_report = validate(before);
+  std::cout << "--- initial schedule ---\n" << render_gantt(before);
+  if (!before_report.ok()) {
+    std::cout << "initial schedule violates the memory budget:\n"
+              << before_report.to_string();
+  }
+  std::cout << "\n";
+
+  BalanceOptions options;
+  options.enforce_memory_capacity = true;
+  const BalanceResult result = LoadBalancer(options).balance(before);
+  validate_or_throw(result.schedule);
+  std::cout << "--- balanced schedule ---\n"
+            << render_gantt(result.schedule) << "\n"
+            << summarize(result.stats) << "\n";
+
+  // Execution check: two hyper-periods through the discrete-event engine.
+  const SimMetrics metrics = simulate(result.schedule, SimOptions{2, true});
+  std::cout << "execution over 2 hyper-periods: " << metrics.violations
+            << " violations\n";
+  for (ProcId p = 0; p < arch.processor_count(); ++p) {
+    const auto& pm = metrics.procs[static_cast<std::size_t>(p)];
+    std::cout << "  " << arch.processor_name(p) << ": idle "
+              << static_cast<int>(100 * pm.idle_fraction)
+              << "%, static mem " << pm.static_memory << "/"
+              << arch.memory_capacity() << ", peak buffers "
+              << pm.peak_buffer << " (worst total " << pm.peak_total
+              << ")\n";
+  }
+  // The 16:1 imu->telemetry edge forces 16 samples to be buffered: the
+  // Figure-1 effect on a realistic workload.
+  std::cout << "\nnote: telemetry consumes 16 imu samples per run — its "
+               "processor must hold all of them at once (paper Fig. 1).\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// \file capacity_planning.cpp
+/// \brief Using the library as a design-space explorer: find the smallest
+/// homogeneous architecture (processor count x per-processor memory) that
+/// hosts a workload — the embedded-systems sizing question the paper's
+/// memory-usage objective ultimately serves.
+///
+/// For each candidate (M, capacity) the workload is scheduled, balanced
+/// with capacity enforcement, and accepted iff the result validates and
+/// every processor fits its budget. Prints the feasibility frontier.
+
+#include <iostream>
+#include <optional>
+
+#include "lbmem/gen/random_graph.hpp"
+#include "lbmem/util/check.hpp"
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/sched/scheduler.hpp"
+#include "lbmem/util/table.hpp"
+#include "lbmem/validate/validator.hpp"
+
+namespace {
+
+using namespace lbmem;
+
+/// Try to host the workload on (processors, capacity); returns the
+/// balanced max memory when it fits.
+std::optional<Mem> fits(const TaskGraph& g, int processors, Mem capacity) {
+  const Architecture arch(processors, capacity);
+  const CommModel comm = CommModel::flat(2);
+  try {
+    const Schedule before = build_initial_schedule(g, arch, comm, {});
+    BalanceOptions options;
+    options.policy = CostPolicy::MemoryOnly;
+    options.enforce_memory_capacity = true;
+    const BalanceResult r = LoadBalancer(options).balance(before);
+    if (!validate(r.schedule).ok()) return std::nullopt;
+    if (r.schedule.max_memory() > capacity) return std::nullopt;
+    return r.schedule.max_memory();
+  } catch (const ScheduleError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+int main() {
+  // A mid-size synthetic workload (fixed seed: reproducible sizing).
+  RandomGraphParams params;
+  params.tasks = 40;
+  params.period_levels = 3;
+  params.mem_min = 2;
+  params.mem_max = 12;
+  params.intended_processors = 4;
+  const TaskGraph g = random_task_graph(params, /*seed=*/2026);
+
+  Mem total_memory = 0;
+  for (TaskId t = 0; t < static_cast<TaskId>(g.task_count()); ++t) {
+    total_memory += g.task(t).memory * g.instance_count(t);
+  }
+  std::cout << "workload: " << g.task_count() << " tasks, utilization "
+            << g.utilization() << ", total resident memory " << total_memory
+            << "\n\n";
+
+  Table table({"M \\ capacity", "64", "96", "128", "192", "256"});
+  for (const int m : {2, 3, 4, 6, 8}) {
+    std::vector<std::string> row = {std::to_string(m)};
+    for (const Mem cap : {64, 96, 128, 192, 256}) {
+      const auto result = fits(g, m, cap);
+      row.push_back(result ? ("ok(" + std::to_string(*result) + ")") : "-");
+    }
+    table.add_row(row);
+  }
+  std::cout << table.to_string()
+            << "\ncells: ok(max-memory-after-balancing) when the workload "
+               "is schedulable\nand fits the per-processor budget; '-' "
+               "otherwise. The frontier shows the\nmemory/processor-count "
+               "trade-off the balancing heuristic unlocks.\n";
+  return 0;
+}

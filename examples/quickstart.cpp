@@ -1,0 +1,55 @@
+/// \file quickstart.cpp
+/// \brief Minimal end-to-end tour of the library on the paper's own
+/// example (Section 3.3): build a multi-rate task graph, schedule it,
+/// balance it, inspect the result.
+///
+/// Expected output: the Figure-3 schedule (makespan 15, memory [16,4,4]),
+/// the seven balancing steps, and the Figure-4 schedule (makespan 14,
+/// memory [10,6,8]).
+
+#include <cstdio>
+#include <iostream>
+
+#include "lbmem/gen/paper_example.hpp"
+#include "lbmem/lb/block_builder.hpp"
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/report/gantt.hpp"
+#include "lbmem/report/summary.hpp"
+#include "lbmem/validate/validator.hpp"
+
+int main() {
+  using namespace lbmem;
+
+  // 1. The application: five strict-periodic tasks, multi-rate dependences
+  //    (see paper_example_graph for the construction with add_task /
+  //    add_dependence / freeze).
+  const TaskGraph graph = paper_example_graph();
+  std::cout << "Application: " << graph.task_count() << " tasks, "
+            << graph.dependence_count() << " dependences, hyper-period "
+            << graph.hyperperiod() << "\n\n";
+
+  // 2. Initial distributed schedule (the paper's ref-[4] stage).
+  const Schedule before = paper_example_schedule(graph);
+  validate_or_throw(before);
+  std::cout << "=== Initial schedule (paper Figure 3) ===\n"
+            << render_gantt(before) << "makespan: " << before.makespan()
+            << "\n\n";
+
+  // 3. Load balancing with efficient memory usage (the paper's heuristic).
+  BalanceOptions options;
+  options.policy = CostPolicy::Lexicographic;  // reproduces the paper
+  options.record_trace = true;
+  const BalanceResult result = LoadBalancer(options).balance(before);
+  validate_or_throw(result.schedule);
+
+  const BlockDecomposition dec = build_blocks(before);
+  std::cout << "=== Balancing steps (paper Section 3.3) ===\n";
+  for (const StepRecord& step : result.trace) {
+    std::cout << describe_step(before, step, dec) << "\n";
+  }
+
+  std::cout << "\n=== Balanced schedule (paper Figure 4) ===\n"
+            << render_gantt(result.schedule) << "\n"
+            << summarize(result.stats);
+  return 0;
+}

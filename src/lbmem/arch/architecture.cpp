@@ -1,0 +1,42 @@
+#include "lbmem/arch/architecture.hpp"
+
+#include <limits>
+
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+
+Architecture::Architecture(int processors, Mem memory_capacity)
+    : processors_(processors), capacity_(memory_capacity) {
+  if (processors < 1) {
+    throw ModelError("architecture needs at least one processor");
+  }
+  if (memory_capacity != kUnlimitedMemory && memory_capacity < 0) {
+    throw ModelError("memory capacity must be non-negative or unlimited");
+  }
+}
+
+std::string Architecture::processor_name(ProcId p) const {
+  LBMEM_REQUIRE(p >= 0 && p < processors_, "processor id out of range");
+  std::string name = "P";
+  name += std::to_string(p + 1);
+  return name;
+}
+
+std::int64_t Architecture::processor_pairs() const {
+  const auto m = static_cast<std::int64_t>(processors_);
+  return m * (m - 1) / 2;
+}
+
+std::int64_t Architecture::paper_pair_count() const {
+  std::int64_t f = 1;
+  for (int i = 2; i <= processors_ - 1; ++i) {
+    if (f > std::numeric_limits<std::int64_t>::max() / i) {
+      return std::numeric_limits<std::int64_t>::max();
+    }
+    f *= i;
+  }
+  return f;
+}
+
+}  // namespace lbmem

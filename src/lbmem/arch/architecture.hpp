@@ -1,0 +1,52 @@
+#pragma once
+/// \file architecture.hpp
+/// \brief Homogeneous distributed architecture description (paper
+/// Section 1: identical processors, identical media, identical memory
+/// capacity).
+
+#include <string>
+
+#include "lbmem/model/types.hpp"
+
+namespace lbmem {
+
+/// Sentinel meaning "memory capacity not enforced".
+inline constexpr Mem kUnlimitedMemory = -1;
+
+/// A homogeneous multiprocessor: M identical processors, each with the same
+/// (optionally bounded) data-memory capacity, fully interconnected
+/// ("each two processors are connected by a communication medium",
+/// paper Section 5.1).
+class Architecture {
+ public:
+  /// \param processors number of processors M (>= 1)
+  /// \param memory_capacity per-processor data memory, or kUnlimitedMemory
+  explicit Architecture(int processors, Mem memory_capacity = kUnlimitedMemory);
+
+  /// Number of processors M.
+  int processor_count() const { return processors_; }
+
+  /// Per-processor memory capacity, or kUnlimitedMemory.
+  Mem memory_capacity() const { return capacity_; }
+
+  /// True when a finite memory capacity must be respected.
+  bool has_memory_limit() const { return capacity_ != kUnlimitedMemory; }
+
+  /// Display name of processor \p p ("P1".."PM", matching the paper).
+  std::string processor_name(ProcId p) const;
+
+  /// Number of unordered processor pairs M(M-1)/2 (correct combinatorial
+  /// count; contrast with the paper's (M-1)!, see DESIGN.md F3).
+  std::int64_t processor_pairs() const;
+
+  /// The paper's Theorem-1 pair count (M-1)! — kept so the Theorem-1 bench
+  /// can report the bound exactly as printed in the paper. Saturates at
+  /// INT64_MAX for M > 21.
+  std::int64_t paper_pair_count() const;
+
+ private:
+  int processors_;
+  Mem capacity_;
+};
+
+}  // namespace lbmem

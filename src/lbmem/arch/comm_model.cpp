@@ -1,0 +1,33 @@
+#include "lbmem/arch/comm_model.hpp"
+
+#include "lbmem/util/check.hpp"
+#include "lbmem/util/math.hpp"
+
+namespace lbmem {
+
+CommModel::CommModel(Time flat_cost, Time latency, Mem bandwidth)
+    : flat_cost_(flat_cost), latency_(latency), bandwidth_(bandwidth) {}
+
+CommModel CommModel::flat(Time cost) {
+  if (cost < 0) {
+    throw ModelError("flat communication cost must be non-negative");
+  }
+  return CommModel(cost, 0, 0);
+}
+
+CommModel CommModel::affine(Time latency, Mem bandwidth_units_per_tick) {
+  if (latency < 0 || bandwidth_units_per_tick <= 0) {
+    throw ModelError("affine comm model needs latency >= 0, bandwidth > 0");
+  }
+  return CommModel(-1, latency, bandwidth_units_per_tick);
+}
+
+Time CommModel::transfer_time(Mem data_size) const {
+  LBMEM_REQUIRE(data_size >= 0, "negative data size");
+  if (flat_cost_ >= 0) {
+    return flat_cost_;
+  }
+  return latency_ + ceil_div(data_size, bandwidth_);
+}
+
+}  // namespace lbmem

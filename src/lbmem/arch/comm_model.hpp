@@ -1,0 +1,42 @@
+#pragma once
+/// \file comm_model.hpp
+/// \brief Inter-processor communication-time model.
+///
+/// The paper (Section 3.1) defines the communication time C as "the time
+/// elapsed between the start time of the sending task and the completion
+/// time of the receiving task" and notes it depends on the transferred data
+/// size. The worked example uses a flat C = 1. We support both a flat cost
+/// and an affine latency + size/bandwidth model; media are homogeneous and
+/// contention-free (each processor pair has its own medium, the assumption
+/// of Theorem 1).
+
+#include "lbmem/model/types.hpp"
+
+namespace lbmem {
+
+/// Homogeneous communication-cost model.
+class CommModel {
+ public:
+  /// Flat model: every transfer takes \p cost ticks (the paper's C).
+  static CommModel flat(Time cost);
+
+  /// Affine model: transfer of s units takes latency + ceil(s / bandwidth).
+  static CommModel affine(Time latency, Mem bandwidth_units_per_tick);
+
+  /// Time for transferring \p data_size units between two distinct
+  /// processors. Returns 0 for a local (same-processor) "transfer".
+  Time transfer_time(Mem data_size) const;
+
+  /// Largest transfer time over the given data sizes — the paper's γ
+  /// (longest communication), used by the Theorem-1 bound.
+  Time gamma(Mem max_data_size) const { return transfer_time(max_data_size); }
+
+ private:
+  CommModel(Time flat_cost, Time latency, Mem bandwidth);
+
+  Time flat_cost_;   // < 0 when affine
+  Time latency_;
+  Mem bandwidth_;
+};
+
+}  // namespace lbmem

@@ -1,0 +1,140 @@
+#include "lbmem/baseline/bnb_partitioner.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "lbmem/util/check.hpp"
+#include "lbmem/util/math.hpp"
+
+namespace lbmem {
+
+namespace {
+
+class Solver {
+ public:
+  Solver(const std::vector<Mem>& weights, int machines,
+         std::uint64_t node_budget)
+      : machines_(machines), budget_(node_budget) {
+    order_.resize(weights.size());
+    std::iota(order_.begin(), order_.end(), std::size_t{0});
+    std::sort(order_.begin(), order_.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (weights[a] != weights[b]) return weights[a] > weights[b];
+                return a < b;
+              });
+    sorted_.reserve(weights.size());
+    for (const std::size_t i : order_) sorted_.push_back(weights[i]);
+    suffix_total_.assign(weights.size() + 1, 0);
+    for (std::size_t i = weights.size(); i-- > 0;) {
+      suffix_total_[i] = suffix_total_[i + 1] + sorted_[i];
+    }
+    lower_bound_ = partition_lower_bound(weights, machines);
+  }
+
+  BnbResult solve(const std::vector<Mem>& weights) {
+    // Incumbent: LPT solution (already in sorted order here).
+    const PartitionResult seed = greedy_min_load(sorted_, machines_);
+    best_assignment_ = seed.assignment;
+    best_ = seed.max_load;
+
+    loads_.assign(static_cast<std::size_t>(machines_), Mem{0});
+    current_.assign(sorted_.size(), 0);
+    exhausted_ = false;
+    if (best_ > lower_bound_) {
+      dfs(0, 0);
+    }
+
+    BnbResult out;
+    out.nodes_explored = nodes_;
+    out.proven_optimal = !exhausted_;
+    out.partition.assignment.resize(weights.size());
+    for (std::size_t rank = 0; rank < order_.size(); ++rank) {
+      out.partition.assignment[order_[rank]] = best_assignment_[rank];
+    }
+    out.partition.loads.assign(static_cast<std::size_t>(machines_), Mem{0});
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      out.partition.loads[static_cast<std::size_t>(
+          out.partition.assignment[i])] += weights[i];
+    }
+    out.partition.max_load =
+        *std::max_element(out.partition.loads.begin(),
+                          out.partition.loads.end());
+    return out;
+  }
+
+ private:
+  void dfs(std::size_t item, Mem current_max) {
+    if (best_ == lower_bound_) return;  // provably optimal already
+    if (budget_ != 0 && nodes_ >= budget_) {
+      exhausted_ = true;
+      return;
+    }
+    ++nodes_;
+    if (item == sorted_.size()) {
+      if (current_max < best_) {
+        best_ = current_max;
+        best_assignment_ = current_;
+      }
+      return;
+    }
+    // Bounds. Whatever machine receives the next (largest remaining) item
+    // ends with at least min_load + weight; and the global average bound
+    // lower_bound_ always applies.
+    Mem min_load = loads_[0];
+    for (const Mem l : loads_) min_load = std::min(min_load, l);
+    const Mem optimistic = std::max(
+        {current_max, lower_bound_, min_load + sorted_[item]});
+    if (optimistic >= best_) return;
+
+    // Branch; skip machines with a load equal to an earlier one
+    // (symmetry) and prune on the incumbent.
+    Mem seen_load = -1;
+    bool seen_any = false;
+    for (int m = 0; m < machines_; ++m) {
+      const Mem load = loads_[static_cast<std::size_t>(m)];
+      if (seen_any && load == seen_load) continue;  // symmetric branch
+      if (load + sorted_[item] >= best_) continue;  // cannot improve
+      seen_any = true;
+      seen_load = load;
+      loads_[static_cast<std::size_t>(m)] += sorted_[item];
+      current_[item] = m;
+      dfs(item + 1,
+          std::max(current_max, loads_[static_cast<std::size_t>(m)]));
+      loads_[static_cast<std::size_t>(m)] -= sorted_[item];
+      if (exhausted_ || best_ == lower_bound_) return;
+    }
+  }
+
+  int machines_;
+  std::uint64_t budget_;
+  std::vector<std::size_t> order_;
+  std::vector<Mem> sorted_;
+  std::vector<Mem> suffix_total_;
+  Mem lower_bound_ = 0;
+
+  std::vector<Mem> loads_;
+  std::vector<int> current_;
+  std::vector<int> best_assignment_;
+  Mem best_ = 0;
+  std::uint64_t nodes_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+BnbResult bnb_partition(const std::vector<Mem>& weights, int machines,
+                        std::uint64_t node_budget) {
+  LBMEM_REQUIRE(machines >= 1, "need at least one machine");
+  for (const Mem w : weights) {
+    LBMEM_REQUIRE(w >= 0, "weights must be non-negative");
+  }
+  if (weights.empty()) {
+    BnbResult out;
+    out.partition.loads.assign(static_cast<std::size_t>(machines), Mem{0});
+    return out;
+  }
+  Solver solver(weights, machines, node_budget);
+  return solver.solve(weights);
+}
+
+}  // namespace lbmem

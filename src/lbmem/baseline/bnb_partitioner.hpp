@@ -1,0 +1,33 @@
+#pragma once
+/// \file bnb_partitioner.hpp
+/// \brief Exact min-max partitioning by branch and bound (Korf-style),
+/// providing the ωopt reference of Theorem 2.
+///
+/// DFS over items in decreasing weight order; prunes on
+///   * the incumbent (current max load >= best found),
+///   * the global lower bound max(ceil(remaining/M'), largest item), and
+///   * machine-load symmetry (never branch into two machines with equal
+///     current load).
+/// Exact for the instance sizes used in the Theorem-2 bench (tens of
+/// items); a node budget guards against pathological inputs, falling back
+/// to the best incumbent with `proven_optimal = false`.
+
+#include <cstdint>
+
+#include "lbmem/baseline/partition.hpp"
+
+namespace lbmem {
+
+/// Exact (or budget-bounded) min-max partition.
+struct BnbResult {
+  PartitionResult partition;
+  bool proven_optimal = true;
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Solve min-max partition of \p weights over \p machines.
+/// \p node_budget bounds the search (0 = unlimited).
+BnbResult bnb_partition(const std::vector<Mem>& weights, int machines,
+                        std::uint64_t node_budget = 50'000'000);
+
+}  // namespace lbmem

@@ -1,0 +1,82 @@
+#include "lbmem/baseline/dp_partitioner.hpp"
+
+#include <algorithm>
+
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+
+PartitionResult dp_partition_two(const std::vector<Mem>& weights) {
+  Mem total = 0;
+  for (const Mem w : weights) {
+    LBMEM_REQUIRE(w >= 0, "weights must be non-negative");
+    total += w;
+  }
+  LBMEM_REQUIRE(total <= (Mem{1} << 22), "total weight too large for DP");
+
+  // reachable[i][s] via rolling bitset; track choices for reconstruction.
+  const auto size = static_cast<std::size_t>(total) + 1;
+  std::vector<char> reachable(size, 0);
+  reachable[0] = 1;
+  // choice[i] = bitset snapshot before adding item i (for reconstruction).
+  std::vector<std::vector<char>> snapshots;
+  snapshots.reserve(weights.size());
+  for (const Mem w : weights) {
+    snapshots.push_back(reachable);
+    const auto wu = static_cast<std::size_t>(w);
+    for (std::size_t s = size; s-- > wu;) {
+      if (reachable[s - wu]) reachable[s] = 1;
+    }
+  }
+
+  // Best split: subset sum closest to total/2 from below or equal above.
+  Mem best_high = total;
+  for (std::size_t s = 0; s < size; ++s) {
+    if (!reachable[s]) continue;
+    const Mem high = std::max<Mem>(static_cast<Mem>(s),
+                                   total - static_cast<Mem>(s));
+    best_high = std::min(best_high, high);
+  }
+
+  // Reconstruct a subset with max load == best_high.
+  Mem target = -1;
+  for (std::size_t s = 0; s < size; ++s) {
+    if (reachable[s] &&
+        std::max<Mem>(static_cast<Mem>(s), total - static_cast<Mem>(s)) ==
+            best_high) {
+      target = static_cast<Mem>(s);
+      break;
+    }
+  }
+  LBMEM_REQUIRE(target >= 0, "reconstruction failed");
+
+  PartitionResult result;
+  result.assignment.assign(weights.size(), 1);
+  Mem remaining = target;
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    const auto& before = snapshots[i];
+    const Mem w = weights[i];
+    // Item i was used iff remaining-w was reachable before adding it and
+    // remaining was not necessarily reachable without it; prefer using it
+    // when possible.
+    if (w <= remaining &&
+        before[static_cast<std::size_t>(remaining - w)]) {
+      result.assignment[i] = 0;
+      remaining -= w;
+    } else {
+      LBMEM_REQUIRE(before[static_cast<std::size_t>(remaining)],
+                    "reconstruction failed");
+    }
+  }
+  LBMEM_REQUIRE(remaining == 0, "reconstruction failed");
+
+  result.loads.assign(2, Mem{0});
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    result.loads[static_cast<std::size_t>(result.assignment[i])] +=
+        weights[i];
+  }
+  result.max_load = std::max(result.loads[0], result.loads[1]);
+  return result;
+}
+
+}  // namespace lbmem

@@ -1,0 +1,15 @@
+#pragma once
+/// \file dp_partitioner.hpp
+/// \brief Exact two-machine min-max partition via subset-sum DP — an
+/// independent cross-check of the branch-and-bound solver for M = 2.
+
+#include "lbmem/baseline/partition.hpp"
+
+namespace lbmem {
+
+/// Exact min-max partition over exactly two machines.
+/// Runs in O(n * total_weight / 64); requires total weight <= 2^22 to keep
+/// memory bounded (throws PreconditionError beyond).
+PartitionResult dp_partition_two(const std::vector<Mem>& weights);
+
+}  // namespace lbmem

@@ -1,0 +1,71 @@
+#include "lbmem/baseline/exhaustive.hpp"
+
+#include <limits>
+
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+
+std::optional<ExhaustiveResult> exhaustive_optimal(
+    const TaskGraph& graph, const Architecture& arch, const CommModel& comm,
+    const ExhaustiveOptions& options) {
+  const auto n = graph.task_count();
+  const auto m = static_cast<std::uint64_t>(arch.processor_count());
+
+  std::uint64_t total = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (total > options.max_assignments / m) {
+      throw PreconditionError("exhaustive_optimal: M^N exceeds the budget (" +
+                              std::to_string(options.max_assignments) + ")");
+    }
+    total *= m;
+  }
+
+  std::vector<ProcId> assignment(n, ProcId{0});
+  Time best_makespan = std::numeric_limits<Time>::max();
+  Mem best_memory = std::numeric_limits<Mem>::max();
+  double best_combined = std::numeric_limits<double>::infinity();
+  std::optional<Schedule> best_schedule;
+  std::uint64_t feasible = 0;
+  std::uint64_t enumerated = 0;
+
+  while (true) {
+    ++enumerated;
+    try {
+      const Schedule sched = build_forced_schedule(graph, arch, comm,
+                                                   assignment);
+      ++feasible;
+      const Time makespan = sched.makespan();
+      const Mem memory = sched.max_memory();
+      best_makespan = std::min(best_makespan, makespan);
+      best_memory = std::min(best_memory, memory);
+      const double combined = static_cast<double>(makespan) +
+                              options.memory_weight *
+                                  static_cast<double>(memory);
+      if (combined < best_combined) {
+        best_combined = combined;
+        best_schedule = sched;
+      }
+    } catch (const ScheduleError&) {
+      // infeasible assignment
+    }
+
+    // Mixed-radix increment.
+    std::size_t pos = 0;
+    while (pos < n) {
+      assignment[pos] = static_cast<ProcId>(assignment[pos] + 1);
+      if (assignment[pos] < arch.processor_count()) break;
+      assignment[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+
+  if (!best_schedule) return std::nullopt;
+  ExhaustiveResult result{best_makespan, best_memory,
+                          std::move(*best_schedule), best_combined, feasible,
+                          enumerated};
+  return result;
+}
+
+}  // namespace lbmem

@@ -1,0 +1,123 @@
+#include "lbmem/baseline/ga_balancer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "lbmem/util/check.hpp"
+#include "lbmem/util/rng.hpp"
+
+namespace lbmem {
+
+namespace {
+
+struct Individual {
+  std::vector<ProcId> genes;
+  double fitness = std::numeric_limits<double>::infinity();
+  bool feasible = false;
+};
+
+}  // namespace
+
+std::optional<GaResult> ga_balance(const TaskGraph& graph,
+                                   const Architecture& arch,
+                                   const CommModel& comm,
+                                   const GaOptions& options) {
+  LBMEM_REQUIRE(options.population >= 4, "population too small");
+  LBMEM_REQUIRE(options.elite >= 0 && options.elite < options.population,
+                "bad elite count");
+  Rng rng(options.seed);
+  const auto n_tasks = graph.task_count();
+  const int m = arch.processor_count();
+
+  int evaluations = 0;
+  int infeasible = 0;
+  auto evaluate = [&](Individual& ind) {
+    ++evaluations;
+    try {
+      const Schedule sched =
+          build_forced_schedule(graph, arch, comm, ind.genes);
+      ind.feasible = true;
+      ind.fitness = static_cast<double>(sched.makespan()) +
+                    options.memory_weight *
+                        static_cast<double>(sched.max_memory());
+    } catch (const ScheduleError&) {
+      ++infeasible;
+      ind.feasible = false;
+      ind.fitness = std::numeric_limits<double>::infinity();
+    }
+  };
+
+  // Initial population: one "cluster by period order" individual plus
+  // random assignments.
+  std::vector<Individual> population(
+      static_cast<std::size_t>(options.population));
+  {
+    Individual& seeded = population[0];
+    seeded.genes.resize(n_tasks);
+    int index = 0;
+    for (const TaskId t : graph.topological_order()) {
+      seeded.genes[static_cast<std::size_t>(t)] =
+          static_cast<ProcId>(index++ % m);
+    }
+  }
+  for (std::size_t i = 1; i < population.size(); ++i) {
+    population[i].genes.resize(n_tasks);
+    for (auto& g : population[i].genes) {
+      g = static_cast<ProcId>(rng.uniform(0, m - 1));
+    }
+  }
+  for (Individual& ind : population) evaluate(ind);
+
+  auto by_fitness = [](const Individual& a, const Individual& b) {
+    return a.fitness < b.fitness;
+  };
+
+  for (int gen = 0; gen < options.generations; ++gen) {
+    std::sort(population.begin(), population.end(), by_fitness);
+    std::vector<Individual> next;
+    next.reserve(population.size());
+    for (int e = 0; e < options.elite; ++e) {
+      next.push_back(population[static_cast<std::size_t>(e)]);
+    }
+    auto tournament_pick = [&]() -> const Individual& {
+      const Individual* best = nullptr;
+      for (int t = 0; t < options.tournament; ++t) {
+        const auto idx = static_cast<std::size_t>(
+            rng.uniform(0, options.population - 1));
+        if (!best || population[idx].fitness < best->fitness) {
+          best = &population[idx];
+        }
+      }
+      return *best;
+    };
+    while (static_cast<int>(next.size()) < options.population) {
+      Individual child;
+      const Individual& a = tournament_pick();
+      const Individual& b = tournament_pick();
+      child.genes.resize(n_tasks);
+      const bool crossover = rng.chance(options.crossover_rate);
+      for (std::size_t g = 0; g < n_tasks; ++g) {
+        child.genes[g] = crossover
+                             ? (rng.chance(0.5) ? a.genes[g] : b.genes[g])
+                             : a.genes[g];
+        if (rng.chance(options.mutation_rate)) {
+          child.genes[g] = static_cast<ProcId>(rng.uniform(0, m - 1));
+        }
+      }
+      evaluate(child);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+  }
+
+  std::sort(population.begin(), population.end(), by_fitness);
+  const Individual& best = population.front();
+  if (!best.feasible) return std::nullopt;
+
+  GaResult result{build_forced_schedule(graph, arch, comm, best.genes),
+                  best.genes, best.fitness, evaluations, infeasible};
+  return result;
+}
+
+}  // namespace lbmem

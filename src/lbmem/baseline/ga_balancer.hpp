@@ -1,0 +1,49 @@
+#pragma once
+/// \file ga_balancer.hpp
+/// \brief Genetic-algorithm load balancer (comparison baseline in the
+/// spirit of Greene, ICTAI'01 — the paper's ref [9]).
+///
+/// Chromosome: a whole-task processor assignment. Fitness combines the
+/// makespan of the earliest-start schedule induced by the assignment with
+/// the maximum per-processor memory; unschedulable assignments receive a
+/// large penalty. Selection is tournament-based with elitism, uniform
+/// crossover and per-gene mutation. Deterministic per seed.
+
+#include <cstdint>
+#include <optional>
+
+#include "lbmem/sched/scheduler.hpp"
+
+namespace lbmem {
+
+/// GA configuration.
+struct GaOptions {
+  int population = 40;
+  int generations = 60;
+  int tournament = 3;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.05;
+  int elite = 2;
+  /// Weight of max memory in the fitness (makespan + weight * max_mem).
+  double memory_weight = 0.5;
+  std::uint64_t seed = 42;
+};
+
+/// GA outcome.
+struct GaResult {
+  Schedule schedule;
+  std::vector<ProcId> assignment;
+  double fitness = 0.0;
+  int evaluations = 0;
+  int infeasible_evaluations = 0;
+};
+
+/// Run the GA; returns std::nullopt when no feasible assignment was found
+/// in the whole run (rare; the initial population is seeded with the
+/// natural topological placement).
+std::optional<GaResult> ga_balance(const TaskGraph& graph,
+                                   const Architecture& arch,
+                                   const CommModel& comm,
+                                   const GaOptions& options = {});
+
+}  // namespace lbmem

@@ -1,0 +1,62 @@
+#include "lbmem/baseline/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "lbmem/util/check.hpp"
+#include "lbmem/util/math.hpp"
+
+namespace lbmem {
+
+PartitionResult greedy_min_load(const std::vector<Mem>& weights,
+                                int machines) {
+  LBMEM_REQUIRE(machines >= 1, "need at least one machine");
+  PartitionResult result;
+  result.assignment.resize(weights.size());
+  result.loads.assign(static_cast<std::size_t>(machines), Mem{0});
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    LBMEM_REQUIRE(weights[i] >= 0, "weights must be non-negative");
+    const auto it = std::min_element(result.loads.begin(), result.loads.end());
+    const auto m = static_cast<int>(it - result.loads.begin());
+    result.assignment[i] = m;
+    *it += weights[i];
+  }
+  result.max_load =
+      *std::max_element(result.loads.begin(), result.loads.end());
+  return result;
+}
+
+PartitionResult lpt(const std::vector<Mem>& weights, int machines) {
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    return a < b;
+  });
+  std::vector<Mem> sorted;
+  sorted.reserve(weights.size());
+  for (const std::size_t i : order) sorted.push_back(weights[i]);
+
+  const PartitionResult on_sorted = greedy_min_load(sorted, machines);
+  PartitionResult result;
+  result.assignment.resize(weights.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    result.assignment[order[rank]] = on_sorted.assignment[rank];
+  }
+  result.loads = on_sorted.loads;
+  result.max_load = on_sorted.max_load;
+  return result;
+}
+
+Mem partition_lower_bound(const std::vector<Mem>& weights, int machines) {
+  LBMEM_REQUIRE(machines >= 1, "need at least one machine");
+  Mem total = 0;
+  Mem largest = 0;
+  for (const Mem w : weights) {
+    total += w;
+    largest = std::max(largest, w);
+  }
+  return std::max(largest, ceil_div(total, machines));
+}
+
+}  // namespace lbmem

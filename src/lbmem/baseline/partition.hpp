@@ -1,0 +1,41 @@
+#pragma once
+/// \file partition.hpp
+/// \brief The abstract min-max partition problem underlying the paper's
+/// Theorem 2 (memory-only balancing).
+///
+/// When the heuristic "only considers memory" (paper Section 5.2), it
+/// assigns each block to the processor with the least memory already
+/// moved — list scheduling on identical machines with the blocks' memory
+/// amounts as weights. Theorem 2's (2 - 1/M) bound is exactly Graham's
+/// bound for that greedy. This module provides the greedy, the LPT variant,
+/// and helpers shared with the exact solvers.
+
+#include <vector>
+
+#include "lbmem/model/types.hpp"
+
+namespace lbmem {
+
+/// A partition of weighted items over \p machines machines.
+struct PartitionResult {
+  /// assignment[i] = machine of item i.
+  std::vector<int> assignment;
+  /// Load per machine.
+  std::vector<Mem> loads;
+  /// max(loads) — the paper's ω.
+  Mem max_load = 0;
+};
+
+/// Greedy list assignment in the given item order: each item goes to the
+/// currently least-loaded machine (the paper's memory-only heuristic).
+PartitionResult greedy_min_load(const std::vector<Mem>& weights,
+                                int machines);
+
+/// Longest-processing-time greedy: items sorted by decreasing weight, then
+/// greedy_min_load (classical 4/3 - 1/(3M) heuristic; ablation baseline).
+PartitionResult lpt(const std::vector<Mem>& weights, int machines);
+
+/// Lower bound on the optimal max load: max(ceil(total/M), max weight).
+Mem partition_lower_bound(const std::vector<Mem>& weights, int machines);
+
+}  // namespace lbmem

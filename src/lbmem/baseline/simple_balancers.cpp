@@ -1,0 +1,54 @@
+#include "lbmem/baseline/simple_balancers.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+
+std::optional<Schedule> round_robin_schedule(const TaskGraph& graph,
+                                             const Architecture& arch,
+                                             const CommModel& comm) {
+  std::vector<ProcId> assignment(graph.task_count(), ProcId{0});
+  int index = 0;
+  for (const TaskId t : graph.topological_order()) {
+    assignment[static_cast<std::size_t>(t)] =
+        static_cast<ProcId>(index++ % arch.processor_count());
+  }
+  try {
+    return build_forced_schedule(graph, arch, comm, assignment);
+  } catch (const ScheduleError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<Schedule> memory_greedy_schedule(const TaskGraph& graph,
+                                               const Architecture& arch,
+                                               const CommModel& comm) {
+  std::vector<TaskId> order(graph.task_count());
+  std::iota(order.begin(), order.end(), TaskId{0});
+  std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    const Mem ma = graph.task(a).memory * graph.instance_count(a);
+    const Mem mb = graph.task(b).memory * graph.instance_count(b);
+    if (ma != mb) return ma > mb;
+    return a < b;
+  });
+
+  std::vector<Mem> load(static_cast<std::size_t>(arch.processor_count()),
+                        Mem{0});
+  std::vector<ProcId> assignment(graph.task_count(), ProcId{0});
+  for (const TaskId t : order) {
+    const auto it = std::min_element(load.begin(), load.end());
+    const auto p = static_cast<ProcId>(it - load.begin());
+    assignment[static_cast<std::size_t>(t)] = p;
+    *it += graph.task(t).memory * graph.instance_count(t);
+  }
+  try {
+    return build_forced_schedule(graph, arch, comm, assignment);
+  } catch (const ScheduleError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace lbmem

@@ -1,0 +1,25 @@
+#pragma once
+/// \file simple_balancers.hpp
+/// \brief Non-learning comparison baselines at whole-task granularity.
+
+#include <optional>
+
+#include "lbmem/sched/scheduler.hpp"
+
+namespace lbmem {
+
+/// Round-robin: task i (in topological order) on processor i mod M.
+/// Returns std::nullopt when the forced assignment is unschedulable.
+std::optional<Schedule> round_robin_schedule(const TaskGraph& graph,
+                                             const Architecture& arch,
+                                             const CommModel& comm);
+
+/// Memory-greedy: tasks in decreasing memory order, each on the processor
+/// with the least memory assigned so far (pure "memory balancing" in the
+/// sense of the paper's ref [12]); returns std::nullopt when
+/// unschedulable.
+std::optional<Schedule> memory_greedy_schedule(const TaskGraph& graph,
+                                               const Architecture& arch,
+                                               const CommModel& comm);
+
+}  // namespace lbmem

@@ -1,0 +1,38 @@
+#include "lbmem/gen/paper_example.hpp"
+
+#include "lbmem/sched/scheduler.hpp"
+
+namespace lbmem {
+
+TaskGraph paper_example_graph() {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", /*period=*/3, /*wcet=*/1, /*memory=*/4);
+  const TaskId b = g.add_task("b", 6, 1, 1);
+  const TaskId c = g.add_task("c", 6, 1, 1);
+  const TaskId d = g.add_task("d", 12, 1, 2);
+  const TaskId e = g.add_task("e", 12, 1, 2);
+  g.add_dependence(a, b);
+  g.add_dependence(b, c);
+  g.add_dependence(b, d);
+  g.add_dependence(c, e);
+  g.add_dependence(d, e);
+  g.freeze();
+  return g;
+}
+
+Architecture paper_example_architecture() {
+  return Architecture(/*processors=*/3);
+}
+
+CommModel paper_example_comm() {
+  return CommModel::flat(/*cost=*/1);
+}
+
+Schedule paper_example_schedule(const TaskGraph& graph) {
+  SchedulerOptions options;
+  options.policy = PlacementPolicy::PeriodCluster;
+  return build_initial_schedule(graph, paper_example_architecture(),
+                                paper_example_comm(), options);
+}
+
+}  // namespace lbmem

@@ -1,0 +1,103 @@
+#include "lbmem/gen/random_graph.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+
+TaskGraph random_task_graph(const RandomGraphParams& params,
+                            std::uint64_t seed) {
+  LBMEM_REQUIRE(params.tasks >= 1, "need at least one task");
+  LBMEM_REQUIRE(params.period_levels >= 1 && params.period_levels <= 16,
+                "period_levels out of range");
+  LBMEM_REQUIRE(params.base_period >= 2, "base period too small");
+  LBMEM_REQUIRE(params.mem_min >= 0 && params.mem_min <= params.mem_max,
+                "bad memory range");
+  LBMEM_REQUIRE(params.data_min >= 1 && params.data_min <= params.data_max,
+                "bad data size range");
+  Rng rng(seed);
+
+  // Periods: base * 2^level. Level weights favour fast (sensor) tasks.
+  std::vector<Time> periods;
+  for (int level = 0; level < params.period_levels; ++level) {
+    periods.push_back(params.base_period * (Time{1} << level));
+  }
+
+  // Draw per-task period levels and raw WCETs.
+  struct Draft {
+    Time period;
+    Time wcet;
+    Mem memory;
+  };
+  std::vector<Draft> drafts;
+  drafts.reserve(static_cast<std::size_t>(params.tasks));
+  const Time wcet_cap = std::max<Time>(
+      1, static_cast<Time>(static_cast<double>(params.base_period) *
+                           params.wcet_fraction));
+  for (int i = 0; i < params.tasks; ++i) {
+    Draft d;
+    d.period =
+        periods[static_cast<std::size_t>(rng.uniform(0, params.period_levels - 1))];
+    d.wcet = rng.uniform(1, wcet_cap);
+    d.memory = rng.uniform(params.mem_min, params.mem_max);
+    drafts.push_back(d);
+  }
+
+  // Utilization shaping: scale the hyper-period load to the target by
+  // stretching periods (doubling preserves harmony) when overloaded.
+  const double target =
+      params.target_utilization_per_proc * params.intended_processors;
+  auto utilization = [&]() {
+    double u = 0;
+    for (const Draft& d : drafts) {
+      u += static_cast<double>(d.wcet) / static_cast<double>(d.period);
+    }
+    return u;
+  };
+  int stretch_guard = 0;
+  while (utilization() > target && stretch_guard++ < 8) {
+    for (Draft& d : drafts) d.period *= 2;
+  }
+
+  // Sort by period ascending (then stable): dependences flow fast -> slow
+  // or within a period class, mirroring sensor -> fusion pipelines; edges
+  // only point forward in this order, so the graph is acyclic.
+  std::stable_sort(drafts.begin(), drafts.end(),
+                   [](const Draft& x, const Draft& y) {
+                     return x.period < y.period;
+                   });
+
+  TaskGraph g;
+  for (int i = 0; i < params.tasks; ++i) {
+    const Draft& d = drafts[static_cast<std::size_t>(i)];
+    std::string name = "t";
+    name += std::to_string(i);
+    g.add_task(std::move(name), d.period, d.wcet, d.memory);
+  }
+
+  for (int i = 1; i < params.tasks; ++i) {
+    int in_degree = 0;
+    // Scan earlier tasks in random order, linking with edge_probability.
+    std::vector<int> earlier(static_cast<std::size_t>(i));
+    for (int j = 0; j < i; ++j) earlier[static_cast<std::size_t>(j)] = j;
+    rng.shuffle(earlier);
+    for (const int j : earlier) {
+      if (in_degree >= params.max_in_degree) break;
+      if (!rng.chance(params.edge_probability)) continue;
+      // Harmonic by construction (power-of-two periods), but guard anyway.
+      const Time tp = g.task(static_cast<TaskId>(j)).period;
+      const Time tc = g.task(static_cast<TaskId>(i)).period;
+      if (tp % tc != 0 && tc % tp != 0) continue;
+      g.add_dependence(static_cast<TaskId>(j), static_cast<TaskId>(i),
+                       rng.uniform(params.data_min, params.data_max));
+      ++in_degree;
+    }
+  }
+
+  g.freeze();
+  return g;
+}
+
+}  // namespace lbmem

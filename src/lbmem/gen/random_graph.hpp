@@ -1,0 +1,65 @@
+#pragma once
+/// \file random_graph.hpp
+/// \brief Seeded random multi-rate application generator.
+///
+/// Workload shape follows the paper's own claims about realistic systems:
+///  * the number of distinct periods is small because sensors/actuators
+///    impose them (Section 4, ref [15]) — periods are drawn from a small
+///    harmonic set (base period times powers of two), which also satisfies
+///    the harmonic-dependence model requirement;
+///  * applications are layered signal-processing/control pipelines —
+///    dependences go from faster (sensor-side) to slower (fusion-side)
+///    layers or within a layer, forming a DAG;
+///  * per-task WCET and memory amounts vary independently.
+///
+/// Generation is deterministic per seed across platforms (lbmem::Rng).
+
+#include <vector>
+
+#include "lbmem/model/task_graph.hpp"
+#include "lbmem/util/rng.hpp"
+
+namespace lbmem {
+
+/// Tunable generator parameters.
+struct RandomGraphParams {
+  /// Number of tasks.
+  int tasks = 50;
+  /// Base (smallest) period in ticks.
+  Time base_period = 16;
+  /// Number of distinct periods: base * 2^0 .. base * 2^(period_levels-1).
+  int period_levels = 3;
+  /// Probability that a task depends on a candidate earlier task.
+  double edge_probability = 0.25;
+  /// Maximum number of producers per task (keeps fan-in realistic).
+  int max_in_degree = 3;
+  /// WCET range as a fraction of the base period: wcet in
+  /// [1, max(1, base_period * wcet_fraction)].
+  double wcet_fraction = 0.25;
+  /// Memory amount range [mem_min, mem_max].
+  Mem mem_min = 1;
+  Mem mem_max = 16;
+  /// Data size range for dependences (drives affine comm models).
+  Mem data_min = 1;
+  Mem data_max = 8;
+  /// Target total utilization per processor (sum of wcet/period divided by
+  /// the processor count the caller plans to use). The generator scales
+  /// task count shaping only; callers should check TaskGraph::utilization.
+  double target_utilization_per_proc = 0.45;
+  /// Processors the workload is intended for (used by the utilization
+  /// shaping above).
+  int intended_processors = 4;
+};
+
+/// Generate a frozen random task graph. Deterministic in (params, seed).
+///
+/// The generator assigns each task a period level, sorts tasks so that
+/// dependences can only point from earlier to later tasks (acyclic by
+/// construction), and only links tasks with harmonic periods (always true
+/// for the power-of-two period set). WCETs are rescaled downwards when the
+/// drawn utilization exceeds the target, keeping workloads schedulable
+/// with high probability.
+TaskGraph random_task_graph(const RandomGraphParams& params,
+                            std::uint64_t seed);
+
+}  // namespace lbmem

@@ -1,0 +1,36 @@
+#include "lbmem/gen/suites.hpp"
+
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+
+std::vector<SuiteInstance> make_suite(const SuiteSpec& spec, int* skipped) {
+  std::vector<SuiteInstance> out;
+  int rejected = 0;
+  std::uint64_t seed = spec.base_seed;
+  int attempts = 0;
+  RandomGraphParams params = spec.params;
+  params.intended_processors = spec.processors;
+
+  while (static_cast<int>(out.size()) < spec.count &&
+         attempts < spec.max_seed_attempts) {
+    ++attempts;
+    const std::uint64_t this_seed = seed++;
+    auto graph = std::make_shared<const TaskGraph>(
+        random_task_graph(params, this_seed));
+    try {
+      SchedulerOptions options;
+      options.policy = spec.policy;
+      Schedule sched = build_initial_schedule(
+          *graph, Architecture(spec.processors, spec.memory_capacity),
+          CommModel::flat(spec.comm_cost), options);
+      out.push_back(SuiteInstance{graph, std::move(sched), this_seed});
+    } catch (const ScheduleError&) {
+      ++rejected;  // unschedulable seed; try the next one
+    }
+  }
+  if (skipped) *skipped = rejected;
+  return out;
+}
+
+}  // namespace lbmem

@@ -1,0 +1,44 @@
+#pragma once
+/// \file suites.hpp
+/// \brief Reusable benchmark workload suites: random systems scheduled and
+/// ready for balancing.
+///
+/// A suite instance owns its task graph (schedules hold a reference) and
+/// the initial schedule built by the scheduler substrate. Generation skips
+/// seeds that produce unschedulable systems and reports how many were
+/// skipped, so benches can state their effective sample counts.
+
+#include <memory>
+#include <vector>
+
+#include "lbmem/gen/random_graph.hpp"
+#include "lbmem/sched/scheduler.hpp"
+
+namespace lbmem {
+
+/// One generated-and-scheduled workload.
+struct SuiteInstance {
+  std::shared_ptr<const TaskGraph> graph;
+  Schedule schedule;
+  std::uint64_t seed = 0;
+};
+
+/// Suite specification.
+struct SuiteSpec {
+  RandomGraphParams params;
+  int processors = 4;
+  Time comm_cost = 2;          ///< flat communication time C
+  Mem memory_capacity = kUnlimitedMemory;
+  int count = 20;              ///< instances wanted
+  std::uint64_t base_seed = 1; ///< seeds base_seed, base_seed+1, ...
+  PlacementPolicy policy = PlacementPolicy::PeriodCluster;
+  int max_seed_attempts = 200; ///< give up after this many seeds
+};
+
+/// Build a suite. Fewer than spec.count instances are returned when too
+/// many seeds were unschedulable; \p skipped (optional) receives the count
+/// of rejected seeds.
+std::vector<SuiteInstance> make_suite(const SuiteSpec& spec,
+                                      int* skipped = nullptr);
+
+}  // namespace lbmem

@@ -1,0 +1,35 @@
+#include "lbmem/lb/block.hpp"
+
+#include <algorithm>
+
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+
+Time Block::start(const Schedule& sched) const {
+  LBMEM_REQUIRE(!members.empty(), "block has no members");
+  Time s = sched.start(members.front());
+  for (const TaskInstance& inst : members) {
+    s = std::min(s, sched.start(inst));
+  }
+  return s;
+}
+
+Time Block::end(const Schedule& sched) const {
+  LBMEM_REQUIRE(!members.empty(), "block has no members");
+  Time e = sched.end(members.front());
+  for (const TaskInstance& inst : members) {
+    e = std::max(e, sched.end(inst));
+  }
+  return e;
+}
+
+bool Block::contains_task(TaskId t) const {
+  return std::binary_search(tasks.begin(), tasks.end(), t);
+}
+
+bool Block::contains(TaskInstance inst) const {
+  return std::find(members.begin(), members.end(), inst) != members.end();
+}
+
+}  // namespace lbmem

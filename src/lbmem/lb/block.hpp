@@ -1,0 +1,60 @@
+#pragma once
+/// \file block.hpp
+/// \brief Blocks: the move unit of the load-balancing heuristic (paper
+/// Section 3.1).
+///
+/// A block groups task instances scheduled on the same processor whose
+/// separation would create an inter-processor communication that the
+/// current timing cannot absorb. Formally (paper Eqs. 1-2): a valid block
+/// boundary between dependent instances u -> v on one processor requires
+/// slack start(v) - end(u) >= C(edge); tighter dependences force u and v
+/// into the same block so they move together.
+///
+/// Categories (paper Section 3.1):
+///  * category 1 — every member is the first instance (k == 0) of its task;
+///    such blocks may start earlier when moved (gain G > 0);
+///  * category 2 — any member is a later instance; the block's start is
+///    pinned by strict periodicity and only shifts when the category-1
+///    block holding the first instances gains time.
+
+#include <vector>
+
+#include "lbmem/model/types.hpp"
+#include "lbmem/sched/schedule.hpp"
+
+namespace lbmem {
+
+/// Identifier of a block within one balancing run.
+using BlockId = std::int32_t;
+
+/// A group of task instances moved as a unit.
+struct Block {
+  BlockId id = -1;
+  /// Processor hosting the block in the input schedule.
+  ProcId home = kNoProc;
+  /// 1 or 2 (see file comment).
+  int category = 2;
+  /// Member instances, sorted by start time in the input schedule.
+  std::vector<TaskInstance> members;
+  /// Distinct member tasks, sorted (used for gain propagation).
+  std::vector<TaskId> tasks;
+  /// Sum of member WCETs — the paper's block execution time E_B.
+  Time exec_sum = 0;
+  /// Sum of member memory amounts — the paper's block memory m_B.
+  Mem mem_sum = 0;
+
+  /// Current start time: the earliest member start in \p sched (member
+  /// starts move when the schedule's first starts shift).
+  Time start(const Schedule& sched) const;
+
+  /// Current end time of the latest member.
+  Time end(const Schedule& sched) const;
+
+  /// Does the block contain any instance of \p t?
+  bool contains_task(TaskId t) const;
+
+  /// Does the block contain exactly this instance?
+  bool contains(TaskInstance inst) const;
+};
+
+}  // namespace lbmem

@@ -1,0 +1,139 @@
+#include "lbmem/lb/block_builder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+
+const Block& BlockDecomposition::block_containing(TaskInstance inst) const {
+  LBMEM_REQUIRE(inst.task >= 0 &&
+                    inst.task < static_cast<TaskId>(block_of.size()),
+                "task id out of range");
+  const auto& per_task = block_of[static_cast<std::size_t>(inst.task)];
+  LBMEM_REQUIRE(inst.k >= 0 && inst.k < static_cast<InstanceIdx>(per_task.size()),
+                "instance index out of range");
+  return blocks[static_cast<std::size_t>(
+      per_task[static_cast<std::size_t>(inst.k)])];
+}
+
+namespace {
+
+/// Plain union-find over dense instance indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    parent_[find(a)] = find(b);
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+BlockDecomposition build_blocks(const Schedule& sched) {
+  LBMEM_REQUIRE(sched.complete(), "build_blocks requires a complete schedule");
+  const TaskGraph& graph = sched.graph();
+
+  // Dense index over all instances.
+  std::vector<std::size_t> base(graph.task_count());
+  std::size_t total = 0;
+  for (TaskId t = 0; t < static_cast<TaskId>(graph.task_count()); ++t) {
+    base[static_cast<std::size_t>(t)] = total;
+    total += static_cast<std::size_t>(graph.instance_count(t));
+  }
+  const auto dense = [&](TaskInstance inst) {
+    return base[static_cast<std::size_t>(inst.task)] +
+           static_cast<std::size_t>(inst.k);
+  };
+
+  UnionFind uf(total);
+
+  // Unite tight same-processor dependences.
+  for (std::int32_t e = 0;
+       e < static_cast<std::int32_t>(graph.dependence_count()); ++e) {
+    const Dependence& dep = graph.dependences()[static_cast<std::size_t>(e)];
+    const Time comm = sched.comm().transfer_time(dep.data_size);
+    const InstanceIdx nc = graph.instance_count(dep.consumer);
+    for (InstanceIdx k = 0; k < nc; ++k) {
+      const TaskInstance consumer{dep.consumer, k};
+      for (const InstanceIdx pk : graph.consumed_instances(e, k)) {
+        const TaskInstance producer{dep.producer, pk};
+        if (sched.proc(producer) != sched.proc(consumer)) continue;
+        const Time slack = sched.start(consumer) - sched.end(producer);
+        if (slack < comm) {
+          uf.unite(dense(producer), dense(consumer));
+        }
+      }
+    }
+  }
+
+  // Collect classes into blocks.
+  BlockDecomposition out;
+  out.block_of.resize(graph.task_count());
+  std::vector<BlockId> root_to_block(total, BlockId{-1});
+
+  std::vector<TaskInstance> instances = sched.all_instances();
+  std::sort(instances.begin(), instances.end(),
+            [&](const TaskInstance& a, const TaskInstance& b) {
+              const Time sa = sched.start(a);
+              const Time sb = sched.start(b);
+              if (sa != sb) return sa < sb;
+              return a < b;
+            });
+
+  for (TaskId t = 0; t < static_cast<TaskId>(graph.task_count()); ++t) {
+    out.block_of[static_cast<std::size_t>(t)].assign(
+        static_cast<std::size_t>(graph.instance_count(t)), BlockId{-1});
+  }
+
+  for (const TaskInstance inst : instances) {
+    const std::size_t root = uf.find(dense(inst));
+    BlockId bid = root_to_block[root];
+    if (bid < 0) {
+      bid = static_cast<BlockId>(out.blocks.size());
+      root_to_block[root] = bid;
+      Block block;
+      block.id = bid;
+      block.home = sched.proc(inst);
+      out.blocks.push_back(std::move(block));
+    }
+    Block& block = out.blocks[static_cast<std::size_t>(bid)];
+    LBMEM_REQUIRE(block.home == sched.proc(inst),
+                  "block members must share a processor");
+    block.members.push_back(inst);
+    block.exec_sum += graph.task(inst.task).wcet;
+    block.mem_sum += graph.task(inst.task).memory;
+    out.block_of[static_cast<std::size_t>(inst.task)]
+                [static_cast<std::size_t>(inst.k)] = bid;
+  }
+
+  for (Block& block : out.blocks) {
+    // Members were appended in global start order, so they are sorted.
+    block.tasks.clear();
+    bool all_first = true;
+    for (const TaskInstance& inst : block.members) {
+      if (inst.k != 0) all_first = false;
+      block.tasks.push_back(inst.task);
+    }
+    std::sort(block.tasks.begin(), block.tasks.end());
+    block.tasks.erase(std::unique(block.tasks.begin(), block.tasks.end()),
+                      block.tasks.end());
+    block.category = all_first ? 1 : 2;
+  }
+  return out;
+}
+
+}  // namespace lbmem

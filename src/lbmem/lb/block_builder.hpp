@@ -1,0 +1,34 @@
+#pragma once
+/// \file block_builder.hpp
+/// \brief Builds the block decomposition of a schedule (paper Section 3.1).
+
+#include <vector>
+
+#include "lbmem/lb/block.hpp"
+
+namespace lbmem {
+
+/// The block decomposition plus an instance -> block index.
+struct BlockDecomposition {
+  std::vector<Block> blocks;
+  /// block_of[task][k] = BlockId of instance (task, k).
+  std::vector<std::vector<BlockId>> block_of;
+
+  /// Block holding \p inst.
+  const Block& block_containing(TaskInstance inst) const;
+};
+
+/// Group the instances of \p sched into blocks.
+///
+/// Rule (from Eqs. 1-2 of the paper): two instances u -> v connected by a
+/// direct dependence, placed on the same processor, belong to the same
+/// block whenever the timing slack start(v) - end(u) is smaller than the
+/// communication time of the edge — separating them would create a
+/// communication the schedule cannot absorb. The relation is closed
+/// transitively (union-find), so a consumer tight against producers in two
+/// distinct groups merges them into one block.
+///
+/// Requires a complete schedule.
+BlockDecomposition build_blocks(const Schedule& sched);
+
+}  // namespace lbmem

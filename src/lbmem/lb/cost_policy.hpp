@@ -1,0 +1,71 @@
+#pragma once
+/// \file cost_policy.hpp
+/// \brief Destination-selection policies for the load balancer.
+///
+/// The paper's Eq. (5) cost function is internally inconsistent with its
+/// own worked example (DESIGN.md finding F1), so the policy is pluggable:
+///
+///  * Lexicographic — maximize gain G; among equal gains minimize the
+///    memory already moved to the candidate processor; prefer the block's
+///    current processor, then the lowest index. This is the only rule that
+///    reproduces all seven steps of the paper's Section 3.3 example; it is
+///    the library default.
+///  * PaperFormula — maximize λ = (G+1) / max(Σm, 1), the smoothed reading
+///    of Eq. (5) matching the arithmetic the example prints in steps 2-7.
+///  * PaperLiteral — Eq. (5) verbatim: λ = G when no block has been moved
+///    to the processor yet, else λ = (G+1)/Σm.
+///  * GainOnly — maximize G, ignore memory (ablation).
+///  * MemoryOnly — minimize Σm among feasible destinations, ignore G (the
+///    configuration analysed by Theorem 2).
+///
+/// λ values are exact integer fractions; comparisons never use floating
+/// point.
+
+#include <string>
+
+#include "lbmem/model/types.hpp"
+
+namespace lbmem {
+
+/// Selectable decision rule.
+enum class CostPolicy {
+  Lexicographic,
+  PaperFormula,
+  PaperLiteral,
+  GainOnly,
+  MemoryOnly,
+};
+
+/// Printable policy name.
+std::string to_string(CostPolicy policy);
+
+/// λ as an exact fraction num/den (den > 0).
+struct Lambda {
+  Time num = 0;
+  Mem den = 1;
+};
+
+/// λ of a feasible candidate under \p policy, given gain \p gain >= 0 and
+/// the total memory \p moved_mem of blocks already moved to the processor.
+/// (For Lexicographic/GainOnly/MemoryOnly the fraction is informational;
+/// selection uses their own orderings.)
+Lambda lambda_value(CostPolicy policy, Time gain, Mem moved_mem);
+
+/// One evaluated destination.
+struct DestinationScore {
+  ProcId proc = kNoProc;
+  bool feasible = false;
+  Time gain = 0;       ///< achievable start-time gain (0 for pinned blocks)
+  Mem moved_mem = 0;   ///< Σ memory of blocks already moved to proc
+  bool is_home = false;
+  Lambda lambda;       ///< filled for feasible candidates
+  std::string reject_reason;  ///< set when !feasible
+};
+
+/// Is candidate \p a strictly better than \p b under \p policy?
+/// Pre: both feasible. Deterministic total order (ties broken by
+/// home-processor preference, then lower processor index).
+bool better_candidate(CostPolicy policy, const DestinationScore& a,
+                      const DestinationScore& b);
+
+}  // namespace lbmem

@@ -1,0 +1,514 @@
+#include "lbmem/lb/load_balancer.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "lbmem/model/hyperperiod.hpp"
+#include "lbmem/sched/timeline.hpp"
+#include "lbmem/util/check.hpp"
+#include "lbmem/util/math.hpp"
+#include "lbmem/util/stopwatch.hpp"
+#include "lbmem/validate/validator.hpp"
+
+namespace lbmem {
+
+LoadBalancer::LoadBalancer(BalanceOptions options)
+    : options_(std::move(options)) {
+  LBMEM_REQUIRE(options_.max_attempts >= 1, "max_attempts must be >= 1");
+}
+
+namespace {
+
+/// One balancing attempt over a working copy of the schedule.
+///
+/// Occupancy covers *moved* instances only: the paper's heuristic treats
+/// already-moved blocks as a committed prefix, while not-yet-moved blocks
+/// are invisible to overlap checks (their placement is fixed when their
+/// turn comes — step 3 of the worked example moves a block onto P1 slots
+/// that still "hold" the unmoved a3).
+class Attempt {
+ public:
+  Attempt(const Schedule& input, const BalanceOptions& opts,
+          Time max_gain_override)
+      : opts_(opts),
+        max_gain_(max_gain_override),
+        sched_(input),
+        dec_(build_blocks(input)),
+        h_(input.graph().hyperperiod()),
+        procs_(input.architecture().processor_count()),
+        occupancy_(static_cast<std::size_t>(procs_), ProcTimeline(h_)),
+        all_occ_(static_cast<std::size_t>(procs_), ProcTimeline(h_)),
+        moved_mem_(static_cast<std::size_t>(procs_), Mem{0}),
+        last_moved_end_(static_cast<std::size_t>(procs_), Time{0}),
+        first_moved_start_(static_cast<std::size_t>(procs_), Time{-1}),
+        resident_mem_(static_cast<std::size_t>(procs_), Mem{0}),
+        processed_(dec_.blocks.size(), false) {
+    for (ProcId p = 0; p < procs_; ++p) {
+      resident_mem_[static_cast<std::size_t>(p)] = input.memory_on(p);
+    }
+    instance_processed_.resize(input.graph().task_count());
+    for (TaskId t = 0; t < static_cast<TaskId>(input.graph().task_count());
+         ++t) {
+      instance_processed_[static_cast<std::size_t>(t)].assign(
+          static_cast<std::size_t>(input.graph().instance_count(t)), false);
+    }
+    if (opts_.overlap_rule == OverlapRule::AllInstances) {
+      for (const TaskInstance inst : input.all_instances()) {
+        all_occ_[static_cast<std::size_t>(input.proc(inst))].add(
+            input.start(inst), input.graph().task(inst.task).wcet, inst);
+      }
+    }
+  }
+
+  /// Run the heuristic; returns true when the final schedule validates.
+  bool run(std::vector<StepRecord>* trace, BalanceStats& stats);
+
+  Schedule& schedule() { return sched_; }
+
+ private:
+  struct QueueEntry {
+    Time start;
+    BlockId block;
+    bool operator>(const QueueEntry& other) const {
+      if (start != other.start) return start > other.start;
+      return block > other.block;
+    }
+  };
+
+  /// Target position of one instance affected by a tentative move: members
+  /// land on the destination; for a positive category-1 gain the later
+  /// instances of the block's tasks shift in place on their own processor.
+  struct ShiftedInstance {
+    TaskInstance inst;
+    ProcId proc;
+    Time new_start;
+  };
+
+  const TaskGraph& graph() const { return sched_.graph(); }
+
+  std::vector<ShiftedInstance> shifted_layout(const Block& block, ProcId dest,
+                                              Time gain) const;
+  Time external_data_ready(const Block& block, TaskInstance inst,
+                           ProcId dest) const;
+  DestinationScore evaluate(const Block& block, ProcId dest) const;
+  void commit(const Block& block, ProcId dest, Time gain, bool forced,
+              BalanceStats& stats);
+
+  /// Re-insert detached instances into the all-instances occupancy at
+  /// their (post-commit) positions.
+  void reattach(const std::vector<TaskInstance>& affected) {
+    if (opts_.overlap_rule != OverlapRule::AllInstances) return;
+    for (const TaskInstance& inst : affected) {
+      auto& occ = all_occ_[static_cast<std::size_t>(sched_.proc(inst))];
+      const Time start = sched_.start(inst);
+      const Time wcet = graph().task(inst.task).wcet;
+      // A forced stay can leave a genuine conflict; the final validation
+      // reports it, so tolerate the missing footprint here.
+      if (occ.fits(start, wcet)) occ.add(start, wcet, inst);
+    }
+  }
+
+  /// Occupancy consulted by overlap checks, per the configured rule.
+  const ProcTimeline& blocking_occ(ProcId p) const {
+    return opts_.overlap_rule == OverlapRule::AllInstances
+               ? all_occ_[static_cast<std::size_t>(p)]
+               : occupancy_[static_cast<std::size_t>(p)];
+  }
+  ProcTimeline& occupancy(ProcId p) {
+    return occupancy_[static_cast<std::size_t>(p)];
+  }
+
+  /// Instances whose positions this block's processing may change:
+  /// the members, plus — for category-1 blocks — the later (pinned)
+  /// instances of the block's tasks, which shift with any gain.
+  std::vector<TaskInstance> affected_instances(const Block& block) const {
+    std::vector<TaskInstance> out = block.members;
+    if (block.category == 1) {
+      for (const TaskId t : block.tasks) {
+        const InstanceIdx n = graph().instance_count(t);
+        for (InstanceIdx k = 1; k < n; ++k) {
+          out.push_back(TaskInstance{t, k});
+        }
+      }
+    }
+    return out;
+  }
+
+  const BalanceOptions& opts_;
+  Time max_gain_;  // -1 = unlimited, otherwise a cap on per-block gains
+  Schedule sched_;
+  BlockDecomposition dec_;
+  Time h_;
+  int procs_;
+  std::vector<ProcTimeline> occupancy_;  // moved prefix only
+  std::vector<ProcTimeline> all_occ_;    // every instance (AllInstances rule)
+  std::vector<Mem> moved_mem_;
+  std::vector<Time> last_moved_end_;
+  std::vector<Time> first_moved_start_;
+  std::vector<Mem> resident_mem_;
+  std::vector<bool> processed_;
+  std::vector<std::vector<bool>> instance_processed_;
+};
+
+std::vector<Attempt::ShiftedInstance> Attempt::shifted_layout(
+    const Block& block, ProcId dest, Time gain) const {
+  std::vector<ShiftedInstance> layout;
+  for (const TaskInstance& inst : block.members) {
+    layout.push_back(ShiftedInstance{inst, dest, sched_.start(inst) - gain});
+  }
+  if (block.category == 1 && gain > 0) {
+    for (const TaskId t : block.tasks) {
+      const InstanceIdx n = graph().instance_count(t);
+      for (InstanceIdx k = 1; k < n; ++k) {
+        const TaskInstance inst{t, k};
+        layout.push_back(ShiftedInstance{inst, sched_.proc(inst),
+                                         sched_.start(inst) - gain});
+      }
+    }
+  }
+  return layout;
+}
+
+Time Attempt::external_data_ready(const Block& block, TaskInstance inst,
+                                  ProcId dest) const {
+  Time ready = 0;
+  for (const std::int32_t e : graph().deps_in(inst.task)) {
+    const Dependence& dep = graph().dependences()[static_cast<std::size_t>(e)];
+    // Producers whose task belongs to the block either move along (members)
+    // or shift along (later instances of a member task); in both cases the
+    // constraint is invariant under the move — see DESIGN.md §6.
+    if (block.contains_task(dep.producer)) continue;
+    const Time comm = sched_.comm().transfer_time(dep.data_size);
+    for (const InstanceIdx pk : graph().consumed_instances(e, inst.k)) {
+      const TaskInstance producer{dep.producer, pk};
+      const Time arrival = sched_.end(producer) +
+                           (sched_.proc(producer) == dest ? Time{0} : comm);
+      ready = std::max(ready, arrival);
+    }
+  }
+  return ready;
+}
+
+DestinationScore Attempt::evaluate(const Block& block, ProcId dest) const {
+  DestinationScore score;
+  score.proc = dest;
+  score.is_home = (dest == block.home);
+  score.moved_mem = moved_mem_[static_cast<std::size_t>(dest)];
+
+  const Time block_start = block.start(sched_);
+
+  // Eligibility (paper Section 3.2): the processor's moved prefix must end
+  // no later than the block starts.
+  const Time avail = last_moved_end_[static_cast<std::size_t>(dest)];
+  if (avail > block_start) {
+    score.reject_reason = "not eligible (moved prefix ends after block start)";
+    return score;
+  }
+
+  // Memory capacity (optional extension).
+  if (opts_.enforce_memory_capacity &&
+      sched_.architecture().has_memory_limit() && dest != block.home &&
+      resident_mem_[static_cast<std::size_t>(dest)] + block.mem_sum >
+          sched_.architecture().memory_capacity()) {
+    score.reject_reason = "memory capacity exceeded";
+    return score;
+  }
+
+  // A member landing on a processor that also hosts a shifting sibling
+  // collides independently of the gain (both move by the same amount, so
+  // their relative offset is fixed).
+  if (block.category == 1 && dest != block.home) {
+    for (const TaskId t : block.tasks) {
+      const InstanceIdx n = graph().instance_count(t);
+      for (InstanceIdx k = 1; k < n; ++k) {
+        const TaskInstance sibling{t, k};
+        if (sched_.proc(sibling) != dest) continue;
+        for (const TaskInstance& member : block.members) {
+          if (circular_overlap(sched_.start(member),
+                               graph().task(member.task).wcet,
+                               sched_.start(sibling),
+                               graph().task(sibling.task).wcet, h_)) {
+            score.reject_reason = "member collides with shifting sibling";
+            return score;
+          }
+        }
+      }
+    }
+  }
+
+  Time gain = 0;
+  if (block.category == 1) {
+    // Largest shift allowed by processor availability…
+    gain = block_start - avail;
+    // …by every member's external data (paper Eq. 1 semantics)…
+    for (const TaskInstance& inst : block.members) {
+      gain = std::min(gain,
+                      sched_.start(inst) - external_data_ready(block, inst, dest));
+    }
+    if (gain < 0) {
+      score.reject_reason = "data arrives after the required start";
+      return score;
+    }
+    // …and by the pinned later instances of the block's tasks (DESIGN.md
+    // F5): their strict-periodic starts shift along, so even the best
+    // possible data arrival (co-location with the producer) must not
+    // exceed the shifted start.
+    for (const TaskId t : block.tasks) {
+      const InstanceIdx n = graph().instance_count(t);
+      for (InstanceIdx k = 1; k < n && gain > 0; ++k) {
+        const TaskInstance later{t, k};
+        if (instance_processed_[static_cast<std::size_t>(t)]
+                               [static_cast<std::size_t>(k)]) {
+          gain = 0;  // committed placements must not move retroactively
+          break;
+        }
+        for (const std::int32_t e : graph().deps_in(t)) {
+          const Dependence& dep =
+              graph().dependences()[static_cast<std::size_t>(e)];
+          if (block.contains_task(dep.producer)) continue;
+          for (const InstanceIdx pk :
+               graph().consumed_instances(e, later.k)) {
+            const Time best_arrival =
+                sched_.end(TaskInstance{dep.producer, pk});
+            gain = std::min(gain, sched_.start(later) - best_arrival);
+          }
+        }
+      }
+    }
+    gain = std::max<Time>(gain, 0);
+    if (max_gain_ >= 0) gain = std::min(gain, max_gain_);
+
+    // Conflict-driven reduction against the moved prefix: every affected
+    // instance must avoid the committed occupation on its target processor.
+    // Reducing the gain slides positions later; each step clears the
+    // current conflict at the end of the conflicting piece.
+    std::size_t guard = 0;
+    for (bool reduced = true; reduced;) {
+      if (++guard > 10000) {
+        score.reject_reason = "no conflict-free gain";
+        return score;
+      }
+      reduced = false;
+      for (const ShiftedInstance& si : shifted_layout(block, dest, gain)) {
+        const Time wcet = graph().task(si.inst.task).wcet;
+        const auto conflict =
+            blocking_occ(si.proc).conflicting_owner(si.new_start, wcet);
+        if (!conflict) continue;
+        const Time conflict_end =
+            sched_.end(*conflict);  // committed positions never move later
+        Time delta = mod_floor(conflict_end - si.new_start, h_);
+        if (delta == 0) delta = h_;
+        gain -= delta;
+        if (gain < 0) {
+          score.reject_reason = "overlap with moved blocks";
+          return score;
+        }
+        reduced = true;
+        break;
+      }
+    }
+  } else {
+    // Category 2: pinned by strict periodicity; the move must work at the
+    // current start times.
+    for (const TaskInstance& inst : block.members) {
+      if (external_data_ready(block, inst, dest) > sched_.start(inst)) {
+        score.reject_reason = "data arrives after the pinned start";
+        return score;
+      }
+    }
+    for (const TaskInstance& inst : block.members) {
+      const Time wcet = graph().task(inst.task).wcet;
+      if (!blocking_occ(dest).fits(sched_.start(inst), wcet)) {
+        score.reject_reason = "overlap with moved blocks";
+        return score;
+      }
+    }
+  }
+
+  // Block Condition (paper Eq. 4): the block must not overrun the
+  // hyper-period window anchored at the first block moved to dest.
+  if (opts_.enforce_block_condition) {
+    const Time anchor = first_moved_start_[static_cast<std::size_t>(dest)];
+    if (anchor >= 0 && (block_start - gain) + block.exec_sum > anchor + h_) {
+      score.reject_reason = "Block Condition (LCM) violated";
+      return score;
+    }
+  }
+
+  score.feasible = true;
+  score.gain = gain;
+  score.lambda = lambda_value(opts_.policy, gain, score.moved_mem);
+  return score;
+}
+
+void Attempt::commit(const Block& block, ProcId dest, Time gain, bool forced,
+                     BalanceStats& stats) {
+  // Apply the gain first: shifting the first starts of the block's tasks
+  // also shifts their later instances (strict periodicity) — the paper's
+  // "update the start times of the blocks containing tasks whose instances
+  // are in A".
+  if (gain > 0) {
+    for (const TaskId t : block.tasks) {
+      sched_.set_first_start(t, sched_.first_start(t) - gain);
+    }
+    ++stats.gains_applied;
+  }
+
+  for (const TaskInstance& inst : block.members) {
+    sched_.assign(inst, dest);
+    const Time wcet = graph().task(inst.task).wcet;
+    const Time start = sched_.start(inst);
+    if (occupancy(dest).fits(start, wcet)) {
+      occupancy(dest).add(start, wcet, inst);
+    } else {
+      // Only reachable on a forced stay; the final validation reports it.
+      LBMEM_REQUIRE(forced, "unexpected occupancy conflict on commit");
+    }
+    instance_processed_[static_cast<std::size_t>(inst.task)]
+                       [static_cast<std::size_t>(inst.k)] = true;
+  }
+
+  if (dest != block.home) {
+    resident_mem_[static_cast<std::size_t>(block.home)] -= block.mem_sum;
+    resident_mem_[static_cast<std::size_t>(dest)] += block.mem_sum;
+    ++stats.moves_off_home;
+  }
+  moved_mem_[static_cast<std::size_t>(dest)] += block.mem_sum;
+  last_moved_end_[static_cast<std::size_t>(dest)] = std::max(
+      last_moved_end_[static_cast<std::size_t>(dest)], block.end(sched_));
+  if (first_moved_start_[static_cast<std::size_t>(dest)] < 0) {
+    first_moved_start_[static_cast<std::size_t>(dest)] = block.start(sched_);
+  }
+  processed_[static_cast<std::size_t>(block.id)] = true;
+}
+
+bool Attempt::run(std::vector<StepRecord>* trace, BalanceStats& stats) {
+  stats.blocks_total = static_cast<int>(dec_.blocks.size());
+  stats.blocks_category1 = static_cast<int>(
+      std::count_if(dec_.blocks.begin(), dec_.blocks.end(),
+                    [](const Block& b) { return b.category == 1; }));
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+  for (const Block& b : dec_.blocks) {
+    queue.push(QueueEntry{b.start(sched_), b.id});
+  }
+
+  while (!queue.empty()) {
+    const QueueEntry entry = queue.top();
+    queue.pop();
+    if (processed_[static_cast<std::size_t>(entry.block)]) continue;
+    const Block& block = dec_.blocks[static_cast<std::size_t>(entry.block)];
+    if (block.start(sched_) != entry.start) {
+      continue;  // stale key; the shifted re-queue entry will handle it
+    }
+
+    // Detach the instances this decision may relocate from the
+    // all-instances occupancy, so they do not block their own placement;
+    // commit() re-attaches them at their final positions.
+    const std::vector<TaskInstance> affected = affected_instances(block);
+    if (opts_.overlap_rule == OverlapRule::AllInstances) {
+      for (const TaskInstance& inst : affected) {
+        all_occ_[static_cast<std::size_t>(sched_.proc(inst))].remove(inst);
+      }
+    }
+
+    StepRecord record;
+    record.block = block.id;
+    record.start_before = block.start(sched_);
+    record.candidates.reserve(static_cast<std::size_t>(procs_));
+    for (ProcId p = 0; p < procs_; ++p) {
+      record.candidates.push_back(evaluate(block, p));
+    }
+
+    const DestinationScore* best = nullptr;
+    for (const DestinationScore& cand : record.candidates) {
+      if (!cand.feasible) continue;
+      if (!best || better_candidate(opts_.policy, cand, *best)) {
+        best = &cand;
+      }
+    }
+
+    if (best) {
+      record.chosen = best->proc;
+      record.applied_gain = best->gain;
+      commit(block, best->proc, best->gain, /*forced=*/false, stats);
+      reattach(affected);
+      if (best->gain > 0) {
+        // Re-queue the blocks whose pinned instances shifted along.
+        for (const TaskId t : block.tasks) {
+          const InstanceIdx n = graph().instance_count(t);
+          for (InstanceIdx k = 1; k < n; ++k) {
+            const BlockId other = dec_.block_of[static_cast<std::size_t>(t)]
+                                               [static_cast<std::size_t>(k)];
+            if (!processed_[static_cast<std::size_t>(other)]) {
+              const Block& ob = dec_.blocks[static_cast<std::size_t>(other)];
+              queue.push(QueueEntry{ob.start(sched_), other});
+            }
+          }
+        }
+      }
+    } else {
+      record.forced_stay = true;
+      record.chosen = block.home;
+      ++stats.forced_stays;
+      commit(block, block.home, 0, /*forced=*/true, stats);
+      reattach(affected);
+    }
+    if (trace) trace->push_back(std::move(record));
+  }
+
+  return validate(sched_).ok();
+}
+
+}  // namespace
+
+BalanceResult LoadBalancer::balance(const Schedule& input) const {
+  LBMEM_REQUIRE(input.complete(), "balance requires a complete schedule");
+  Stopwatch watch;
+
+  BalanceStats base;
+  base.makespan_before = input.makespan();
+  base.max_memory_before = input.max_memory();
+  for (ProcId p = 0; p < input.architecture().processor_count(); ++p) {
+    base.memory_before.push_back(input.memory_on(p));
+  }
+
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    // The first attempt honours options_.max_gain; later attempts disable
+    // gains entirely (pure memory spreading — every move is individually
+    // checked, no optimistic shift propagation remains).
+    const Time gain_override = (attempt == 1) ? options_.max_gain : 0;
+    Attempt run(input, options_, gain_override);
+    BalanceStats stats = base;
+    stats.attempts_used = attempt;
+    std::vector<StepRecord> trace;
+    const bool ok = run.run(options_.record_trace ? &trace : nullptr, stats);
+    if (!ok) continue;
+
+    Schedule& result = run.schedule();
+    stats.makespan_after = result.makespan();
+    stats.gain_total = stats.makespan_before - stats.makespan_after;
+    stats.max_memory_after = result.max_memory();
+    for (ProcId p = 0; p < result.architecture().processor_count(); ++p) {
+      stats.memory_after.push_back(result.memory_on(p));
+    }
+    stats.wall_seconds = watch.seconds();
+    return BalanceResult{std::move(result), std::move(stats),
+                         std::move(trace)};
+  }
+
+  // Fall back: the input schedule is valid and Gtotal = 0, so Theorem 1's
+  // lower bound holds unconditionally.
+  BalanceStats stats = base;
+  stats.attempts_used = options_.max_attempts;
+  stats.fell_back = true;
+  stats.makespan_after = base.makespan_before;
+  stats.gain_total = 0;
+  stats.max_memory_after = base.max_memory_before;
+  stats.memory_after = base.memory_before;
+  stats.wall_seconds = watch.seconds();
+  return BalanceResult{input, std::move(stats), {}};
+}
+
+}  // namespace lbmem

@@ -1,0 +1,38 @@
+#include "lbmem/model/hyperperiod.hpp"
+
+#include "lbmem/util/check.hpp"
+#include "lbmem/util/math.hpp"
+
+namespace lbmem {
+
+bool circular_overlap(Time s1, Time e1, Time s2, Time e2, Time h) {
+  LBMEM_REQUIRE(h > 0 && e1 > 0 && e2 > 0 && e1 <= h && e2 <= h,
+                "circular_overlap: lengths must be in (0, h]");
+  // Reduce to the relative offset d = (s2 - s1) mod h. The intervals are
+  // disjoint iff [0, e1) and [d, d+e2) are disjoint on the circle, i.e.
+  // iff e1 <= d and d + e2 <= h.
+  const Time d = mod_floor(s2 - s1, h);
+  return !(e1 <= d && d + e2 <= h);
+}
+
+Time clearance_shift(Time s1, Time e1, Time s2, Time e2, Time h) {
+  LBMEM_REQUIRE(h > 0 && e1 > 0 && e2 > 0 && e1 <= h && e2 <= h,
+                "clearance_shift: lengths must be in (0, h]");
+  if (!circular_overlap(s1, e1, s2, e2, h)) {
+    return 0;
+  }
+  // Shift interval 1 right until its start coincides with the end of
+  // interval 2 on the circle: new offset of s2 relative to s1 becomes
+  // h - e2... Equivalently, the smallest delta with
+  // (s2 - (s1 + delta)) mod h == h - e2 is impossible to express directly;
+  // we need e1 <= d' and d' + e2 <= h for d' = (s2 - s1 - delta) mod h.
+  // The earliest clearing position places the shifted interval right at the
+  // end of interval 2: s1 + delta == s2 + e2 (mod h), i.e.
+  // delta == (s2 + e2 - s1) mod h. That position is valid only if the gap
+  // after interval 2 is at least e1; callers iterate over all intervals, so
+  // we return this candidate and let the caller re-check the rest.
+  const Time delta = mod_floor(s2 + e2 - s1, h);
+  return delta == 0 ? h : delta;
+}
+
+}  // namespace lbmem

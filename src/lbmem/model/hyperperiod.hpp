@@ -1,0 +1,30 @@
+#pragma once
+/// \file hyperperiod.hpp
+/// \brief Instance timing helpers on the hyper-period circle.
+///
+/// The analysis window is [0, H) with H = lcm of all periods (paper
+/// Section 3.1, ref [13]); the whole schedule repeats with period H, so two
+/// scheduled instances never collide on a processor iff their occupation
+/// intervals are disjoint on the circle of circumference H. These helpers
+/// implement that circular-interval arithmetic exactly.
+
+#include "lbmem/model/types.hpp"
+
+namespace lbmem {
+
+/// Start time of instance \p k of a task whose first instance starts at
+/// \p first_start with period \p period (strict periodicity).
+constexpr Time instance_start(Time first_start, Time period, InstanceIdx k) {
+  return first_start + period * static_cast<Time>(k);
+}
+
+/// Do the half-open occupation intervals [s1, s1+e1) and [s2, s2+e2),
+/// each repeated with period \p h, intersect?  Requires 0 < e <= h.
+bool circular_overlap(Time s1, Time e1, Time s2, Time e2, Time h);
+
+/// Earliest delta >= 0 such that shifting interval [s1, s1+e1) right by
+/// delta removes its circular overlap with [s2, s2+e2) (both repeat with
+/// period h). Returns 0 when they do not overlap.
+Time clearance_shift(Time s1, Time e1, Time s2, Time e2, Time h);
+
+}  // namespace lbmem

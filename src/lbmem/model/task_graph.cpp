@@ -1,0 +1,225 @@
+#include "lbmem/model/task_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "lbmem/util/check.hpp"
+#include "lbmem/util/math.hpp"
+
+namespace lbmem {
+
+TaskId TaskGraph::add_task(Task task) {
+  require_mutable("add_task");
+  if (task.name.empty()) {
+    throw ModelError("task name must not be empty");
+  }
+  for (const auto& existing : tasks_) {
+    if (existing.name == task.name) {
+      throw ModelError("duplicate task name: " + task.name);
+    }
+  }
+  if (task.period <= 0) {
+    throw ModelError("task " + task.name + ": period must be positive");
+  }
+  if (task.wcet <= 0) {
+    throw ModelError("task " + task.name + ": wcet must be positive");
+  }
+  if (task.wcet > task.period) {
+    throw ModelError("task " + task.name +
+                     ": wcet exceeds period (non-preemptive strict "
+                     "periodicity requires E <= T)");
+  }
+  if (task.memory < 0) {
+    throw ModelError("task " + task.name + ": memory must be non-negative");
+  }
+  tasks_.push_back(std::move(task));
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+TaskId TaskGraph::add_task(std::string name, Time period, Time wcet,
+                           Mem memory) {
+  return add_task(Task{std::move(name), period, wcet, memory});
+}
+
+void TaskGraph::add_dependence(TaskId producer, TaskId consumer,
+                               Mem data_size) {
+  require_mutable("add_dependence");
+  const auto n = static_cast<TaskId>(tasks_.size());
+  if (producer < 0 || producer >= n || consumer < 0 || consumer >= n) {
+    throw ModelError("dependence references unknown task id");
+  }
+  if (producer == consumer) {
+    throw ModelError("self-dependence on task " + tasks_[static_cast<std::size_t>(producer)].name);
+  }
+  if (data_size <= 0) {
+    throw ModelError("dependence data_size must be positive");
+  }
+  for (const auto& d : deps_) {
+    if (d.producer == producer && d.consumer == consumer) {
+      throw ModelError("duplicate dependence " +
+                       tasks_[static_cast<std::size_t>(producer)].name + " -> " +
+                       tasks_[static_cast<std::size_t>(consumer)].name);
+    }
+  }
+  const Time tp = tasks_[static_cast<std::size_t>(producer)].period;
+  const Time tc = tasks_[static_cast<std::size_t>(consumer)].period;
+  if (tp % tc != 0 && tc % tp != 0) {
+    throw ModelError("dependent tasks must have harmonic periods (paper "
+                     "Sections 3.1/4): " +
+                     tasks_[static_cast<std::size_t>(producer)].name + " (T=" +
+                     std::to_string(tp) + ") -> " +
+                     tasks_[static_cast<std::size_t>(consumer)].name + " (T=" +
+                     std::to_string(tc) + ")");
+  }
+  deps_.push_back(Dependence{producer, consumer, data_size});
+}
+
+void TaskGraph::freeze() {
+  require_mutable("freeze");
+  if (tasks_.empty()) {
+    throw ModelError("task graph has no tasks");
+  }
+
+  // Hyper-period.
+  std::vector<std::int64_t> periods;
+  periods.reserve(tasks_.size());
+  for (const auto& t : tasks_) periods.push_back(t.period);
+  hyperperiod_ = lcm_all(periods);
+
+  // Adjacency.
+  in_edges_.assign(tasks_.size(), {});
+  out_edges_.assign(tasks_.size(), {});
+  for (std::size_t e = 0; e < deps_.size(); ++e) {
+    out_edges_[static_cast<std::size_t>(deps_[e].producer)].push_back(
+        static_cast<std::int32_t>(e));
+    in_edges_[static_cast<std::size_t>(deps_[e].consumer)].push_back(
+        static_cast<std::int32_t>(e));
+  }
+
+  // Kahn topological sort; detects cycles.
+  std::vector<std::int32_t> indegree(tasks_.size(), 0);
+  for (const auto& d : deps_) {
+    ++indegree[static_cast<std::size_t>(d.consumer)];
+  }
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
+  for (TaskId t = 0; t < static_cast<TaskId>(tasks_.size()); ++t) {
+    if (indegree[static_cast<std::size_t>(t)] == 0) ready.push(t);
+  }
+  topo_order_.clear();
+  topo_order_.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const TaskId t = ready.top();
+    ready.pop();
+    topo_order_.push_back(t);
+    for (const std::int32_t e : out_edges_[static_cast<std::size_t>(t)]) {
+      const TaskId c = deps_[static_cast<std::size_t>(e)].consumer;
+      if (--indegree[static_cast<std::size_t>(c)] == 0) ready.push(c);
+    }
+  }
+  if (topo_order_.size() != tasks_.size()) {
+    throw ModelError("task graph contains a dependence cycle");
+  }
+  frozen_ = true;
+}
+
+const Task& TaskGraph::task(TaskId id) const {
+  LBMEM_REQUIRE(id >= 0 && id < static_cast<TaskId>(tasks_.size()),
+                "task id out of range");
+  return tasks_[static_cast<std::size_t>(id)];
+}
+
+TaskId TaskGraph::find(const std::string& name) const {
+  for (TaskId t = 0; t < static_cast<TaskId>(tasks_.size()); ++t) {
+    if (tasks_[static_cast<std::size_t>(t)].name == name) return t;
+  }
+  throw ModelError("no task named " + name);
+}
+
+Time TaskGraph::hyperperiod() const {
+  require_frozen("hyperperiod");
+  return hyperperiod_;
+}
+
+InstanceIdx TaskGraph::instance_count(TaskId id) const {
+  require_frozen("instance_count");
+  return static_cast<InstanceIdx>(hyperperiod_ / task(id).period);
+}
+
+std::size_t TaskGraph::total_instances() const {
+  require_frozen("total_instances");
+  std::size_t total = 0;
+  for (TaskId t = 0; t < static_cast<TaskId>(tasks_.size()); ++t) {
+    total += static_cast<std::size_t>(instance_count(t));
+  }
+  return total;
+}
+
+std::span<const std::int32_t> TaskGraph::deps_in(TaskId consumer) const {
+  require_frozen("deps_in");
+  LBMEM_REQUIRE(consumer >= 0 && consumer < static_cast<TaskId>(tasks_.size()),
+                "task id out of range");
+  return in_edges_[static_cast<std::size_t>(consumer)];
+}
+
+std::span<const std::int32_t> TaskGraph::deps_out(TaskId producer) const {
+  require_frozen("deps_out");
+  LBMEM_REQUIRE(producer >= 0 && producer < static_cast<TaskId>(tasks_.size()),
+                "task id out of range");
+  return out_edges_[static_cast<std::size_t>(producer)];
+}
+
+std::span<const TaskId> TaskGraph::topological_order() const {
+  require_frozen("topological_order");
+  return topo_order_;
+}
+
+std::vector<InstanceIdx> TaskGraph::consumed_instances(std::int32_t dep_index,
+                                                       InstanceIdx k) const {
+  require_frozen("consumed_instances");
+  LBMEM_REQUIRE(dep_index >= 0 &&
+                    dep_index < static_cast<std::int32_t>(deps_.size()),
+                "dependence index out of range");
+  const Dependence& d = deps_[static_cast<std::size_t>(dep_index)];
+  LBMEM_REQUIRE(k >= 0 && k < instance_count(d.consumer),
+                "consumer instance out of range");
+  const Time tp = task(d.producer).period;
+  const Time tc = task(d.consumer).period;
+  std::vector<InstanceIdx> result;
+  if (tc >= tp) {
+    // Slow consumer gathers n = tc/tp data (paper Figure 1).
+    const auto n = static_cast<InstanceIdx>(tc / tp);
+    result.reserve(static_cast<std::size_t>(n));
+    for (InstanceIdx i = 0; i < n; ++i) {
+      result.push_back(k * n + i);
+    }
+  } else {
+    // Fast consumer samples the latest completed producer instance.
+    const auto n = static_cast<InstanceIdx>(tp / tc);
+    result.push_back(k / n);
+  }
+  return result;
+}
+
+double TaskGraph::utilization() const {
+  double u = 0.0;
+  for (const auto& t : tasks_) {
+    u += static_cast<double>(t.wcet) / static_cast<double>(t.period);
+  }
+  return u;
+}
+
+void TaskGraph::require_frozen(const char* what) const {
+  if (!frozen_) {
+    throw PreconditionError(std::string(what) +
+                            " requires a frozen TaskGraph (call freeze())");
+  }
+}
+
+void TaskGraph::require_mutable(const char* what) const {
+  if (frozen_) {
+    throw PreconditionError(std::string(what) +
+                            " not allowed after freeze()");
+  }
+}
+
+}  // namespace lbmem

@@ -1,0 +1,102 @@
+#pragma once
+/// \file task_graph.hpp
+/// \brief The validated multi-rate task graph (paper Figure 2 and
+/// Section 3.1).
+///
+/// A TaskGraph owns the tasks and dependences of one application. It is
+/// immutable after freeze(): validation establishes the invariants every
+/// other module relies on (acyclicity, harmonic dependent periods,
+/// positive WCETs bounded by periods), computes the hyper-period and a
+/// topological order, and builds adjacency indexes.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lbmem/model/task.hpp"
+#include "lbmem/model/types.hpp"
+
+namespace lbmem {
+
+/// Multi-rate application graph with strict-periodic tasks.
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+
+  /// Add a task; returns its dense id. Throws ModelError on duplicate name
+  /// or non-positive period/WCET, wcet > period, or negative memory.
+  TaskId add_task(Task task);
+
+  /// Convenience overload.
+  TaskId add_task(std::string name, Time period, Time wcet, Mem memory);
+
+  /// Add a dependence edge. Ids must exist; periods must be harmonic
+  /// (one divides the other); self-loops and duplicate edges rejected.
+  void add_dependence(TaskId producer, TaskId consumer, Mem data_size = 1);
+
+  /// Validate global invariants (DAG) and build derived data. Must be
+  /// called once after construction; mutating calls afterwards throw.
+  void freeze();
+
+  /// True once freeze() has completed successfully.
+  bool frozen() const { return frozen_; }
+
+  // ---- introspection (valid after freeze) --------------------------------
+
+  std::size_t task_count() const { return tasks_.size(); }
+  std::size_t dependence_count() const { return deps_.size(); }
+
+  const Task& task(TaskId id) const;
+  std::span<const Task> tasks() const { return tasks_; }
+  std::span<const Dependence> dependences() const { return deps_; }
+
+  /// Find a task id by name; throws ModelError if absent.
+  TaskId find(const std::string& name) const;
+
+  /// Hyper-period H = lcm of all task periods (paper Section 3.1, ref [13]).
+  Time hyperperiod() const;
+
+  /// Number of instances of \p id within one hyper-period (H / period).
+  InstanceIdx instance_count(TaskId id) const;
+
+  /// Total instances across all tasks within one hyper-period.
+  std::size_t total_instances() const;
+
+  /// Dependences entering \p consumer (indices into dependences()).
+  std::span<const std::int32_t> deps_in(TaskId consumer) const;
+
+  /// Dependences leaving \p producer (indices into dependences()).
+  std::span<const std::int32_t> deps_out(TaskId producer) const;
+
+  /// A topological order of task ids (producers before consumers).
+  std::span<const TaskId> topological_order() const;
+
+  /// Producer instances consumed by instance \p k of the consumer of
+  /// dependence \p dep_index (paper Section 3.1):
+  ///  * T_c = n*T_p: instance k consumes producer instances k*n .. k*n+n-1
+  ///    (the slow consumer gathers n data, Figure 1);
+  ///  * T_p = n*T_c: instance k consumes producer instance floor(k/n)
+  ///    (the fast consumer re-reads the latest datum).
+  std::vector<InstanceIdx> consumed_instances(std::int32_t dep_index,
+                                              InstanceIdx k) const;
+
+  /// Sum over tasks of wcet/period (fraction of one processor the whole
+  /// application needs; schedulability requires utilization() <= M).
+  double utilization() const;
+
+ private:
+  void require_frozen(const char* what) const;
+  void require_mutable(const char* what) const;
+
+  std::vector<Task> tasks_;
+  std::vector<Dependence> deps_;
+  bool frozen_ = false;
+
+  // Derived by freeze():
+  Time hyperperiod_ = 0;
+  std::vector<TaskId> topo_order_;
+  std::vector<std::vector<std::int32_t>> in_edges_;
+  std::vector<std::vector<std::int32_t>> out_edges_;
+};
+
+}  // namespace lbmem

@@ -1,0 +1,52 @@
+#pragma once
+/// \file types.hpp
+/// \brief Fundamental value types shared across the library.
+///
+/// All quantities in the paper (WCETs, periods, start times, communication
+/// times, memory amounts) are small integers; we keep them as exact 64-bit
+/// integers so the worked example of Section 3.3 reproduces bit-exactly and
+/// theorem checks never suffer floating-point noise.
+
+#include <cstdint>
+#include <functional>
+
+namespace lbmem {
+
+/// Discrete time in ticks (the paper's "units").
+using Time = std::int64_t;
+
+/// Memory amount in abstract units (the paper's "required memory amount").
+using Mem = std::int64_t;
+
+/// Index of a task in its TaskGraph (dense, 0-based).
+using TaskId = std::int32_t;
+
+/// Index of a processor in the Architecture (dense, 0-based).
+using ProcId = std::int32_t;
+
+/// Index of a periodic instance of a task within one hyper-period
+/// (0-based; task t has hyperperiod/period(t) instances).
+using InstanceIdx = std::int32_t;
+
+/// Sentinel for "no processor assigned".
+inline constexpr ProcId kNoProc = -1;
+
+/// One periodic instance of a task within the hyper-period window.
+struct TaskInstance {
+  TaskId task = -1;
+  InstanceIdx k = -1;
+
+  friend bool operator==(const TaskInstance&, const TaskInstance&) = default;
+  friend auto operator<=>(const TaskInstance&, const TaskInstance&) = default;
+};
+
+}  // namespace lbmem
+
+template <>
+struct std::hash<lbmem::TaskInstance> {
+  std::size_t operator()(const lbmem::TaskInstance& inst) const noexcept {
+    const auto a = static_cast<std::uint64_t>(static_cast<std::uint32_t>(inst.task));
+    const auto b = static_cast<std::uint64_t>(static_cast<std::uint32_t>(inst.k));
+    return std::hash<std::uint64_t>{}((a << 32) | b);
+  }
+};

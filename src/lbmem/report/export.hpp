@@ -1,0 +1,34 @@
+#pragma once
+/// \file export.hpp
+/// \brief Machine-readable exports: Graphviz DOT for task graphs and
+/// schedules, JSON for schedules and balancing stats.
+///
+/// DOT output renders the paper's Figure-2 style application graphs
+/// (nodes annotated with period/WCET/memory, edges with data sizes);
+/// JSON output carries complete schedules for external tooling
+/// (plotting, regression diffing). Both are plain strings — callers
+/// decide where to write them.
+
+#include <string>
+
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/sched/schedule.hpp"
+
+namespace lbmem {
+
+/// Graphviz DOT of the application graph. Nodes carry
+/// "name\nT=..,E=..,m=.."; edges carry the data size.
+std::string graph_to_dot(const TaskGraph& graph);
+
+/// Graphviz DOT of a schedule: tasks clustered per processor, instance
+/// nodes annotated with start times, dependence edges marked local/remote.
+std::string schedule_to_dot(const Schedule& sched);
+
+/// JSON object with tasks, per-instance placements/starts, per-processor
+/// memory, and the makespan. Stable key order (diff-friendly).
+std::string schedule_to_json(const Schedule& sched);
+
+/// JSON object for a balancing run's statistics.
+std::string stats_to_json(const BalanceStats& stats);
+
+}  // namespace lbmem

@@ -1,0 +1,65 @@
+#include "lbmem/report/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+
+std::string render_gantt(const Schedule& sched, const GanttOptions& options) {
+  LBMEM_REQUIRE(sched.complete(), "render_gantt requires a complete schedule");
+  LBMEM_REQUIRE(options.max_width >= 20, "chart too narrow");
+
+  const Time span = std::max<Time>(sched.makespan(), 1);
+  const Time scale =
+      (span + options.max_width - 1) / options.max_width;  // ticks per column
+  const int width = static_cast<int>((span + scale - 1) / scale);
+
+  std::ostringstream out;
+
+  // Header: time marks every 5 columns.
+  out << "time ";
+  for (int col = 0; col < width; col += 5) {
+    const std::string mark = std::to_string(col * scale);
+    out << mark;
+    const int pad = 5 - static_cast<int>(mark.size());
+    for (int i = 0; i < pad && col + 5 <= width; ++i) out << ' ';
+  }
+  out << "  (1 col = " << scale << " tick" << (scale > 1 ? "s" : "") << ")\n";
+
+  const Architecture& arch = sched.architecture();
+  for (ProcId p = 0; p < arch.processor_count(); ++p) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const TaskInstance inst : sched.instances_on(p)) {
+      const Time s = sched.start(inst);
+      const Time e = sched.end(inst);
+      const char label = sched.graph().task(inst.task).name.empty()
+                             ? '?'
+                             : sched.graph().task(inst.task).name.front();
+      for (Time tick = s; tick < e; ++tick) {
+        const auto col = static_cast<std::size_t>(tick / scale);
+        if (col < row.size()) row[col] = label;
+      }
+    }
+    out << arch.processor_name(p) << "   " << row << '\n';
+  }
+
+  // Legend: instance list per processor for exact starts.
+  if (options.label_instances) {
+    for (ProcId p = 0; p < arch.processor_count(); ++p) {
+      out << arch.processor_name(p) << ": ";
+      bool first = true;
+      for (const TaskInstance inst : sched.instances_on(p)) {
+        if (!first) out << ", ";
+        first = false;
+        out << sched.graph().task(inst.task).name << inst.k << "@"
+            << sched.start(inst);
+      }
+      out << "  [mem " << sched.memory_on(p) << "]\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace lbmem

@@ -1,0 +1,25 @@
+#pragma once
+/// \file gantt.hpp
+/// \brief ASCII Gantt rendering of distributed schedules — regenerates the
+/// paper's Figures 3 and 4 in text form.
+
+#include <string>
+
+#include "lbmem/sched/schedule.hpp"
+
+namespace lbmem {
+
+/// Rendering options.
+struct GanttOptions {
+  /// Maximum chart width in columns; longer schedules are scaled down.
+  int max_width = 120;
+  /// Show instance indices (a0, a1, ...) when cell width permits.
+  bool label_instances = true;
+};
+
+/// Render \p sched as one row per processor over [0, makespan].
+/// Each occupied tick shows the first letter of the running task; idle
+/// ticks show '.'. A header row carries time marks.
+std::string render_gantt(const Schedule& sched, const GanttOptions& options = {});
+
+}  // namespace lbmem

@@ -1,0 +1,79 @@
+#include "lbmem/report/summary.hpp"
+
+#include <sstream>
+
+namespace lbmem {
+
+std::string summarize(const BalanceStats& stats) {
+  std::ostringstream out;
+  out << "makespan: " << stats.makespan_before << " -> "
+      << stats.makespan_after << "  (Gtotal = " << stats.gain_total << ")\n";
+  out << "max memory: " << stats.max_memory_before << " -> "
+      << stats.max_memory_after << "\n";
+  out << "memory per processor: [";
+  for (std::size_t p = 0; p < stats.memory_before.size(); ++p) {
+    if (p) out << ", ";
+    out << stats.memory_before[p];
+  }
+  out << "] -> [";
+  for (std::size_t p = 0; p < stats.memory_after.size(); ++p) {
+    if (p) out << ", ";
+    out << stats.memory_after[p];
+  }
+  out << "]\n";
+  out << "blocks: " << stats.blocks_total << " (" << stats.blocks_category1
+      << " category-1), moves off home: " << stats.moves_off_home
+      << ", gains applied: " << stats.gains_applied << "\n";
+  out << "attempts: " << stats.attempts_used
+      << ", forced stays: " << stats.forced_stays
+      << (stats.fell_back ? ", FELL BACK to input schedule" : "") << "\n";
+  return out.str();
+}
+
+namespace {
+
+std::string block_name(const Schedule& sched, const Block& block) {
+  std::string name = "[";
+  bool first = true;
+  for (const TaskInstance& inst : block.members) {
+    if (!first) name += "-";
+    first = false;
+    name += sched.graph().task(inst.task).name;
+    // The paper writes b1, b2 for instances but plain d, e for
+    // single-instance tasks.
+    if (sched.graph().instance_count(inst.task) > 1) {
+      name += std::to_string(inst.k + 1);
+    }
+  }
+  name += "]";
+  return name;
+}
+
+}  // namespace
+
+std::string describe_step(const Schedule& sched, const StepRecord& step,
+                          const BlockDecomposition& dec) {
+  std::ostringstream out;
+  const Block& block = dec.blocks[static_cast<std::size_t>(step.block)];
+  out << "block " << block_name(sched, block) << " (cat " << block.category
+      << ", start " << step.start_before << "): ";
+  for (const DestinationScore& cand : step.candidates) {
+    out << sched.architecture().processor_name(cand.proc) << ": ";
+    if (cand.feasible) {
+      out << "G=" << cand.gain << " lam=" << cand.lambda.num << "/"
+          << cand.lambda.den;
+    } else {
+      out << "infeasible (" << cand.reject_reason << ")";
+    }
+    out << "  ";
+  }
+  out << "=> "
+      << (step.chosen == kNoProc
+              ? std::string("stay")
+              : sched.architecture().processor_name(step.chosen));
+  if (step.forced_stay) out << " (forced)";
+  if (step.applied_gain > 0) out << ", gain " << step.applied_gain;
+  return out.str();
+}
+
+}  // namespace lbmem

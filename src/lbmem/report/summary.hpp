@@ -1,0 +1,20 @@
+#pragma once
+/// \file summary.hpp
+/// \brief Human-readable summaries of balancing runs for examples/benches.
+
+#include <string>
+
+#include "lbmem/lb/load_balancer.hpp"
+
+namespace lbmem {
+
+/// Multi-line summary of a balancing run: makespans, Gtotal, per-processor
+/// memory before/after, move counts and robustness counters.
+std::string summarize(const BalanceStats& stats);
+
+/// One decision step in the format of the paper's Section 3.3 walkthrough:
+/// block id, per-processor λ / feasibility, and the chosen processor.
+std::string describe_step(const Schedule& sched, const StepRecord& step,
+                          const BlockDecomposition& dec);
+
+}  // namespace lbmem

@@ -1,0 +1,74 @@
+#pragma once
+/// \file feasibility.hpp
+/// \brief Analytic feasibility conditions for non-preemptive strict-
+/// periodic tasks sharing one processor (the theory behind the paper's
+/// ref [1], Cucu & Sorel).
+///
+/// Two strictly periodic non-preemptive tasks i and j with start times
+/// S_i, S_j, WCETs E_i, E_j and periods T_i, T_j never overlap (over the
+/// infinite schedule) iff, with g = gcd(T_i, T_j) and
+/// d = (S_j - S_i) mod g:
+///
+///     E_i <= d   and   d + E_j <= g                      (Korst et al.)
+///
+/// i.e. the relative offset modulo the gcd leaves room for both
+/// executions. This is the task-level (whole-task) condition; the
+/// library's ProcTimeline works at instance granularity (instances may sit
+/// on different processors), so these predicates serve as
+///  * a fast necessary-and-sufficient test for whole-task co-residence,
+///  * a schedulability pre-check for generators and tools, and
+///  * an independent cross-check of ProcTimeline in property tests.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "lbmem/model/task_graph.hpp"
+#include "lbmem/model/types.hpp"
+
+namespace lbmem {
+
+/// A placed strict-periodic task: start of the first instance + shape.
+struct PlacedTask {
+  Time start = 0;
+  Time wcet = 0;
+  Time period = 0;
+};
+
+/// Korst's condition: do tasks \p a and \p b (placed on one processor,
+/// repeating forever) never overlap?
+bool pairwise_compatible(const PlacedTask& a, const PlacedTask& b);
+
+/// Are all \p tasks pairwise compatible on one processor?
+/// O(n^2) pairwise checks — exact for whole-task placements.
+bool all_compatible(std::span<const PlacedTask> tasks);
+
+/// Given already-placed tasks, the earliest start >= \p lower_bound at
+/// which a new task (wcet, period) is pairwise-compatible with all of
+/// them; std::nullopt if none exists (search spans one period, by
+/// periodicity of the condition in the start time).
+std::optional<Time> earliest_compatible_start(
+    std::span<const PlacedTask> placed, Time wcet, Time period,
+    Time lower_bound);
+
+/// Necessary utilization-style bound: strict-periodic tasks sharing one
+/// processor need sum(E_i / gcd-weighted densities) <= 1 in the weak form
+/// sum(E_i / T_i) <= 1. Returns the utilization sum.
+double processor_utilization(std::span<const PlacedTask> tasks);
+
+/// Necessary condition from the pairwise theory: for every pair,
+/// E_i + E_j <= gcd(T_i, T_j). Violating any pair makes co-residence
+/// impossible at any offsets. (Sufficient only for n = 2.)
+bool pairwise_gcd_capacity(std::span<const PlacedTask> tasks);
+
+/// Convenience: whole-task feasibility report for hosting a set of tasks
+/// from \p graph on one processor, used by tools and the generator.
+struct CoResidenceReport {
+  bool gcd_capacity_ok = true;   ///< necessary condition
+  double utilization = 0.0;      ///< sum E/T (must be <= 1)
+  bool utilization_ok = true;
+};
+CoResidenceReport co_residence_report(const TaskGraph& graph,
+                                      std::span<const TaskId> tasks);
+
+}  // namespace lbmem

@@ -1,0 +1,188 @@
+#include "lbmem/sched/schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+
+Schedule::Schedule(const TaskGraph& graph, Architecture arch, CommModel comm)
+    : graph_(&graph), arch_(arch), comm_(comm) {
+  LBMEM_REQUIRE(graph.frozen(), "Schedule requires a frozen TaskGraph");
+  first_start_.assign(graph.task_count(), Time{-1});
+  instance_proc_.resize(graph.task_count());
+  for (TaskId t = 0; t < static_cast<TaskId>(graph.task_count()); ++t) {
+    instance_proc_[static_cast<std::size_t>(t)].assign(
+        static_cast<std::size_t>(graph.instance_count(t)), kNoProc);
+  }
+}
+
+void Schedule::set_first_start(TaskId t, Time start) {
+  LBMEM_REQUIRE(t >= 0 && t < static_cast<TaskId>(graph_->task_count()),
+                "task id out of range");
+  LBMEM_REQUIRE(start >= 0, "start times must be non-negative");
+  first_start_[static_cast<std::size_t>(t)] = start;
+}
+
+void Schedule::assign(TaskInstance inst, ProcId p) {
+  LBMEM_REQUIRE(inst.task >= 0 &&
+                    inst.task < static_cast<TaskId>(graph_->task_count()),
+                "task id out of range");
+  auto& procs = instance_proc_[static_cast<std::size_t>(inst.task)];
+  LBMEM_REQUIRE(inst.k >= 0 &&
+                    inst.k < static_cast<InstanceIdx>(procs.size()),
+                "instance index out of range");
+  LBMEM_REQUIRE(p >= 0 && p < arch_.processor_count(),
+                "processor id out of range");
+  procs[static_cast<std::size_t>(inst.k)] = p;
+}
+
+void Schedule::assign_all(TaskId t, ProcId p) {
+  const InstanceIdx n = graph_->instance_count(t);
+  for (InstanceIdx k = 0; k < n; ++k) {
+    assign(TaskInstance{t, k}, p);
+  }
+}
+
+bool Schedule::complete() const {
+  for (std::size_t t = 0; t < first_start_.size(); ++t) {
+    if (first_start_[t] < 0) return false;
+    for (const ProcId p : instance_proc_[t]) {
+      if (p == kNoProc) return false;
+    }
+  }
+  return true;
+}
+
+Time Schedule::first_start(TaskId t) const {
+  LBMEM_REQUIRE(t >= 0 && t < static_cast<TaskId>(graph_->task_count()),
+                "task id out of range");
+  const Time s = first_start_[static_cast<std::size_t>(t)];
+  LBMEM_REQUIRE(s >= 0, "task has no start time yet");
+  return s;
+}
+
+Time Schedule::start(TaskInstance inst) const {
+  return first_start(inst.task) +
+         graph_->task(inst.task).period * static_cast<Time>(inst.k);
+}
+
+Time Schedule::end(TaskInstance inst) const {
+  return start(inst) + graph_->task(inst.task).wcet;
+}
+
+ProcId Schedule::proc(TaskInstance inst) const {
+  LBMEM_REQUIRE(inst.task >= 0 &&
+                    inst.task < static_cast<TaskId>(graph_->task_count()),
+                "task id out of range");
+  const auto& procs = instance_proc_[static_cast<std::size_t>(inst.task)];
+  LBMEM_REQUIRE(inst.k >= 0 &&
+                    inst.k < static_cast<InstanceIdx>(procs.size()),
+                "instance index out of range");
+  return procs[static_cast<std::size_t>(inst.k)];
+}
+
+Time Schedule::makespan() const {
+  Time m = 0;
+  for (TaskId t = 0; t < static_cast<TaskId>(graph_->task_count()); ++t) {
+    const InstanceIdx n = graph_->instance_count(t);
+    // The latest instance of a task is its last one.
+    m = std::max(m, end(TaskInstance{t, n - 1}));
+  }
+  return m;
+}
+
+Time Schedule::data_ready(TaskInstance inst, ProcId p) const {
+  Time ready = 0;
+  for (const std::int32_t e : graph_->deps_in(inst.task)) {
+    const Dependence& dep =
+        graph_->dependences()[static_cast<std::size_t>(e)];
+    for (const InstanceIdx pk : graph_->consumed_instances(e, inst.k)) {
+      const TaskInstance producer{dep.producer, pk};
+      const ProcId pp = proc(producer);
+      LBMEM_REQUIRE(pp != kNoProc, "producer instance not yet placed");
+      const Time comm =
+          (pp == p) ? Time{0} : comm_.transfer_time(dep.data_size);
+      ready = std::max(ready, end(producer) + comm);
+    }
+  }
+  return ready;
+}
+
+Time Schedule::min_data_ready(TaskInstance inst) const {
+  Time best = std::numeric_limits<Time>::max();
+  for (ProcId p = 0; p < arch_.processor_count(); ++p) {
+    best = std::min(best, data_ready(inst, p));
+  }
+  return best;
+}
+
+Mem Schedule::memory_on(ProcId p) const {
+  Mem total = 0;
+  for (TaskId t = 0; t < static_cast<TaskId>(graph_->task_count()); ++t) {
+    const Mem m = graph_->task(t).memory;
+    for (const ProcId q : instance_proc_[static_cast<std::size_t>(t)]) {
+      if (q == p) total += m;
+    }
+  }
+  return total;
+}
+
+std::vector<TaskInstance> Schedule::instances_on(ProcId p) const {
+  std::vector<TaskInstance> result;
+  for (TaskId t = 0; t < static_cast<TaskId>(graph_->task_count()); ++t) {
+    const auto& procs = instance_proc_[static_cast<std::size_t>(t)];
+    for (InstanceIdx k = 0; k < static_cast<InstanceIdx>(procs.size()); ++k) {
+      if (procs[static_cast<std::size_t>(k)] == p) {
+        result.push_back(TaskInstance{t, k});
+      }
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [this](const TaskInstance& a, const TaskInstance& b) {
+              const Time sa = start(a);
+              const Time sb = start(b);
+              if (sa != sb) return sa < sb;
+              return a < b;
+            });
+  return result;
+}
+
+std::vector<TaskInstance> Schedule::all_instances() const {
+  std::vector<TaskInstance> result;
+  result.reserve(graph_->total_instances());
+  for (TaskId t = 0; t < static_cast<TaskId>(graph_->task_count()); ++t) {
+    const InstanceIdx n = graph_->instance_count(t);
+    for (InstanceIdx k = 0; k < n; ++k) {
+      result.push_back(TaskInstance{t, k});
+    }
+  }
+  return result;
+}
+
+Time Schedule::busy_on(ProcId p) const {
+  Time busy = 0;
+  for (TaskId t = 0; t < static_cast<TaskId>(graph_->task_count()); ++t) {
+    const Time e = graph_->task(t).wcet;
+    for (const ProcId q : instance_proc_[static_cast<std::size_t>(t)]) {
+      if (q == p) busy += e;
+    }
+  }
+  return busy;
+}
+
+double Schedule::idle_fraction(ProcId p) const {
+  return 1.0 - static_cast<double>(busy_on(p)) /
+                   static_cast<double>(graph_->hyperperiod());
+}
+
+Mem Schedule::max_memory() const {
+  Mem worst = 0;
+  for (ProcId p = 0; p < arch_.processor_count(); ++p) {
+    worst = std::max(worst, memory_on(p));
+  }
+  return worst;
+}
+
+}  // namespace lbmem

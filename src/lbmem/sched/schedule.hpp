@@ -1,0 +1,101 @@
+#pragma once
+/// \file schedule.hpp
+/// \brief A distributed strict-periodic schedule: first-instance start time
+/// per task plus a processor assignment per instance.
+///
+/// Strict periodicity is global (DESIGN.md Section 6): instance k of task t
+/// starts at first_start(t) + k*T(t) no matter which processor executes it —
+/// the paper's worked example moves instance a2 to P2 while keeping its
+/// start time 3. The load balancer therefore mutates two things only:
+/// per-instance processor assignments, and (when a first-category block
+/// gains time) a task's first-instance start.
+
+#include <span>
+#include <vector>
+
+#include "lbmem/arch/architecture.hpp"
+#include "lbmem/arch/comm_model.hpp"
+#include "lbmem/model/task_graph.hpp"
+#include "lbmem/model/types.hpp"
+
+namespace lbmem {
+
+/// Placement and timing of every task instance over one hyper-period.
+///
+/// The referenced TaskGraph must outlive the Schedule. Schedules are
+/// value types (copyable) so the load balancer can work on a copy and fall
+/// back to the original.
+class Schedule {
+ public:
+  /// Create an empty schedule (no starts, no assignments).
+  Schedule(const TaskGraph& graph, Architecture arch, CommModel comm);
+
+  const TaskGraph& graph() const { return *graph_; }
+  const Architecture& architecture() const { return arch_; }
+  const CommModel& comm() const { return comm_; }
+
+  // ---- mutation -----------------------------------------------------------
+
+  /// Set the start time of the first instance of \p t (>= 0).
+  void set_first_start(TaskId t, Time start);
+
+  /// Assign instance (t, k) to processor \p p.
+  void assign(TaskInstance inst, ProcId p);
+
+  /// Assign every instance of \p t to \p p (initial whole-task placement).
+  void assign_all(TaskId t, ProcId p);
+
+  // ---- timing queries ----------------------------------------------------
+
+  /// True once every task has a start and every instance a processor.
+  bool complete() const;
+
+  Time first_start(TaskId t) const;
+  Time start(TaskInstance inst) const;
+  Time end(TaskInstance inst) const;
+  ProcId proc(TaskInstance inst) const;
+
+  /// Completion time of the last instance — the paper's "total execution
+  /// time" (makespan). Requires a complete schedule.
+  Time makespan() const;
+
+  /// Earliest time instance \p inst could begin on processor \p p given the
+  /// current placement of its producers: max over dependences and consumed
+  /// producer instances of end(producer) + C (C = 0 when the producer runs
+  /// on \p p, else CommModel::transfer_time of the edge's data size).
+  Time data_ready(TaskInstance inst, ProcId p) const;
+
+  /// data_ready minimized over all processors — a lower bound no placement
+  /// can beat (used for the F5 gain cap).
+  Time min_data_ready(TaskInstance inst) const;
+
+  // ---- memory & distribution queries --------------------------------------
+
+  /// Sum of required memory of instances assigned to \p p (paper counts
+  /// each resident instance: P1 holding four instances of a costs 4*m_a).
+  Mem memory_on(ProcId p) const;
+
+  /// Instances currently assigned to \p p, sorted by start time.
+  std::vector<TaskInstance> instances_on(ProcId p) const;
+
+  /// All instances of all tasks (every k of every task).
+  std::vector<TaskInstance> all_instances() const;
+
+  /// Busy time on \p p within one hyper-period (sum of instance WCETs).
+  Time busy_on(ProcId p) const;
+
+  /// Fraction of [0, H) processor \p p is idle in steady state.
+  double idle_fraction(ProcId p) const;
+
+  /// Largest per-processor memory (the paper's ω for Theorem 2).
+  Mem max_memory() const;
+
+ private:
+  const TaskGraph* graph_;
+  Architecture arch_;
+  CommModel comm_;
+  std::vector<Time> first_start_;                  // per task; -1 = unset
+  std::vector<std::vector<ProcId>> instance_proc_; // per task, per instance
+};
+
+}  // namespace lbmem

@@ -1,0 +1,115 @@
+#include "lbmem/sched/timeline.hpp"
+
+#include <algorithm>
+
+#include "lbmem/util/check.hpp"
+#include "lbmem/util/math.hpp"
+
+namespace lbmem {
+
+ProcTimeline::ProcTimeline(Time hyperperiod) : h_(hyperperiod) {
+  LBMEM_REQUIRE(hyperperiod > 0, "hyper-period must be positive");
+}
+
+bool ProcTimeline::range_occupied(Time a, Time b) const {
+  return find_conflict(a, b) != nullptr;
+}
+
+const ProcTimeline::Piece* ProcTimeline::find_conflict(Time a, Time b) const {
+  if (a >= b) return nullptr;
+  // First piece with start >= a; the predecessor may still reach past a.
+  auto it = std::lower_bound(
+      pieces_.begin(), pieces_.end(), a,
+      [](const Piece& p, Time value) { return p.start < value; });
+  if (it != pieces_.begin()) {
+    const Piece& prev = *(it - 1);
+    if (prev.start + prev.len > a) return &prev;
+  }
+  if (it != pieces_.end() && it->start < b) return &*it;
+  return nullptr;
+}
+
+std::optional<TaskInstance> ProcTimeline::conflicting_owner(Time start,
+                                                            Time len) const {
+  LBMEM_REQUIRE(len > 0 && len <= h_, "interval length must be in (0, H]");
+  const Time s = mod_floor(start, h_);
+  if (s + len <= h_) {
+    if (const Piece* p = find_conflict(s, s + len)) return p->owner;
+    return std::nullopt;
+  }
+  if (const Piece* p = find_conflict(s, h_)) return p->owner;
+  if (const Piece* p = find_conflict(0, s + len - h_)) return p->owner;
+  return std::nullopt;
+}
+
+bool ProcTimeline::fits(Time start, Time len) const {
+  return !conflicting_owner(start, len).has_value();
+}
+
+void ProcTimeline::insert_piece(Piece piece) {
+  auto it = std::lower_bound(
+      pieces_.begin(), pieces_.end(), piece.start,
+      [](const Piece& p, Time value) { return p.start < value; });
+  pieces_.insert(it, piece);
+}
+
+void ProcTimeline::add(Time start, Time len, TaskInstance owner) {
+  LBMEM_REQUIRE(fits(start, len), "ProcTimeline::add would overlap");
+  const Time s = mod_floor(start, h_);
+  if (s + len <= h_) {
+    insert_piece(Piece{s, len, owner});
+  } else {
+    insert_piece(Piece{s, h_ - s, owner});
+    insert_piece(Piece{0, s + len - h_, owner});
+  }
+}
+
+void ProcTimeline::remove(TaskInstance owner) {
+  std::erase_if(pieces_, [&](const Piece& p) { return p.owner == owner; });
+}
+
+std::optional<Time> ProcTimeline::earliest_fit(Time lb, Time period, Time wcet,
+                                               InstanceIdx n) const {
+  LBMEM_REQUIRE(period > 0 && wcet > 0 && wcet <= period && n > 0,
+                "earliest_fit: bad task shape");
+  LBMEM_REQUIRE(static_cast<Time>(n) * period == h_ ||
+                    static_cast<Time>(n) * period <= h_,
+                "earliest_fit: instances exceed hyper-period");
+  Time s = lb;
+  const Time limit = lb + period;  // feasibility is periodic in S with period T
+  while (s < limit) {
+    bool ok = true;
+    Time jump = 0;
+    for (InstanceIdx k = 0; k < n; ++k) {
+      const Time inst_start = s + static_cast<Time>(k) * period;
+      const Time pos = mod_floor(inst_start, h_);
+      const Piece* conflict = nullptr;
+      if (pos + wcet <= h_) {
+        conflict = find_conflict(pos, pos + wcet);
+      } else {
+        conflict = find_conflict(pos, h_);
+        if (!conflict) conflict = find_conflict(0, pos + wcet - h_);
+      }
+      if (conflict) {
+        ok = false;
+        // Shift so that this instance lands exactly at the conflicting
+        // piece's end (circularly). Strictly positive because they overlap.
+        Time delta = mod_floor(conflict->start + conflict->len - inst_start, h_);
+        if (delta == 0) delta = h_;
+        jump = delta;
+        break;
+      }
+    }
+    if (ok) return s;
+    s += jump;
+  }
+  return std::nullopt;
+}
+
+Time ProcTimeline::busy_time() const {
+  Time total = 0;
+  for (const Piece& p : pieces_) total += p.len;
+  return total;
+}
+
+}  // namespace lbmem

@@ -1,0 +1,74 @@
+#pragma once
+/// \file timeline.hpp
+/// \brief Per-processor occupancy on the hyper-period circle.
+///
+/// A strict-periodic schedule repeats with period H, so processor
+/// exclusivity is equivalent to: the occupation intervals of all instances
+/// placed on the processor are pairwise disjoint modulo H. ProcTimeline
+/// maintains that circular occupancy and answers two questions:
+///   * does an instance interval fit? (used by the validator and the load
+///     balancer's overlap checks)
+///   * what is the earliest start >= lb at which a whole strict-periodic
+///     task (n instances spaced T apart) fits? (used by the scheduler)
+///
+/// Feasibility of a first-instance start S is periodic in S with period T:
+/// shifting S by T reproduces the same occupied positions modulo H, so the
+/// earliest-fit search only ever scans [lb, lb+T).
+
+#include <optional>
+#include <vector>
+
+#include "lbmem/model/types.hpp"
+
+namespace lbmem {
+
+/// Circular occupancy of one processor over the hyper-period [0, H).
+class ProcTimeline {
+ public:
+  /// \param hyperperiod circle circumference H (> 0)
+  explicit ProcTimeline(Time hyperperiod);
+
+  /// Would interval [start, start+len) (repeated mod H) be free?
+  bool fits(Time start, Time len) const;
+
+  /// Occupy [start, start+len) for \p owner; throws PreconditionError if it
+  /// does not fit.
+  void add(Time start, Time len, TaskInstance owner);
+
+  /// Release all intervals owned by \p owner (no-op if absent).
+  void remove(TaskInstance owner);
+
+  /// The owner of some interval overlapping [start, start+len), if any.
+  std::optional<TaskInstance> conflicting_owner(Time start, Time len) const;
+
+  /// Earliest S in [lb, lb+period) such that every instance interval
+  /// [S + k*period, +wcet), k in [0, n), fits. std::nullopt if none exists.
+  std::optional<Time> earliest_fit(Time lb, Time period, Time wcet,
+                                   InstanceIdx n) const;
+
+  /// Total occupied time within one hyper-period.
+  Time busy_time() const;
+
+  /// Hyper-period this timeline was built for.
+  Time hyperperiod() const { return h_; }
+
+  /// Number of stored (possibly split) interval pieces.
+  std::size_t piece_count() const { return pieces_.size(); }
+
+ private:
+  struct Piece {
+    Time start;  // in [0, H)
+    Time len;    // start + len <= H (wrapping intervals are split)
+    TaskInstance owner;
+  };
+
+  /// True if any piece intersects the non-wrapping range [a, b).
+  bool range_occupied(Time a, Time b) const;
+  const Piece* find_conflict(Time a, Time b) const;
+  void insert_piece(Piece piece);
+
+  Time h_;
+  std::vector<Piece> pieces_;  // sorted by start, pairwise disjoint
+};
+
+}  // namespace lbmem

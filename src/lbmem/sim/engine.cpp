@@ -1,0 +1,147 @@
+#include "lbmem/sim/engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+
+namespace {
+
+struct ExecEvent {
+  Time at;
+  enum class Kind { End = 0, Start = 1 } kind;  // ends before starts at a tick
+  TaskInstance inst;
+  ProcId proc;
+};
+
+struct BufferEvent {
+  Time at;
+  Mem delta;  // +size on arrival, -size on consumption
+};
+
+}  // namespace
+
+SimMetrics simulate(const Schedule& sched, const SimOptions& options) {
+  LBMEM_REQUIRE(sched.complete(), "simulate requires a complete schedule");
+  LBMEM_REQUIRE(options.hyperperiods >= 1, "need at least one hyper-period");
+
+  const TaskGraph& graph = sched.graph();
+  const Architecture& arch = sched.architecture();
+  const Time h = graph.hyperperiod();
+  const int reps = options.hyperperiods;
+
+  SimMetrics metrics;
+  metrics.procs.resize(static_cast<std::size_t>(arch.processor_count()));
+
+  // ---- execution events over all repetitions ------------------------------
+  std::vector<ExecEvent> events;
+  Time last_end = 0;
+  for (int w = 0; w < reps; ++w) {
+    const Time offset = h * static_cast<Time>(w);
+    for (const TaskInstance inst : sched.all_instances()) {
+      const ProcId p = sched.proc(inst);
+      const Time s = sched.start(inst) + offset;
+      const Time e = sched.end(inst) + offset;
+      events.push_back(ExecEvent{s, ExecEvent::Kind::Start, inst, p});
+      events.push_back(ExecEvent{e, ExecEvent::Kind::End, inst, p});
+      last_end = std::max(last_end, e);
+      metrics.procs[static_cast<std::size_t>(p)].busy +=
+          graph.task(inst.task).wcet;
+    }
+  }
+  metrics.span = last_end;
+  std::sort(events.begin(), events.end(),
+            [](const ExecEvent& a, const ExecEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+
+  // Processor exclusivity check.
+  std::vector<int> running(static_cast<std::size_t>(arch.processor_count()),
+                           0);
+  for (const ExecEvent& ev : events) {
+    auto& r = running[static_cast<std::size_t>(ev.proc)];
+    if (ev.kind == ExecEvent::Kind::Start) {
+      if (r != 0) {
+        ++metrics.violations;
+        metrics.violation_details.push_back(
+            "processor busy when " + graph.task(ev.inst.task).name + "[" +
+            std::to_string(ev.inst.k) + "] starts at " +
+            std::to_string(ev.at));
+      }
+      ++r;
+    } else {
+      --r;
+    }
+  }
+
+  // ---- data arrivals and buffer occupancy ---------------------------------
+  // Buffers per processor; also checks arrival <= consumer start.
+  std::vector<std::vector<BufferEvent>> buffer_events(
+      static_cast<std::size_t>(arch.processor_count()));
+
+  for (int w = 0; w < reps; ++w) {
+    const Time offset = h * static_cast<Time>(w);
+    for (std::int32_t e = 0;
+         e < static_cast<std::int32_t>(graph.dependence_count()); ++e) {
+      const Dependence& dep =
+          graph.dependences()[static_cast<std::size_t>(e)];
+      const Time comm = sched.comm().transfer_time(dep.data_size);
+      const InstanceIdx nc = graph.instance_count(dep.consumer);
+      for (InstanceIdx k = 0; k < nc; ++k) {
+        const TaskInstance consumer{dep.consumer, k};
+        const ProcId cp = sched.proc(consumer);
+        const Time consumer_start = sched.start(consumer) + offset;
+        const Time consumer_end = sched.end(consumer) + offset;
+        for (const InstanceIdx pk : graph.consumed_instances(e, k)) {
+          const TaskInstance producer{dep.producer, pk};
+          const ProcId pp = sched.proc(producer);
+          const bool local = (pp == cp);
+          const Time arrival =
+              sched.end(producer) + offset + (local ? Time{0} : comm);
+          if (arrival > consumer_start) {
+            ++metrics.violations;
+            metrics.violation_details.push_back(
+                "datum " + graph.task(dep.producer).name + "[" +
+                std::to_string(pk) + "] -> " +
+                graph.task(dep.consumer).name + "[" + std::to_string(k) +
+                "] arrives at " + std::to_string(arrival) +
+                " after consumer start " + std::to_string(consumer_start));
+          }
+          if (local && !options.count_local_buffers) continue;
+          auto& bucket = buffer_events[static_cast<std::size_t>(cp)];
+          bucket.push_back(BufferEvent{arrival, dep.data_size});
+          bucket.push_back(BufferEvent{consumer_end, -dep.data_size});
+        }
+      }
+    }
+  }
+
+  for (ProcId p = 0; p < arch.processor_count(); ++p) {
+    auto& metricsp = metrics.procs[static_cast<std::size_t>(p)];
+    metricsp.idle_fraction =
+        1.0 - static_cast<double>(metricsp.busy) /
+                  static_cast<double>(h * static_cast<Time>(reps));
+    metricsp.static_memory = sched.memory_on(p);
+
+    auto& bucket = buffer_events[static_cast<std::size_t>(p)];
+    std::sort(bucket.begin(), bucket.end(),
+              [](const BufferEvent& a, const BufferEvent& b) {
+                if (a.at != b.at) return a.at < b.at;
+                return a.delta < b.delta;  // frees before allocations
+              });
+    Mem level = 0;
+    for (const BufferEvent& ev : bucket) {
+      level += ev.delta;
+      metricsp.peak_buffer = std::max(metricsp.peak_buffer, level);
+    }
+    metricsp.peak_total = metricsp.static_memory + metricsp.peak_buffer;
+  }
+
+  return metrics;
+}
+
+}  // namespace lbmem

@@ -1,0 +1,26 @@
+#include "lbmem/sim/metrics.hpp"
+
+#include <algorithm>
+
+namespace lbmem {
+
+double SimMetrics::mean_idle_fraction() const {
+  if (procs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const ProcMetrics& p : procs) sum += p.idle_fraction;
+  return sum / static_cast<double>(procs.size());
+}
+
+Mem SimMetrics::max_peak_buffer() const {
+  Mem peak = 0;
+  for (const ProcMetrics& p : procs) peak = std::max(peak, p.peak_buffer);
+  return peak;
+}
+
+Mem SimMetrics::max_peak_total() const {
+  Mem peak = 0;
+  for (const ProcMetrics& p : procs) peak = std::max(peak, p.peak_total);
+  return peak;
+}
+
+}  // namespace lbmem

@@ -1,0 +1,57 @@
+#pragma once
+/// \file check.hpp
+/// \brief Error-reporting helpers shared by all lbmem modules.
+///
+/// The library distinguishes two failure classes:
+///  * programming errors (violated preconditions) -> LBMEM_REQUIRE, throws
+///    lbmem::PreconditionError with file/line context;
+///  * data errors (invalid models supplied by the user, unschedulable
+///    systems) -> lbmem::ModelError / lbmem::ScheduleError.
+
+#include <stdexcept>
+#include <string>
+
+namespace lbmem {
+
+/// Base class of all exceptions thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A violated API precondition (caller bug).
+class PreconditionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An invalid task graph or architecture description.
+class ModelError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A scheduling failure (system unschedulable under the given policy).
+class ScheduleError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " +
+                          file + ":" + std::to_string(line) +
+                          (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+}  // namespace lbmem
+
+/// Throw lbmem::PreconditionError unless \p expr holds.
+#define LBMEM_REQUIRE(expr, msg)                                             \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::lbmem::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,50 @@
+#include "lbmem/util/csv.hpp"
+
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string quoted = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) {
+    throw Error("CsvWriter: cannot open " + path);
+  }
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  auto padded = cells;
+  padded.resize(columns_);
+  write_row(padded);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+CsvWriter::~CsvWriter() {
+  out_.flush();
+}
+
+}  // namespace lbmem

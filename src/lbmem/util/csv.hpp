@@ -1,0 +1,32 @@
+#pragma once
+/// \file csv.hpp
+/// \brief Minimal CSV writer so bench results can be post-processed
+/// (plotting, regression tracking) without parsing log text.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace lbmem {
+
+/// Writes rows to a CSV file. Cells containing separators or quotes are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Open \p path for writing and emit the header row.
+  /// Throws lbmem::Error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append a data row (padded to the header width).
+  void add_row(const std::vector<std::string>& cells);
+
+  ~CsvWriter();
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace lbmem

@@ -1,0 +1,64 @@
+#include "lbmem/util/math.hpp"
+
+#include <numeric>
+
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  LBMEM_REQUIRE(a >= 0 && b >= 0, "gcd64 expects non-negative inputs");
+  return std::gcd(a, b);
+}
+
+std::int64_t lcm64(std::int64_t a, std::int64_t b) {
+  if (a <= 0 || b <= 0) {
+    throw ModelError("lcm64 requires positive inputs");
+  }
+  const std::int64_t g = std::gcd(a, b);
+  const std::int64_t a_red = a / g;
+  // Overflow check: a_red * b must fit in int64.
+  if (a_red != 0 && b > INT64_MAX / a_red) {
+    throw ModelError("lcm64 overflow: hyper-period exceeds 2^63-1");
+  }
+  return a_red * b;
+}
+
+std::int64_t lcm_all(std::span<const std::int64_t> values) {
+  if (values.empty()) {
+    throw ModelError("lcm_all requires at least one value");
+  }
+  std::int64_t acc = 1;
+  for (const std::int64_t v : values) {
+    acc = lcm64(acc, v);
+  }
+  return acc;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  LBMEM_REQUIRE(b > 0, "ceil_div expects positive divisor");
+  const std::int64_t q = a / b;
+  const std::int64_t r = a % b;
+  return q + (r > 0 ? 1 : 0);
+}
+
+std::int64_t mod_floor(std::int64_t a, std::int64_t m) {
+  LBMEM_REQUIRE(m > 0, "mod_floor expects positive modulus");
+  const std::int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+int compare_fractions(std::int64_t a, std::int64_t b, std::int64_t c,
+                      std::int64_t d) {
+  LBMEM_REQUIRE(b > 0 && d > 0, "compare_fractions expects positive denominators");
+  // 128-bit cross-multiplication avoids overflow; __int128 is a GCC/Clang
+  // extension (hence __extension__ for -Wpedantic).
+  __extension__ using Wide = __int128;
+  const Wide lhs = static_cast<Wide>(a) * d;
+  const Wide rhs = static_cast<Wide>(c) * b;
+  if (lhs < rhs) return -1;
+  if (lhs > rhs) return 1;
+  return 0;
+}
+
+}  // namespace lbmem

@@ -1,0 +1,37 @@
+#pragma once
+/// \file math.hpp
+/// \brief Exact integer helpers: gcd/lcm with overflow checking, ceiling
+/// division, modular reduction into [0, m), and exact rational comparison.
+///
+/// All timing arithmetic in the library is exact 64-bit integer arithmetic;
+/// hyper-period computations can overflow with adversarial period sets, so
+/// lcm checks and throws instead of wrapping.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lbmem {
+
+/// Greatest common divisor of two non-negative values; gcd(0, x) == x.
+std::int64_t gcd64(std::int64_t a, std::int64_t b);
+
+/// Least common multiple; throws lbmem::ModelError on overflow or
+/// non-positive input.
+std::int64_t lcm64(std::int64_t a, std::int64_t b);
+
+/// lcm over a sequence; throws lbmem::ModelError if empty or on overflow.
+std::int64_t lcm_all(std::span<const std::int64_t> values);
+
+/// ceil(a / b) for b > 0, exact for negative a as well.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b);
+
+/// Reduce \p a into the canonical range [0, m) for m > 0 (true math modulo).
+std::int64_t mod_floor(std::int64_t a, std::int64_t m);
+
+/// Exact comparison of rationals a/b vs c/d with positive denominators,
+/// without floating point. Returns -1, 0 or +1.
+int compare_fractions(std::int64_t a, std::int64_t b, std::int64_t c,
+                      std::int64_t d);
+
+}  // namespace lbmem

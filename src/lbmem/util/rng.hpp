@@ -1,0 +1,57 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic, seedable random number generation for workload
+/// synthesis and the GA baseline.
+///
+/// We avoid std::mt19937/std::uniform_int_distribution because their output
+/// is not guaranteed identical across standard libraries; benchmark suites
+/// must generate bit-identical workloads everywhere. Xoshiro256** seeded via
+/// SplitMix64, with explicit rejection-sampling range reduction.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lbmem {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// seeded through SplitMix64 so any 64-bit seed produces a good state.
+class Rng {
+ public:
+  /// Construct from a 64-bit seed; equal seeds give equal streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi], inclusive; requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability \p p in [0, 1].
+  bool chance(double p);
+
+  /// Pick an index in [0, weights.size()) proportionally to weights;
+  /// requires at least one strictly positive weight.
+  std::size_t pick_weighted(std::span<const double> weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-instance streams).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace lbmem

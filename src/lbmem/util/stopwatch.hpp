@@ -1,0 +1,31 @@
+#pragma once
+/// \file stopwatch.hpp
+/// \brief Wall-clock stopwatch used by the complexity study (Section 4 of
+/// the paper) and the comparison benches.
+
+#include <chrono>
+
+namespace lbmem {
+
+/// Monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restart timing from now.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed microseconds since construction or last reset().
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace lbmem

@@ -1,0 +1,36 @@
+#pragma once
+/// \file table.hpp
+/// \brief Monospace table rendering for benchmark and example output.
+///
+/// The bench harness prints paper-versus-measured rows; Table keeps the
+/// columns aligned without iostream manipulator noise at every call site.
+
+#include <string>
+#include <vector>
+
+namespace lbmem {
+
+/// A right-padded text table. Columns are sized to the widest cell.
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; pads or truncates to the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header underline and two-space column gaps.
+  std::string to_string() const;
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used throughout benches.
+std::string format_double(double v, int precision = 3);
+
+}  // namespace lbmem

@@ -1,0 +1,94 @@
+/// Unit tests for the architecture and communication models (lbmem/arch).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "lbmem/arch/architecture.hpp"
+#include "lbmem/arch/comm_model.hpp"
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+namespace {
+
+TEST(Architecture, Basics) {
+  const Architecture arch(3);
+  EXPECT_EQ(arch.processor_count(), 3);
+  EXPECT_FALSE(arch.has_memory_limit());
+  EXPECT_EQ(arch.processor_name(0), "P1");
+  EXPECT_EQ(arch.processor_name(2), "P3");
+}
+
+TEST(Architecture, MemoryCapacity) {
+  const Architecture arch(2, 64);
+  EXPECT_TRUE(arch.has_memory_limit());
+  EXPECT_EQ(arch.memory_capacity(), 64);
+}
+
+TEST(Architecture, Validation) {
+  EXPECT_THROW(Architecture(0), ModelError);
+  EXPECT_THROW(Architecture(2, -5), ModelError);
+  Architecture arch(1);
+  EXPECT_THROW(arch.processor_name(1), PreconditionError);
+}
+
+TEST(Architecture, PairCounts) {
+  // Correct combinatorial count M(M-1)/2 vs the paper's (M-1)!
+  // (DESIGN.md F3): equal up to M=4, diverging at M=5.
+  for (int m = 2; m <= 4; ++m) {
+    const Architecture arch(m);
+    if (m <= 3) {
+      // M=2: 1 vs 1; M=3: 3 vs 2 — the paper's count is already smaller
+      // at M=3.
+      EXPECT_EQ(arch.processor_pairs(), m * (m - 1) / 2);
+    }
+  }
+  EXPECT_EQ(Architecture(2).paper_pair_count(), 1);
+  EXPECT_EQ(Architecture(3).paper_pair_count(), 2);
+  EXPECT_EQ(Architecture(4).paper_pair_count(), 6);
+  EXPECT_EQ(Architecture(5).paper_pair_count(), 24);
+  EXPECT_EQ(Architecture(5).processor_pairs(), 10);
+}
+
+TEST(Architecture, PaperPairCountSaturates) {
+  EXPECT_EQ(Architecture(64).paper_pair_count(),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(CommModel, Flat) {
+  const CommModel comm = CommModel::flat(3);
+  EXPECT_EQ(comm.transfer_time(1), 3);
+  EXPECT_EQ(comm.transfer_time(1000), 3);
+  EXPECT_EQ(comm.transfer_time(0), 3);
+}
+
+TEST(CommModel, FlatZeroCost) {
+  const CommModel comm = CommModel::flat(0);
+  EXPECT_EQ(comm.transfer_time(5), 0);
+}
+
+TEST(CommModel, Affine) {
+  // latency 2, bandwidth 4 units/tick: size 8 -> 2 + 2 = 4 ticks.
+  const CommModel comm = CommModel::affine(2, 4);
+  EXPECT_EQ(comm.transfer_time(8), 4);
+  EXPECT_EQ(comm.transfer_time(1), 3);   // ceil(1/4) = 1
+  EXPECT_EQ(comm.transfer_time(0), 2);   // latency only
+  EXPECT_EQ(comm.transfer_time(9), 5);   // ceil(9/4) = 3
+}
+
+TEST(CommModel, Gamma) {
+  // γ is the longest communication: the transfer of the largest datum.
+  const CommModel comm = CommModel::affine(1, 2);
+  EXPECT_EQ(comm.gamma(10), 6);
+}
+
+TEST(CommModel, Validation) {
+  EXPECT_THROW(CommModel::flat(-1), ModelError);
+  EXPECT_THROW(CommModel::affine(-1, 2), ModelError);
+  EXPECT_THROW(CommModel::affine(0, 0), ModelError);
+  const CommModel comm = CommModel::flat(1);
+  EXPECT_THROW(comm.transfer_time(-1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace lbmem

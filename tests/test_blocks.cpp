@@ -1,0 +1,182 @@
+/// Unit tests for block construction (lbmem/lb/block_builder.hpp).
+
+#include <gtest/gtest.h>
+
+#include "lbmem/gen/paper_example.hpp"
+#include "lbmem/lb/block_builder.hpp"
+
+namespace lbmem {
+namespace {
+
+/// Helper: a small two-processor system with adjustable comm cost.
+struct Fixture {
+  explicit Fixture(Time comm_cost, Time gap) {
+    TaskGraph builder;
+    const TaskId u = builder.add_task("u", 12, 1, 2);
+    const TaskId v = builder.add_task("v", 12, 1, 3);
+    builder.add_dependence(u, v);
+    builder.freeze();
+    graph = std::make_unique<TaskGraph>(std::move(builder));
+    sched = std::make_unique<Schedule>(*graph, Architecture(2),
+                                       CommModel::flat(comm_cost));
+    sched->set_first_start(u, 0);
+    sched->set_first_start(v, 1 + gap);  // slack = gap
+    sched->assign_all(u, 0);
+    sched->assign_all(v, 0);
+  }
+  std::unique_ptr<TaskGraph> graph;
+  std::unique_ptr<Schedule> sched;
+};
+
+TEST(BlockBuilder, TightDependenceMerges) {
+  const Fixture f(/*comm_cost=*/2, /*gap=*/1);  // slack 1 < C 2
+  const BlockDecomposition dec = build_blocks(*f.sched);
+  ASSERT_EQ(dec.blocks.size(), 1u);
+  EXPECT_EQ(dec.blocks[0].members.size(), 2u);
+  EXPECT_EQ(dec.blocks[0].exec_sum, 2);
+  EXPECT_EQ(dec.blocks[0].mem_sum, 5);
+  EXPECT_EQ(dec.blocks[0].category, 1);
+}
+
+TEST(BlockBuilder, SlackDependenceSeparates) {
+  const Fixture f(/*comm_cost=*/2, /*gap=*/2);  // slack 2 >= C 2
+  const BlockDecomposition dec = build_blocks(*f.sched);
+  EXPECT_EQ(dec.blocks.size(), 2u);
+}
+
+TEST(BlockBuilder, CrossProcessorNeverMerges) {
+  TaskGraph g;
+  const TaskId u = g.add_task("u", 12, 1, 1);
+  const TaskId v = g.add_task("v", 12, 1, 1);
+  g.add_dependence(u, v);
+  g.freeze();
+  Schedule s(g, Architecture(2), CommModel::flat(2));
+  s.set_first_start(u, 0);
+  s.set_first_start(v, 3);
+  s.assign_all(u, 0);
+  s.assign_all(v, 1);
+  const BlockDecomposition dec = build_blocks(s);
+  EXPECT_EQ(dec.blocks.size(), 2u);
+}
+
+TEST(BlockBuilder, TransitiveChainMerges) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", 12, 1, 1);
+  const TaskId b = g.add_task("b", 12, 1, 1);
+  const TaskId c = g.add_task("c", 12, 1, 1);
+  g.add_dependence(a, b);
+  g.add_dependence(b, c);
+  g.freeze();
+  Schedule s(g, Architecture(1), CommModel::flat(1));
+  s.set_first_start(a, 0);
+  s.set_first_start(b, 1);
+  s.set_first_start(c, 2);
+  s.assign_all(a, 0);
+  s.assign_all(b, 0);
+  s.assign_all(c, 0);
+  const BlockDecomposition dec = build_blocks(s);
+  ASSERT_EQ(dec.blocks.size(), 1u);
+  EXPECT_EQ(dec.blocks[0].members.size(), 3u);
+}
+
+TEST(BlockBuilder, DiamondMergesThroughTwoParents) {
+  // v tight against two producers in *different* tentative groups must
+  // merge all three (union-find closure).
+  TaskGraph g;
+  const TaskId w = g.add_task("w", 12, 1, 1);
+  const TaskId u = g.add_task("u", 12, 1, 1);
+  const TaskId v = g.add_task("v", 12, 1, 1);
+  g.add_dependence(w, v);
+  g.add_dependence(u, v);
+  g.freeze();
+  Schedule s(g, Architecture(1), CommModel::flat(2));
+  s.set_first_start(w, 0);  // ends 1; v@2: slack 1 < 2 -> tight
+  s.set_first_start(u, 1);  // ends 2; v@2: slack 0 < 2 -> tight
+  s.set_first_start(v, 2);
+  s.assign_all(w, 0);
+  s.assign_all(u, 0);
+  s.assign_all(v, 0);
+  const BlockDecomposition dec = build_blocks(s);
+  ASSERT_EQ(dec.blocks.size(), 1u);
+  EXPECT_EQ(dec.blocks[0].members.size(), 3u);
+}
+
+TEST(BlockBuilder, InstancesOfSameTaskStaySeparate) {
+  // No dependence links instances of one task: each is its own block
+  // (the paper: "Each task ai constitutes a block"). Task z stretches the
+  // hyper-period to 12 so a gets four instances.
+  TaskGraph g;
+  const TaskId a = g.add_task("a", 3, 1, 4);
+  const TaskId z = g.add_task("z", 12, 1, 1);
+  g.freeze();
+  Schedule s(g, Architecture(2), CommModel::flat(1));
+  s.set_first_start(a, 0);
+  s.assign_all(a, 0);
+  s.set_first_start(z, 0);
+  s.assign_all(z, 1);
+  const BlockDecomposition dec = build_blocks(s);
+  EXPECT_EQ(dec.blocks.size(), 5u);
+  for (InstanceIdx k = 0; k < 4; ++k) {
+    const Block& blk = dec.block_containing(TaskInstance{a, k});
+    EXPECT_EQ(blk.members.size(), 1u);
+    EXPECT_EQ(blk.category, k == 0 ? 1 : 2);
+  }
+}
+
+TEST(BlockBuilder, MultiRateTightEdgeMerges) {
+  // Slow consumer right after the last producing instance.
+  TaskGraph g;
+  const TaskId p = g.add_task("p", 3, 1, 1);
+  const TaskId c = g.add_task("c", 12, 1, 1);
+  g.add_dependence(p, c);
+  g.freeze();
+  Schedule s(g, Architecture(1), CommModel::flat(2));
+  s.set_first_start(p, 0);   // instances end 1,4,7,10
+  s.set_first_start(c, 11);  // slack vs p3: 11-10 = 1 < 2 -> tight
+  s.assign_all(p, 0);
+  s.assign_all(c, 0);
+  const BlockDecomposition dec = build_blocks(s);
+  // p3 and c merge; p0..p2 stay singletons.
+  ASSERT_EQ(dec.blocks.size(), 4u);
+  const Block& merged = dec.block_containing(TaskInstance{c, 0});
+  EXPECT_EQ(merged.members.size(), 2u);
+  EXPECT_TRUE(merged.contains(TaskInstance{p, 3}));
+  EXPECT_EQ(merged.category, 2);  // contains instance p[3]
+}
+
+TEST(BlockBuilder, PaperExampleBlockSums) {
+  const TaskGraph g = paper_example_graph();
+  const Schedule s = paper_example_schedule(g);
+  const BlockDecomposition dec = build_blocks(s);
+  const Block& b1c1 = dec.block_containing(TaskInstance{g.find("b"), 0});
+  EXPECT_EQ(b1c1.exec_sum, 2);
+  EXPECT_EQ(b1c1.mem_sum, 2);
+  const Block& de = dec.block_containing(TaskInstance{g.find("d"), 0});
+  EXPECT_EQ(de.mem_sum, 4);
+  EXPECT_EQ(de.start(s), 13);
+  EXPECT_EQ(de.end(s), 15);
+}
+
+TEST(BlockBuilder, BlockOfIndexIsConsistent) {
+  const TaskGraph g = paper_example_graph();
+  const Schedule s = paper_example_schedule(g);
+  const BlockDecomposition dec = build_blocks(s);
+  for (const Block& block : dec.blocks) {
+    for (const TaskInstance& inst : block.members) {
+      EXPECT_EQ(dec.block_containing(inst).id, block.id);
+    }
+  }
+}
+
+TEST(BlockBuilder, MembersShareProcessor) {
+  const TaskGraph g = paper_example_graph();
+  const Schedule s = paper_example_schedule(g);
+  for (const Block& block : build_blocks(s).blocks) {
+    for (const TaskInstance& inst : block.members) {
+      EXPECT_EQ(s.proc(inst), block.home);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lbmem

@@ -1,0 +1,122 @@
+/// Unit tests for the exact partitioners (branch-and-bound and the
+/// two-machine DP cross-check).
+
+#include <gtest/gtest.h>
+
+#include "lbmem/baseline/bnb_partitioner.hpp"
+#include "lbmem/baseline/dp_partitioner.hpp"
+#include "lbmem/util/rng.hpp"
+
+namespace lbmem {
+namespace {
+
+/// Exhaustive reference for tiny instances.
+Mem exhaustive_opt(const std::vector<Mem>& w, int machines) {
+  const std::size_t n = w.size();
+  Mem best = 0;
+  for (const Mem x : w) best += x;
+  std::vector<int> assign(n, 0);
+  while (true) {
+    std::vector<Mem> loads(static_cast<std::size_t>(machines), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      loads[static_cast<std::size_t>(assign[i])] += w[i];
+    }
+    Mem mx = 0;
+    for (const Mem l : loads) mx = std::max(mx, l);
+    best = std::min(best, mx);
+    // increment mixed-radix counter
+    std::size_t pos = 0;
+    while (pos < n && ++assign[pos] == machines) {
+      assign[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return best;
+}
+
+TEST(Bnb, EmptyAndTrivial) {
+  EXPECT_EQ(bnb_partition({}, 3).partition.max_load, 0);
+  EXPECT_EQ(bnb_partition({7}, 3).partition.max_load, 7);
+  EXPECT_EQ(bnb_partition({7, 7, 7}, 3).partition.max_load, 7);
+}
+
+TEST(Bnb, PerfectSplit) {
+  const BnbResult r = bnb_partition({3, 3, 2, 2, 2}, 2);
+  EXPECT_EQ(r.partition.max_load, 6);
+  EXPECT_TRUE(r.proven_optimal);
+}
+
+TEST(Bnb, GrahamTrapSolvedExactly) {
+  EXPECT_EQ(bnb_partition({1, 1, 1, 1, 4}, 2).partition.max_load, 4);
+}
+
+TEST(Bnb, AssignmentSumsToLoads) {
+  const std::vector<Mem> w = {9, 7, 6, 5, 4, 3, 2, 1};
+  const BnbResult r = bnb_partition(w, 3);
+  std::vector<Mem> loads(3, 0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    loads[static_cast<std::size_t>(r.partition.assignment[i])] += w[i];
+  }
+  EXPECT_EQ(loads, r.partition.loads);
+  Mem mx = 0;
+  for (const Mem l : loads) mx = std::max(mx, l);
+  EXPECT_EQ(mx, r.partition.max_load);
+}
+
+TEST(Bnb, MatchesExhaustiveSmall) {
+  Rng rng(404);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int machines = static_cast<int>(rng.uniform(2, 4));
+    const int n = static_cast<int>(rng.uniform(1, 8));
+    std::vector<Mem> w;
+    for (int i = 0; i < n; ++i) w.push_back(rng.uniform(1, 20));
+    const BnbResult r = bnb_partition(w, machines);
+    ASSERT_TRUE(r.proven_optimal);
+    EXPECT_EQ(r.partition.max_load, exhaustive_opt(w, machines))
+        << "iter " << iter;
+  }
+}
+
+TEST(Bnb, MatchesDpForTwoMachines) {
+  Rng rng(505);
+  for (int iter = 0; iter < 40; ++iter) {
+    const int n = static_cast<int>(rng.uniform(1, 16));
+    std::vector<Mem> w;
+    for (int i = 0; i < n; ++i) w.push_back(rng.uniform(1, 50));
+    const BnbResult bnb = bnb_partition(w, 2);
+    const PartitionResult dp = dp_partition_two(w);
+    ASSERT_TRUE(bnb.proven_optimal);
+    EXPECT_EQ(bnb.partition.max_load, dp.max_load) << "iter " << iter;
+  }
+}
+
+TEST(Bnb, BudgetExhaustionFallsBackToIncumbent) {
+  std::vector<Mem> w;
+  Rng rng(7);
+  for (int i = 0; i < 26; ++i) w.push_back(rng.uniform(10, 99));
+  const BnbResult r = bnb_partition(w, 4, /*node_budget=*/100);
+  // Even when not proven optimal the result is a valid partition at least
+  // as good as the greedy incumbent.
+  std::vector<Mem> loads(4, 0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    loads[static_cast<std::size_t>(r.partition.assignment[i])] += w[i];
+  }
+  EXPECT_EQ(loads, r.partition.loads);
+}
+
+TEST(Dp, ExactOnKnownInstances) {
+  EXPECT_EQ(dp_partition_two({3, 1, 1, 2, 2, 1}).max_load, 5);
+}
+
+TEST(Dp, OddTotal) {
+  EXPECT_EQ(dp_partition_two({5, 4, 2}).max_load, 6);  // {5}|{4,2}
+}
+
+TEST(Dp, SingleItem) {
+  const PartitionResult r = dp_partition_two({9});
+  EXPECT_EQ(r.max_load, 9);
+}
+
+}  // namespace
+}  // namespace lbmem

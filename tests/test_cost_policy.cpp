@@ -1,0 +1,124 @@
+/// Unit tests for destination-selection policies (lbmem/lb/cost_policy.hpp),
+/// including the Eq.-(5) inconsistency cases from DESIGN.md F1.
+
+#include <gtest/gtest.h>
+
+#include "lbmem/util/check.hpp"
+#include "lbmem/lb/cost_policy.hpp"
+
+namespace lbmem {
+namespace {
+
+DestinationScore candidate(ProcId proc, Time gain, Mem moved_mem,
+                           bool is_home, CostPolicy policy) {
+  DestinationScore s;
+  s.proc = proc;
+  s.feasible = true;
+  s.gain = gain;
+  s.moved_mem = moved_mem;
+  s.is_home = is_home;
+  s.lambda = lambda_value(policy, gain, moved_mem);
+  return s;
+}
+
+TEST(LambdaValue, PaperLiteralFirstCase) {
+  // Eq. (5): λ = G when nothing was moved to the processor.
+  const Lambda l = lambda_value(CostPolicy::PaperLiteral, 2, 0);
+  EXPECT_EQ(l.num, 2);
+  EXPECT_EQ(l.den, 1);
+}
+
+TEST(LambdaValue, PaperLiteralSecondCase) {
+  const Lambda l = lambda_value(CostPolicy::PaperLiteral, 1, 4);
+  EXPECT_EQ(l.num, 2);
+  EXPECT_EQ(l.den, 4);
+}
+
+TEST(LambdaValue, SmoothedFormula) {
+  // (G+1)/max(Σm,1): the reading matching the example's arithmetic.
+  const Lambda empty = lambda_value(CostPolicy::PaperFormula, 0, 0);
+  EXPECT_EQ(empty.num, 1);
+  EXPECT_EQ(empty.den, 1);
+  const Lambda loaded = lambda_value(CostPolicy::PaperFormula, 0, 4);
+  EXPECT_EQ(loaded.num, 1);
+  EXPECT_EQ(loaded.den, 4);
+}
+
+TEST(BetterCandidate, LexicographicPrefersGain) {
+  const auto p2 = candidate(1, 1, 4, true, CostPolicy::Lexicographic);
+  const auto p3 = candidate(2, 0, 0, false, CostPolicy::Lexicographic);
+  // Paper step 3: P2 (gain 1, memory 4) must beat the empty P3 (gain 0) —
+  // the case where Eq. (5) contradicts the walkthrough.
+  EXPECT_TRUE(better_candidate(CostPolicy::Lexicographic, p2, p3));
+  EXPECT_FALSE(better_candidate(CostPolicy::Lexicographic, p3, p2));
+}
+
+TEST(BetterCandidate, PaperFormulaPrefersEmptyProcessor) {
+  const auto p2 = candidate(1, 1, 4, true, CostPolicy::PaperFormula);
+  const auto p3 = candidate(2, 0, 0, false, CostPolicy::PaperFormula);
+  // Under the smoothed formula 1/1 > 2/4: the empty processor wins —
+  // demonstrating F1.
+  EXPECT_TRUE(better_candidate(CostPolicy::PaperFormula, p3, p2));
+}
+
+TEST(BetterCandidate, LexicographicMemoryTieBreak) {
+  const auto p1 = candidate(0, 0, 4, false, CostPolicy::Lexicographic);
+  const auto p3 = candidate(2, 0, 0, false, CostPolicy::Lexicographic);
+  // Paper step 4: equal gains -> least moved memory (empty P3) wins.
+  EXPECT_TRUE(better_candidate(CostPolicy::Lexicographic, p3, p1));
+}
+
+TEST(BetterCandidate, HomePreferenceOnFullTie) {
+  const auto home = candidate(0, 0, 4, true, CostPolicy::Lexicographic);
+  const auto away = candidate(2, 0, 4, false, CostPolicy::Lexicographic);
+  // Paper step 5: P1 (home) and P3 tie on gain and memory -> stay home.
+  EXPECT_TRUE(better_candidate(CostPolicy::Lexicographic, home, away));
+  EXPECT_FALSE(better_candidate(CostPolicy::Lexicographic, away, home));
+}
+
+TEST(BetterCandidate, IndexTieBreak) {
+  const auto p2 = candidate(1, 0, 0, false, CostPolicy::Lexicographic);
+  const auto p3 = candidate(2, 0, 0, false, CostPolicy::Lexicographic);
+  // Paper step 2: "P3 could be chosen also" — we pick the lower index.
+  EXPECT_TRUE(better_candidate(CostPolicy::Lexicographic, p2, p3));
+}
+
+TEST(BetterCandidate, GainOnlyIgnoresMemory) {
+  const auto heavy = candidate(0, 2, 100, false, CostPolicy::GainOnly);
+  const auto light = candidate(1, 1, 0, false, CostPolicy::GainOnly);
+  EXPECT_TRUE(better_candidate(CostPolicy::GainOnly, heavy, light));
+}
+
+TEST(BetterCandidate, MemoryOnlyIgnoresGain) {
+  const auto fast = candidate(0, 5, 10, false, CostPolicy::MemoryOnly);
+  const auto light = candidate(1, 0, 2, false, CostPolicy::MemoryOnly);
+  EXPECT_TRUE(better_candidate(CostPolicy::MemoryOnly, light, fast));
+}
+
+TEST(BetterCandidate, FormulaExactFractions) {
+  // 2/6 vs 1/3 are equal: the tie-break (lower index) must decide, and
+  // no floating-point wobble may flip it.
+  const auto a = candidate(0, 1, 6, false, CostPolicy::PaperFormula);
+  const auto b = candidate(1, 0, 3, false, CostPolicy::PaperFormula);
+  EXPECT_TRUE(better_candidate(CostPolicy::PaperFormula, a, b));
+  EXPECT_FALSE(better_candidate(CostPolicy::PaperFormula, b, a));
+}
+
+TEST(BetterCandidate, RequiresFeasible) {
+  auto ok = candidate(0, 0, 0, false, CostPolicy::Lexicographic);
+  auto bad = ok;
+  bad.feasible = false;
+  EXPECT_THROW(better_candidate(CostPolicy::Lexicographic, ok, bad),
+               PreconditionError);
+}
+
+TEST(PolicyNames, AllDistinct) {
+  EXPECT_EQ(to_string(CostPolicy::Lexicographic), "Lexicographic");
+  EXPECT_EQ(to_string(CostPolicy::PaperFormula), "PaperFormula");
+  EXPECT_EQ(to_string(CostPolicy::PaperLiteral), "PaperLiteral");
+  EXPECT_EQ(to_string(CostPolicy::GainOnly), "GainOnly");
+  EXPECT_EQ(to_string(CostPolicy::MemoryOnly), "MemoryOnly");
+}
+
+}  // namespace
+}  // namespace lbmem

@@ -1,0 +1,138 @@
+/// Unit tests for the workload generator and suites (lbmem/gen).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lbmem/gen/random_graph.hpp"
+#include "lbmem/gen/suites.hpp"
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+namespace {
+
+TEST(RandomGraph, DeterministicPerSeed) {
+  const RandomGraphParams params;
+  const TaskGraph a = random_task_graph(params, 7);
+  const TaskGraph b = random_task_graph(params, 7);
+  ASSERT_EQ(a.task_count(), b.task_count());
+  ASSERT_EQ(a.dependence_count(), b.dependence_count());
+  for (TaskId t = 0; t < static_cast<TaskId>(a.task_count()); ++t) {
+    EXPECT_EQ(a.task(t).period, b.task(t).period);
+    EXPECT_EQ(a.task(t).wcet, b.task(t).wcet);
+    EXPECT_EQ(a.task(t).memory, b.task(t).memory);
+  }
+  for (std::size_t e = 0; e < a.dependence_count(); ++e) {
+    EXPECT_EQ(a.dependences()[e].producer, b.dependences()[e].producer);
+    EXPECT_EQ(a.dependences()[e].consumer, b.dependences()[e].consumer);
+    EXPECT_EQ(a.dependences()[e].data_size, b.dependences()[e].data_size);
+  }
+}
+
+TEST(RandomGraph, DifferentSeedsDiffer) {
+  const RandomGraphParams params;
+  const TaskGraph a = random_task_graph(params, 1);
+  const TaskGraph b = random_task_graph(params, 2);
+  bool any_difference = a.dependence_count() != b.dependence_count();
+  for (TaskId t = 0;
+       !any_difference && t < static_cast<TaskId>(a.task_count()); ++t) {
+    if (a.task(t).period != b.task(t).period ||
+        a.task(t).wcet != b.task(t).wcet) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RandomGraph, RespectsParameterRanges) {
+  RandomGraphParams params;
+  params.tasks = 80;
+  params.base_period = 10;
+  params.period_levels = 3;
+  params.mem_min = 5;
+  params.mem_max = 9;
+  params.max_in_degree = 2;
+  const TaskGraph g = random_task_graph(params, 3);
+  EXPECT_EQ(g.task_count(), 80u);
+  std::set<Time> periods;
+  for (const auto& task : g.tasks()) {
+    periods.insert(task.period);
+    EXPECT_GE(task.memory, 5);
+    EXPECT_LE(task.memory, 9);
+    EXPECT_GE(task.wcet, 1);
+    EXPECT_LE(task.wcet, task.period);
+  }
+  // Small number of distinct periods (the paper's sensor argument).
+  EXPECT_LE(periods.size(), 3u);
+  for (TaskId t = 0; t < 80; ++t) {
+    EXPECT_LE(g.deps_in(t).size(), 2u);
+  }
+}
+
+TEST(RandomGraph, HarmonicPeriodsAlways) {
+  const TaskGraph g = random_task_graph({}, 11);
+  for (const Dependence& d : g.dependences()) {
+    const Time tp = g.task(d.producer).period;
+    const Time tc = g.task(d.consumer).period;
+    EXPECT_TRUE(tp % tc == 0 || tc % tp == 0);
+  }
+}
+
+TEST(RandomGraph, UtilizationShaping) {
+  RandomGraphParams params;
+  params.tasks = 100;
+  params.target_utilization_per_proc = 0.4;
+  params.intended_processors = 4;
+  const TaskGraph g = random_task_graph(params, 17);
+  // The stretch loop halves utilization until under target (or gives up
+  // after 8 doublings — allow some slack).
+  EXPECT_LE(g.utilization(), 0.4 * 4 * 1.01);
+}
+
+TEST(RandomGraph, ValidatesParams) {
+  RandomGraphParams params;
+  params.tasks = 0;
+  EXPECT_THROW(random_task_graph(params, 1), PreconditionError);
+  params = {};
+  params.mem_min = 5;
+  params.mem_max = 2;
+  EXPECT_THROW(random_task_graph(params, 1), PreconditionError);
+}
+
+TEST(Suites, ProducesRequestedCount) {
+  SuiteSpec spec;
+  spec.params.tasks = 20;
+  spec.count = 5;
+  int skipped = 0;
+  const auto suite = make_suite(spec, &skipped);
+  EXPECT_EQ(suite.size(), 5u);
+  EXPECT_GE(skipped, 0);
+  // Distinct seeds.
+  std::set<std::uint64_t> seeds;
+  for (const auto& instance : suite) seeds.insert(instance.seed);
+  EXPECT_EQ(seeds.size(), suite.size());
+}
+
+TEST(Suites, SchedulesAreComplete) {
+  SuiteSpec spec;
+  spec.params.tasks = 15;
+  spec.count = 3;
+  for (const auto& instance : make_suite(spec)) {
+    EXPECT_TRUE(instance.schedule.complete());
+    EXPECT_EQ(&instance.schedule.graph(), instance.graph.get());
+  }
+}
+
+TEST(Suites, MemoryCapacityPassedThrough) {
+  SuiteSpec spec;
+  spec.params.tasks = 10;
+  spec.count = 2;
+  spec.memory_capacity = 1000;
+  for (const auto& instance : make_suite(spec)) {
+    EXPECT_TRUE(instance.schedule.architecture().has_memory_limit());
+    EXPECT_EQ(instance.schedule.architecture().memory_capacity(), 1000);
+  }
+}
+
+}  // namespace
+}  // namespace lbmem

@@ -1,0 +1,91 @@
+/// Unit tests for circular-interval arithmetic on the hyper-period circle
+/// (lbmem/model/hyperperiod.hpp), including a brute-force cross-check.
+
+#include <gtest/gtest.h>
+
+#include "lbmem/model/hyperperiod.hpp"
+#include "lbmem/util/rng.hpp"
+
+namespace lbmem {
+namespace {
+
+/// Brute-force circular overlap: materialize occupied ticks mod h.
+bool brute_overlap(Time s1, Time e1, Time s2, Time e2, Time h) {
+  std::vector<char> occ(static_cast<std::size_t>(h), 0);
+  for (Time t = 0; t < e1; ++t) {
+    occ[static_cast<std::size_t>(((s1 + t) % h + h) % h)] = 1;
+  }
+  for (Time t = 0; t < e2; ++t) {
+    if (occ[static_cast<std::size_t>(((s2 + t) % h + h) % h)]) return true;
+  }
+  return false;
+}
+
+TEST(InstanceStart, StrictPeriodicity) {
+  EXPECT_EQ(instance_start(5, 6, 0), 5);
+  EXPECT_EQ(instance_start(5, 6, 1), 11);
+  EXPECT_EQ(instance_start(0, 3, 3), 9);
+}
+
+TEST(CircularOverlap, DisjointSimple) {
+  EXPECT_FALSE(circular_overlap(0, 2, 2, 2, 12));
+  EXPECT_FALSE(circular_overlap(2, 2, 0, 2, 12));
+}
+
+TEST(CircularOverlap, TouchingIsDisjoint) {
+  // Half-open intervals: [0,3) and [3,6) do not overlap.
+  EXPECT_FALSE(circular_overlap(0, 3, 3, 3, 12));
+}
+
+TEST(CircularOverlap, PlainOverlap) {
+  EXPECT_TRUE(circular_overlap(0, 3, 2, 2, 12));
+  EXPECT_TRUE(circular_overlap(2, 2, 0, 3, 12));
+}
+
+TEST(CircularOverlap, WrapAround) {
+  // [10, 13) mod 12 covers [10,12) and [0,1).
+  EXPECT_TRUE(circular_overlap(10, 3, 0, 1, 12));
+  EXPECT_FALSE(circular_overlap(10, 3, 1, 2, 12));
+  // Negative start normalizes onto the circle.
+  EXPECT_TRUE(circular_overlap(-2, 3, 11, 1, 12));
+}
+
+TEST(CircularOverlap, SelfFullCircle) {
+  EXPECT_TRUE(circular_overlap(0, 12, 5, 1, 12));
+}
+
+TEST(CircularOverlap, PaperTransient) {
+  // d@13 (len 1) on the 12-circle occupies [1,2): clashes with a1@1? No:
+  // a runs at 0,3,6,9 with len 1. d@13 vs a@0: [1,2) vs [0,1): disjoint.
+  EXPECT_FALSE(circular_overlap(13, 1, 0, 1, 12));
+  EXPECT_TRUE(circular_overlap(13, 1, 1, 1, 12));
+}
+
+TEST(CircularOverlap, MatchesBruteForce) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 3000; ++iter) {
+    const Time h = rng.uniform(2, 24);
+    const Time e1 = rng.uniform(1, h);
+    const Time e2 = rng.uniform(1, h);
+    const Time s1 = rng.uniform(-2 * h, 2 * h);
+    const Time s2 = rng.uniform(-2 * h, 2 * h);
+    EXPECT_EQ(circular_overlap(s1, e1, s2, e2, h),
+              brute_overlap(s1, e1, s2, e2, h))
+        << "s1=" << s1 << " e1=" << e1 << " s2=" << s2 << " e2=" << e2
+        << " h=" << h;
+  }
+}
+
+TEST(ClearanceShift, ZeroWhenDisjoint) {
+  EXPECT_EQ(clearance_shift(0, 2, 4, 2, 12), 0);
+}
+
+TEST(ClearanceShift, MovesToPieceEnd) {
+  // [0,3) vs [2,4): shifting interval 1 right by 4 puts it at 4.
+  const Time delta = clearance_shift(0, 3, 2, 2, 12);
+  EXPECT_EQ(delta, 4);
+  EXPECT_FALSE(circular_overlap(0 + delta, 3, 2, 2, 12));
+}
+
+}  // namespace
+}  // namespace lbmem

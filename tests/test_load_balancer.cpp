@@ -1,0 +1,194 @@
+/// Unit tests for the load balancer beyond the paper walkthrough
+/// (lbmem/lb/load_balancer.hpp): options, degenerate systems, memory
+/// capacity enforcement, policy variants.
+
+#include <gtest/gtest.h>
+
+#include "lbmem/util/check.hpp"
+#include "lbmem/gen/paper_example.hpp"
+#include "lbmem/gen/suites.hpp"
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/validate/validator.hpp"
+
+namespace lbmem {
+namespace {
+
+TEST(LoadBalancer, SingleTaskSingleProcessor) {
+  TaskGraph g;
+  g.add_task("solo", 8, 2, 5);
+  g.freeze();
+  Schedule s(g, Architecture(1), CommModel::flat(1));
+  s.set_first_start(0, 0);
+  s.assign_all(0, 0);
+  const BalanceResult result = LoadBalancer().balance(s);
+  validate_or_throw(result.schedule);
+  EXPECT_EQ(result.stats.gain_total, 0);
+  EXPECT_EQ(result.schedule.proc(TaskInstance{0, 0}), 0);
+}
+
+TEST(LoadBalancer, IndependentTasksSpreadByMemory) {
+  // Four independent equal tasks initially crammed onto P1 spread across
+  // both processors (memory-usage goal).
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) {
+    g.add_task("t" + std::to_string(i), 8, 1, 4);
+  }
+  g.freeze();
+  Schedule s(g, Architecture(2), CommModel::flat(1));
+  for (TaskId t = 0; t < 4; ++t) {
+    s.set_first_start(t, 2 * t);
+    s.assign_all(t, 0);
+  }
+  validate_or_throw(s);
+  const BalanceResult result = LoadBalancer().balance(s);
+  validate_or_throw(result.schedule);
+  EXPECT_EQ(result.schedule.memory_on(0), 8);
+  EXPECT_EQ(result.schedule.memory_on(1), 8);
+  EXPECT_LE(result.schedule.makespan(), s.makespan());
+}
+
+TEST(LoadBalancer, GainPullsLateTaskEarlier) {
+  // u on P1 feeds v on P2 with slack >= C; moving v's block to P1 removes
+  // the communication and lets v start earlier.
+  TaskGraph g;
+  const TaskId u = g.add_task("u", 12, 1, 1);
+  const TaskId v = g.add_task("v", 12, 1, 1);
+  g.add_dependence(u, v);
+  g.freeze();
+  Schedule s(g, Architecture(2), CommModel::flat(3));
+  s.set_first_start(u, 0);
+  s.set_first_start(v, 4);  // 1 (end of u) + 3 (comm)
+  s.assign_all(u, 0);
+  s.assign_all(v, 1);
+  validate_or_throw(s);
+
+  BalanceOptions options;
+  options.policy = CostPolicy::GainOnly;
+  const BalanceResult result = LoadBalancer(options).balance(s);
+  validate_or_throw(result.schedule);
+  EXPECT_EQ(result.schedule.proc(TaskInstance{v, 0}), 0);
+  EXPECT_EQ(result.schedule.first_start(v), 1);
+  EXPECT_EQ(result.stats.gain_total, 3);
+}
+
+TEST(LoadBalancer, MaxGainZeroKeepsStarts) {
+  const TaskGraph g = paper_example_graph();
+  const Schedule s = paper_example_schedule(g);
+  BalanceOptions options;
+  options.max_gain = 0;
+  const BalanceResult result = LoadBalancer(options).balance(s);
+  validate_or_throw(result.schedule);
+  EXPECT_EQ(result.stats.gain_total, 0);
+  EXPECT_EQ(result.schedule.makespan(), 15);
+  // Memory spreading still happens.
+  EXPECT_LT(result.schedule.max_memory(), 16);
+}
+
+TEST(LoadBalancer, MemoryCapacityRespected) {
+  // Capacity 8 on each processor: the balancer must not move more than
+  // 8 units of block memory anywhere.
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) {
+    g.add_task("t" + std::to_string(i), 8, 1, 4);
+  }
+  g.freeze();
+  Schedule s(g, Architecture(2, /*memory_capacity=*/8), CommModel::flat(1));
+  for (TaskId t = 0; t < 4; ++t) {
+    s.set_first_start(t, 2 * t);
+    s.assign_all(t, 0);
+  }
+  BalanceOptions options;
+  options.enforce_memory_capacity = true;
+  const BalanceResult result = LoadBalancer(options).balance(s);
+  for (ProcId p = 0; p < 2; ++p) {
+    EXPECT_LE(result.schedule.memory_on(p), 8);
+  }
+}
+
+TEST(LoadBalancer, BlockConditionCanBeDisabled) {
+  const TaskGraph g = paper_example_graph();
+  const Schedule s = paper_example_schedule(g);
+  BalanceOptions options;
+  options.enforce_block_condition = false;
+  options.record_trace = true;
+  const BalanceResult result = LoadBalancer(options).balance(s);
+  validate_or_throw(result.schedule);
+  // Without Eq. (4), P1 becomes feasible for [d-e] in step 7.
+  const StepRecord& step7 = result.trace.back();
+  EXPECT_TRUE(step7.candidates[0].feasible);
+}
+
+TEST(LoadBalancer, PaperFormulaDivergesFromExample) {
+  // Under the smoothed Eq. (5), step 3 sends [b1-c1] to the empty P3 and
+  // the gain is lost — the makespan stays 15 (DESIGN.md F1).
+  const TaskGraph g = paper_example_graph();
+  const Schedule s = paper_example_schedule(g);
+  BalanceOptions options;
+  options.policy = CostPolicy::PaperFormula;
+  const BalanceResult result = LoadBalancer(options).balance(s);
+  validate_or_throw(result.schedule);
+  EXPECT_EQ(result.schedule.makespan(), 15);
+}
+
+TEST(LoadBalancer, MemoryOnlyPolicySpreadsBestMemory) {
+  const TaskGraph g = paper_example_graph();
+  const Schedule s = paper_example_schedule(g);
+  BalanceOptions options;
+  options.policy = CostPolicy::MemoryOnly;
+  const BalanceResult result = LoadBalancer(options).balance(s);
+  validate_or_throw(result.schedule);
+  EXPECT_LE(result.schedule.max_memory(), s.max_memory());
+}
+
+TEST(LoadBalancer, StatsAreConsistent) {
+  const TaskGraph g = paper_example_graph();
+  const Schedule s = paper_example_schedule(g);
+  const BalanceResult r = LoadBalancer().balance(s);
+  EXPECT_EQ(r.stats.makespan_before, 15);
+  EXPECT_EQ(r.stats.makespan_after, r.schedule.makespan());
+  EXPECT_EQ(r.stats.gain_total,
+            r.stats.makespan_before - r.stats.makespan_after);
+  EXPECT_EQ(r.stats.memory_before.size(), 3u);
+  EXPECT_EQ(r.stats.memory_after.size(), 3u);
+  Mem total_before = 0;
+  Mem total_after = 0;
+  for (const Mem m : r.stats.memory_before) total_before += m;
+  for (const Mem m : r.stats.memory_after) total_after += m;
+  EXPECT_EQ(total_before, total_after) << "memory is conserved";
+  EXPECT_EQ(r.stats.blocks_total, 7);
+  EXPECT_EQ(r.stats.blocks_category1, 3);
+  EXPECT_GE(r.stats.wall_seconds, 0.0);
+}
+
+TEST(LoadBalancer, TraceOnlyWhenRequested) {
+  const TaskGraph g = paper_example_graph();
+  const Schedule s = paper_example_schedule(g);
+  EXPECT_TRUE(LoadBalancer().balance(s).trace.empty());
+  BalanceOptions options;
+  options.record_trace = true;
+  EXPECT_FALSE(LoadBalancer(options).balance(s).trace.empty());
+}
+
+TEST(LoadBalancer, RejectsIncompleteSchedule) {
+  const TaskGraph g = paper_example_graph();
+  Schedule s(g, paper_example_architecture(), paper_example_comm());
+  EXPECT_THROW(LoadBalancer().balance(s), PreconditionError);
+}
+
+TEST(LoadBalancer, IdleFractionNeverWorseOnAverage) {
+  // Balancing never increases the makespan, so the same work in a shorter
+  // span cannot increase total idle time within the hyper-period.
+  const TaskGraph g = paper_example_graph();
+  const Schedule s = paper_example_schedule(g);
+  const BalanceResult r = LoadBalancer().balance(s);
+  Time busy_before = 0;
+  Time busy_after = 0;
+  for (ProcId p = 0; p < 3; ++p) {
+    busy_before += s.busy_on(p);
+    busy_after += r.schedule.busy_on(p);
+  }
+  EXPECT_EQ(busy_before, busy_after);
+}
+
+}  // namespace
+}  // namespace lbmem

@@ -1,0 +1,103 @@
+/// Unit tests for exact integer helpers (lbmem/util/math.hpp).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "lbmem/util/check.hpp"
+#include "lbmem/util/math.hpp"
+
+namespace lbmem {
+namespace {
+
+TEST(Gcd64, Basics) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(7, 13), 1);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(5, 0), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(gcd64(48, 48), 48);
+}
+
+TEST(Gcd64, RejectsNegative) {
+  EXPECT_THROW(gcd64(-1, 3), PreconditionError);
+  EXPECT_THROW(gcd64(3, -1), PreconditionError);
+}
+
+TEST(Lcm64, Basics) {
+  EXPECT_EQ(lcm64(3, 4), 12);
+  EXPECT_EQ(lcm64(6, 4), 12);
+  EXPECT_EQ(lcm64(5, 5), 5);
+  EXPECT_EQ(lcm64(1, 9), 9);
+}
+
+TEST(Lcm64, PaperExamplePeriods) {
+  // Ta=3, Tb=Tc=6, Td=Te=12 -> hyper-period 12.
+  EXPECT_EQ(lcm64(lcm64(3, 6), 12), 12);
+}
+
+TEST(Lcm64, RejectsNonPositive) {
+  EXPECT_THROW(lcm64(0, 4), ModelError);
+  EXPECT_THROW(lcm64(4, 0), ModelError);
+  EXPECT_THROW(lcm64(-2, 4), ModelError);
+}
+
+TEST(Lcm64, DetectsOverflow) {
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max() - 1;
+  EXPECT_THROW(lcm64(big, big - 1), ModelError);
+}
+
+TEST(LcmAll, Sequence) {
+  const std::int64_t values[] = {3, 6, 12};
+  EXPECT_EQ(lcm_all(values), 12);
+  const std::int64_t primes[] = {2, 3, 5, 7};
+  EXPECT_EQ(lcm_all(primes), 210);
+}
+
+TEST(LcmAll, RejectsEmpty) {
+  EXPECT_THROW(lcm_all({}), ModelError);
+}
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div(1, 100), 1);
+}
+
+TEST(CeilDiv, NegativeNumerator) {
+  EXPECT_EQ(ceil_div(-1, 3), 0);
+  EXPECT_EQ(ceil_div(-3, 3), -1);
+  EXPECT_EQ(ceil_div(-4, 3), -1);
+}
+
+TEST(ModFloor, CanonicalRange) {
+  EXPECT_EQ(mod_floor(7, 12), 7);
+  EXPECT_EQ(mod_floor(12, 12), 0);
+  EXPECT_EQ(mod_floor(13, 12), 1);
+  EXPECT_EQ(mod_floor(-1, 12), 11);
+  EXPECT_EQ(mod_floor(-12, 12), 0);
+  EXPECT_EQ(mod_floor(-13, 12), 11);
+}
+
+TEST(CompareFractions, Ordering) {
+  EXPECT_EQ(compare_fractions(1, 2, 1, 3), 1);   // 1/2 > 1/3
+  EXPECT_EQ(compare_fractions(1, 3, 1, 2), -1);
+  EXPECT_EQ(compare_fractions(2, 4, 1, 2), 0);   // equal
+  EXPECT_EQ(compare_fractions(0, 5, 0, 9), 0);
+}
+
+TEST(CompareFractions, PaperStep3Values) {
+  // λ(P2) = 2/4 vs λ(P1) = 1/4 vs "1/1" for the empty P3.
+  EXPECT_EQ(compare_fractions(2, 4, 1, 4), 1);
+  EXPECT_EQ(compare_fractions(2, 4, 1, 1), -1);  // the F1 inconsistency
+}
+
+TEST(CompareFractions, NoIntermediateOverflow) {
+  const std::int64_t big = std::int64_t{1} << 62;
+  EXPECT_EQ(compare_fractions(big, 1, big - 1, 1), 1);
+  EXPECT_EQ(compare_fractions(big, big, big - 1, big - 1), 0);  // both 1
+}
+
+}  // namespace
+}  // namespace lbmem

@@ -1,0 +1,211 @@
+/// End-to-end reproduction of the paper's Section 3.3 worked example:
+/// Figure 3 (input schedule), the seven decision steps, and Figure 4
+/// (balanced schedule). Every number asserted here is printed in the paper.
+
+#include <gtest/gtest.h>
+
+#include "lbmem/gen/paper_example.hpp"
+#include "lbmem/lb/block_builder.hpp"
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/report/gantt.hpp"
+#include "lbmem/validate/validator.hpp"
+
+namespace lbmem {
+namespace {
+
+class PaperExample : public ::testing::Test {
+ protected:
+  PaperExample()
+      : graph_(paper_example_graph()),
+        schedule_(paper_example_schedule(graph_)) {}
+
+  TaskGraph graph_;
+  Schedule schedule_;
+};
+
+TEST_F(PaperExample, GraphShape) {
+  EXPECT_EQ(graph_.task_count(), 5u);
+  EXPECT_EQ(graph_.dependence_count(), 5u);
+  EXPECT_EQ(graph_.hyperperiod(), 12);
+  EXPECT_EQ(graph_.instance_count(graph_.find("a")), 4);
+  EXPECT_EQ(graph_.instance_count(graph_.find("b")), 2);
+  EXPECT_EQ(graph_.instance_count(graph_.find("d")), 1);
+  EXPECT_EQ(graph_.total_instances(), 10u);
+}
+
+TEST_F(PaperExample, Figure3InputSchedule) {
+  validate_or_throw(schedule_);
+
+  // "the total execution time is 15 units"
+  EXPECT_EQ(schedule_.makespan(), 15);
+
+  // "The sum of required memory amount of tasks scheduled onto P1 is 16
+  //  units, this sum in P2 is 4 and 4 in P3."
+  EXPECT_EQ(schedule_.memory_on(0), 16);
+  EXPECT_EQ(schedule_.memory_on(1), 4);
+  EXPECT_EQ(schedule_.memory_on(2), 4);
+
+  // Reconstructed Figure-3 start times.
+  EXPECT_EQ(schedule_.first_start(graph_.find("a")), 0);
+  EXPECT_EQ(schedule_.first_start(graph_.find("b")), 5);
+  EXPECT_EQ(schedule_.first_start(graph_.find("c")), 6);
+  EXPECT_EQ(schedule_.first_start(graph_.find("d")), 13);
+  EXPECT_EQ(schedule_.first_start(graph_.find("e")), 14);
+
+  // All instances of a on P1; b,c on P2; d,e on P3.
+  for (InstanceIdx k = 0; k < 4; ++k) {
+    EXPECT_EQ(schedule_.proc(TaskInstance{graph_.find("a"), k}), 0);
+  }
+  for (InstanceIdx k = 0; k < 2; ++k) {
+    EXPECT_EQ(schedule_.proc(TaskInstance{graph_.find("b"), k}), 1);
+    EXPECT_EQ(schedule_.proc(TaskInstance{graph_.find("c"), k}), 1);
+  }
+  EXPECT_EQ(schedule_.proc(TaskInstance{graph_.find("d"), 0}), 2);
+  EXPECT_EQ(schedule_.proc(TaskInstance{graph_.find("e"), 0}), 2);
+}
+
+TEST_F(PaperExample, BlockDecomposition) {
+  const BlockDecomposition dec = build_blocks(schedule_);
+
+  // "Each task ai constitutes a block, tasks bj, cj form the blocks
+  //  [b1-c1], [b2-c2] and tasks d, e form the block [d-e]."
+  ASSERT_EQ(dec.blocks.size(), 7u);
+
+  const TaskId a = graph_.find("a");
+  const TaskId b = graph_.find("b");
+  const TaskId c = graph_.find("c");
+  const TaskId d = graph_.find("d");
+  const TaskId e = graph_.find("e");
+
+  // Each a instance alone.
+  for (InstanceIdx k = 0; k < 4; ++k) {
+    const Block& blk = dec.block_containing(TaskInstance{a, k});
+    EXPECT_EQ(blk.members.size(), 1u) << "a" << k;
+    EXPECT_EQ(blk.category, k == 0 ? 1 : 2);
+  }
+  // [b1-c1]: category 1.
+  {
+    const Block& blk = dec.block_containing(TaskInstance{b, 0});
+    EXPECT_EQ(blk.members.size(), 2u);
+    EXPECT_TRUE(blk.contains(TaskInstance{c, 0}));
+    EXPECT_EQ(blk.category, 1);
+  }
+  // [b2-c2]: category 2.
+  {
+    const Block& blk = dec.block_containing(TaskInstance{b, 1});
+    EXPECT_EQ(blk.members.size(), 2u);
+    EXPECT_TRUE(blk.contains(TaskInstance{c, 1}));
+    EXPECT_EQ(blk.category, 2);
+  }
+  // [d-e]: category 1.
+  {
+    const Block& blk = dec.block_containing(TaskInstance{d, 0});
+    EXPECT_EQ(blk.members.size(), 2u);
+    EXPECT_TRUE(blk.contains(TaskInstance{e, 0}));
+    EXPECT_EQ(blk.category, 1);
+  }
+}
+
+TEST_F(PaperExample, Figure4BalancedSchedule) {
+  BalanceOptions options;
+  options.policy = CostPolicy::Lexicographic;
+  options.record_trace = true;
+  const BalanceResult result = LoadBalancer(options).balance(schedule_);
+
+  validate_or_throw(result.schedule);
+  EXPECT_FALSE(result.stats.fell_back);
+  EXPECT_EQ(result.stats.forced_stays, 0);
+
+  // "the total execution time is now 14 units instead of 15"
+  EXPECT_EQ(result.schedule.makespan(), 14);
+  EXPECT_EQ(result.stats.gain_total, 1);
+
+  // "the memory amount the heuristic provides is: [P1:10, P2:6, P3:8]"
+  EXPECT_EQ(result.schedule.memory_on(0), 10);
+  EXPECT_EQ(result.schedule.memory_on(1), 6);
+  EXPECT_EQ(result.schedule.memory_on(2), 8);
+
+  const TaskId a = graph_.find("a");
+  const TaskId b = graph_.find("b");
+  const TaskId c = graph_.find("c");
+  const TaskId d = graph_.find("d");
+  const TaskId e = graph_.find("e");
+
+  // Final placement from the example walkthrough.
+  EXPECT_EQ(result.schedule.proc(TaskInstance{a, 0}), 0);  // step 1
+  EXPECT_EQ(result.schedule.proc(TaskInstance{a, 1}), 1);  // step 2
+  EXPECT_EQ(result.schedule.proc(TaskInstance{b, 0}), 1);  // step 3
+  EXPECT_EQ(result.schedule.proc(TaskInstance{c, 0}), 1);
+  EXPECT_EQ(result.schedule.proc(TaskInstance{a, 2}), 2);  // step 4
+  EXPECT_EQ(result.schedule.proc(TaskInstance{a, 3}), 0);  // step 5
+  EXPECT_EQ(result.schedule.proc(TaskInstance{b, 1}), 0);  // step 6
+  EXPECT_EQ(result.schedule.proc(TaskInstance{c, 1}), 0);
+  EXPECT_EQ(result.schedule.proc(TaskInstance{d, 0}), 2);  // step 7
+  EXPECT_EQ(result.schedule.proc(TaskInstance{e, 0}), 2);
+
+  // Step 3's gain: b's first start decreases 5 -> 4, and by strict
+  // periodicity b2 decreases 11 -> 10 (the paper's start-time update).
+  EXPECT_EQ(result.schedule.first_start(b), 4);
+  EXPECT_EQ(result.schedule.start(TaskInstance{b, 1}), 10);
+  EXPECT_EQ(result.schedule.first_start(c), 5);
+
+  // Step 7's gain (DESIGN.md F6): d starts at 12 (not the paper's stale
+  // 13) because b2 now ends at 11 on P1 and arrives on P3 at 12.
+  EXPECT_EQ(result.schedule.first_start(d), 12);
+  EXPECT_EQ(result.schedule.first_start(e), 13);
+}
+
+TEST_F(PaperExample, StepTraceMatchesWalkthrough) {
+  BalanceOptions options;
+  options.policy = CostPolicy::Lexicographic;
+  options.record_trace = true;
+  const BalanceResult result = LoadBalancer(options).balance(schedule_);
+  ASSERT_EQ(result.trace.size(), 7u);
+
+  // Processing order by start time: [a1]@0, [a2]@3, [b1-c1]@5, [a3]@6,
+  // [a4]@9, [b2-c2]@10 (after the step-3 shift), [d-e]@13.
+  // Step 7 applies gain 1 (d can start at 12 once b2 sits on P1 ending at
+  // 11); the paper prints stale λ values there (DESIGN.md F6) but chooses
+  // the same processor, and the final makespan matches Figure 4.
+  const std::vector<Time> starts = {0, 3, 5, 6, 9, 10, 13};
+  const std::vector<ProcId> chosen = {0, 1, 1, 2, 0, 0, 2};
+  const std::vector<Time> gains = {0, 0, 1, 0, 0, 0, 1};
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(result.trace[i].start_before, starts[i]) << "step " << i + 1;
+    EXPECT_EQ(result.trace[i].chosen, chosen[i]) << "step " << i + 1;
+    EXPECT_EQ(result.trace[i].applied_gain, gains[i]) << "step " << i + 1;
+    EXPECT_FALSE(result.trace[i].forced_stay) << "step " << i + 1;
+  }
+
+  // Step 6 (block [b2-c2]): P2 and P3 are infeasible because a4's datum
+  // cannot reach the pinned start 10 (the paper's "0/6" and "0/4" entries,
+  // DESIGN.md F2).
+  const StepRecord& step6 = result.trace[5];
+  EXPECT_TRUE(step6.candidates[0].feasible);
+  EXPECT_FALSE(step6.candidates[1].feasible);
+  EXPECT_FALSE(step6.candidates[2].feasible);
+
+  // Step 7 (block [d-e]): P1 fails the Block Condition (the paper: "it
+  // does not satisfy the LCM condition").
+  const StepRecord& step7 = result.trace[6];
+  EXPECT_FALSE(step7.candidates[0].feasible);
+  EXPECT_NE(step7.candidates[0].reject_reason.find("Block Condition"),
+            std::string::npos);
+  EXPECT_TRUE(step7.candidates[1].feasible);
+  EXPECT_TRUE(step7.candidates[2].feasible);
+  EXPECT_EQ(step7.candidates[1].gain, 1);
+  EXPECT_EQ(step7.candidates[2].gain, 1);
+}
+
+TEST_F(PaperExample, GanttRendersBothFigures) {
+  const std::string before = render_gantt(schedule_);
+  EXPECT_NE(before.find("P1"), std::string::npos);
+  EXPECT_NE(before.find("[mem 16]"), std::string::npos);
+
+  const BalanceResult result = LoadBalancer().balance(schedule_);
+  const std::string after = render_gantt(result.schedule);
+  EXPECT_NE(after.find("[mem 10]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbmem

@@ -1,0 +1,86 @@
+/// Unit tests for the abstract partition baselines (lbmem/baseline/partition).
+
+#include <gtest/gtest.h>
+
+#include "lbmem/baseline/partition.hpp"
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+namespace {
+
+TEST(GreedyMinLoad, EmptyItems) {
+  const PartitionResult r = greedy_min_load({}, 3);
+  EXPECT_EQ(r.max_load, 0);
+  EXPECT_EQ(r.loads, (std::vector<Mem>{0, 0, 0}));
+}
+
+TEST(GreedyMinLoad, SingleMachineTakesAll) {
+  const PartitionResult r = greedy_min_load({3, 1, 4}, 1);
+  EXPECT_EQ(r.max_load, 8);
+}
+
+TEST(GreedyMinLoad, BalancesEqualItems) {
+  const PartitionResult r = greedy_min_load({2, 2, 2, 2}, 2);
+  EXPECT_EQ(r.max_load, 4);
+  EXPECT_EQ(r.loads[0], 4);
+  EXPECT_EQ(r.loads[1], 4);
+}
+
+TEST(GreedyMinLoad, OrderSensitivity) {
+  // Greedy in arrival order is order-sensitive: the classic trap.
+  const PartitionResult bad = greedy_min_load({1, 1, 1, 1, 4}, 2);
+  EXPECT_EQ(bad.max_load, 6);  // 1+1+4 on one machine
+  const PartitionResult good = greedy_min_load({4, 1, 1, 1, 1}, 2);
+  EXPECT_EQ(good.max_load, 4);
+}
+
+TEST(GreedyMinLoad, AssignmentMatchesLoads) {
+  const std::vector<Mem> w = {5, 3, 8, 2, 2};
+  const PartitionResult r = greedy_min_load(w, 3);
+  std::vector<Mem> recomputed(3, 0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    recomputed[static_cast<std::size_t>(r.assignment[i])] += w[i];
+  }
+  EXPECT_EQ(recomputed, r.loads);
+}
+
+TEST(GreedyMinLoad, GrahamBoundHolds) {
+  // ω/ωopt <= 2 - 1/M for any order; spot-check with the trap instance.
+  const std::vector<Mem> w = {1, 1, 1, 1, 4};
+  const PartitionResult r = greedy_min_load(w, 2);
+  const Mem opt = 4;  // {4} vs {1,1,1,1}
+  EXPECT_LE(static_cast<double>(r.max_load),
+            (2.0 - 0.5) * static_cast<double>(opt));
+}
+
+TEST(Lpt, BeatsArrivalOrderOnTrap) {
+  const std::vector<Mem> w = {1, 1, 1, 1, 4};
+  EXPECT_EQ(lpt(w, 2).max_load, 4);
+}
+
+TEST(Lpt, AssignmentIndicesMatchOriginalOrder) {
+  const std::vector<Mem> w = {1, 9, 2};
+  const PartitionResult r = lpt(w, 2);
+  std::vector<Mem> recomputed(2, 0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    recomputed[static_cast<std::size_t>(r.assignment[i])] += w[i];
+  }
+  EXPECT_EQ(recomputed, r.loads);
+  EXPECT_EQ(r.max_load, 9);
+}
+
+TEST(PartitionLowerBound, MaxOfAverageAndLargest) {
+  EXPECT_EQ(partition_lower_bound({4, 4, 4}, 3), 4);
+  EXPECT_EQ(partition_lower_bound({10, 1, 1}, 3), 10);
+  EXPECT_EQ(partition_lower_bound({5, 5, 5}, 2), 8);  // ceil(15/2)
+  EXPECT_EQ(partition_lower_bound({}, 4), 0);
+}
+
+TEST(Partition, RejectsBadInput) {
+  EXPECT_THROW(greedy_min_load({1}, 0), PreconditionError);
+  EXPECT_THROW(greedy_min_load({-1}, 2), PreconditionError);
+  EXPECT_THROW(partition_lower_bound({1}, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace lbmem

@@ -1,0 +1,145 @@
+/// Property tests for the load balancer: over random workloads and every
+/// cost policy, the balanced schedule is always valid, the makespan never
+/// increases (Theorem 1 lower bound), memory and work are conserved, and
+/// start times never grow.
+
+#include <gtest/gtest.h>
+
+#include "lbmem/gen/suites.hpp"
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/validate/validator.hpp"
+
+namespace lbmem {
+namespace {
+
+struct BalancerCase {
+  CostPolicy policy;
+  int processors;
+  int tasks;
+  Time comm_cost;
+  std::uint64_t base_seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<BalancerCase>& info) {
+  const BalancerCase& c = info.param;
+  return to_string(c.policy) + "_M" + std::to_string(c.processors) + "_N" +
+         std::to_string(c.tasks) + "_C" + std::to_string(c.comm_cost) +
+         "_s" + std::to_string(c.base_seed);
+}
+
+class BalancerProperty : public ::testing::TestWithParam<BalancerCase> {};
+
+TEST_P(BalancerProperty, InvariantsHoldOnRandomWorkloads) {
+  const BalancerCase& param = GetParam();
+  SuiteSpec spec;
+  spec.params.tasks = param.tasks;
+  spec.processors = param.processors;
+  spec.comm_cost = param.comm_cost;
+  spec.count = 6;
+  spec.base_seed = param.base_seed;
+  int skipped = 0;
+  const auto suite = make_suite(spec, &skipped);
+  ASSERT_FALSE(suite.empty()) << "no schedulable instance found";
+
+  BalanceOptions options;
+  options.policy = param.policy;
+  const LoadBalancer balancer(options);
+
+  for (const SuiteInstance& instance : suite) {
+    const Schedule& before = instance.schedule;
+    ASSERT_TRUE(validate(before).ok()) << "seed " << instance.seed;
+
+    const BalanceResult result = balancer.balance(before);
+    const ValidationReport report = validate(result.schedule);
+    EXPECT_TRUE(report.ok())
+        << "seed " << instance.seed << "\n" << report.to_string();
+
+    // Theorem 1 lower bound: the heuristic never increases the makespan.
+    EXPECT_GE(result.stats.gain_total, 0) << "seed " << instance.seed;
+    EXPECT_LE(result.schedule.makespan(), before.makespan())
+        << "seed " << instance.seed;
+
+    // No task starts later than before (moves only shift earlier).
+    if (!result.stats.fell_back) {
+      for (TaskId t = 0;
+           t < static_cast<TaskId>(before.graph().task_count()); ++t) {
+        EXPECT_LE(result.schedule.first_start(t), before.first_start(t))
+            << "seed " << instance.seed << " task " << t;
+      }
+    }
+
+    // Conservation: total memory and total busy time are redistributed,
+    // never created or lost.
+    Mem mem_before = 0;
+    Mem mem_after = 0;
+    Time busy_before = 0;
+    Time busy_after = 0;
+    for (ProcId p = 0; p < param.processors; ++p) {
+      mem_before += before.memory_on(p);
+      mem_after += result.schedule.memory_on(p);
+      busy_before += before.busy_on(p);
+      busy_after += result.schedule.busy_on(p);
+    }
+    EXPECT_EQ(mem_before, mem_after) << "seed " << instance.seed;
+    EXPECT_EQ(busy_before, busy_after) << "seed " << instance.seed;
+
+    // Stats agree with the schedules they describe.
+    EXPECT_EQ(result.stats.makespan_after, result.schedule.makespan());
+    EXPECT_EQ(result.stats.max_memory_after, result.schedule.max_memory());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BalancerProperty,
+    ::testing::Values(
+        BalancerCase{CostPolicy::Lexicographic, 3, 30, 2, 100},
+        BalancerCase{CostPolicy::Lexicographic, 4, 60, 1, 200},
+        BalancerCase{CostPolicy::Lexicographic, 6, 90, 3, 300},
+        BalancerCase{CostPolicy::PaperFormula, 3, 30, 2, 100},
+        BalancerCase{CostPolicy::PaperFormula, 5, 70, 2, 400},
+        BalancerCase{CostPolicy::PaperLiteral, 4, 50, 2, 500},
+        BalancerCase{CostPolicy::GainOnly, 4, 60, 3, 600},
+        BalancerCase{CostPolicy::MemoryOnly, 4, 60, 2, 700},
+        BalancerCase{CostPolicy::MemoryOnly, 8, 120, 1, 800},
+        BalancerCase{CostPolicy::Lexicographic, 2, 40, 4, 900}),
+    case_name);
+
+/// The balancer must behave identically on repeated runs (purity).
+TEST(BalancerDeterminism, SameInputSameOutput) {
+  SuiteSpec spec;
+  spec.params.tasks = 50;
+  spec.processors = 4;
+  spec.count = 3;
+  const auto suite = make_suite(spec);
+  ASSERT_FALSE(suite.empty());
+  const LoadBalancer balancer;
+  for (const SuiteInstance& instance : suite) {
+    const BalanceResult a = balancer.balance(instance.schedule);
+    const BalanceResult b = balancer.balance(instance.schedule);
+    EXPECT_EQ(a.schedule.makespan(), b.schedule.makespan());
+    EXPECT_EQ(a.stats.moves_off_home, b.stats.moves_off_home);
+    for (ProcId p = 0; p < spec.processors; ++p) {
+      EXPECT_EQ(a.schedule.memory_on(p), b.schedule.memory_on(p));
+    }
+  }
+}
+
+/// Balancing a balanced schedule must stay valid and never regress.
+TEST(BalancerIdempotence, SecondPassNeverRegresses) {
+  SuiteSpec spec;
+  spec.params.tasks = 40;
+  spec.processors = 4;
+  spec.count = 4;
+  const auto suite = make_suite(spec);
+  ASSERT_FALSE(suite.empty());
+  const LoadBalancer balancer;
+  for (const SuiteInstance& instance : suite) {
+    const BalanceResult first = balancer.balance(instance.schedule);
+    const BalanceResult second = balancer.balance(first.schedule);
+    EXPECT_TRUE(validate(second.schedule).ok());
+    EXPECT_LE(second.schedule.makespan(), first.schedule.makespan());
+  }
+}
+
+}  // namespace
+}  // namespace lbmem

@@ -1,0 +1,170 @@
+/// Cross-module property tests: the analytic feasibility predicates
+/// (Korst's gcd condition) against the circular-timeline machinery, and
+/// the bus analyzer's internal consistency, over randomized inputs.
+
+#include <gtest/gtest.h>
+
+#include "lbmem/gen/suites.hpp"
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/model/hyperperiod.hpp"
+#include "lbmem/sched/feasibility.hpp"
+#include "lbmem/sched/timeline.hpp"
+#include "lbmem/sim/bus.hpp"
+#include "lbmem/util/math.hpp"
+#include "lbmem/util/rng.hpp"
+
+namespace lbmem {
+namespace {
+
+/// The gcd condition and the instance-level circular timeline must agree
+/// on whole-task placements: place task A's instances on a timeline, then
+/// compare pairwise_compatible(A, B) with the timeline accepting all of
+/// B's instances.
+TEST(FeasibilityVsTimeline, WholeTaskPlacementsAgree) {
+  Rng rng(606060);
+  const Time periods[] = {4, 6, 8, 12, 24};
+  for (int iter = 0; iter < 500; ++iter) {
+    const Time ta = periods[rng.uniform(0, 4)];
+    const Time tb = periods[rng.uniform(0, 4)];
+    const Time h = lcm64(ta, tb);
+    PlacedTask a{rng.uniform(0, 11), rng.uniform(1, std::min<Time>(3, ta)),
+                 ta};
+    PlacedTask b{rng.uniform(0, 11), rng.uniform(1, std::min<Time>(3, tb)),
+                 tb};
+
+    ProcTimeline timeline(h);
+    for (InstanceIdx k = 0; k < static_cast<InstanceIdx>(h / ta); ++k) {
+      timeline.add(instance_start(a.start, ta, k), a.wcet,
+                   TaskInstance{0, k});
+    }
+    bool timeline_ok = true;
+    for (InstanceIdx k = 0; k < static_cast<InstanceIdx>(h / tb); ++k) {
+      if (!timeline.fits(instance_start(b.start, tb, k), b.wcet)) {
+        timeline_ok = false;
+        break;
+      }
+    }
+    EXPECT_EQ(pairwise_compatible(a, b), timeline_ok)
+        << "a={" << a.start << "," << a.wcet << "," << a.period << "} b={"
+        << b.start << "," << b.wcet << "," << b.period << "} h=" << h;
+  }
+}
+
+/// earliest_compatible_start must agree with ProcTimeline::earliest_fit
+/// when the timeline hosts whole tasks.
+TEST(FeasibilityVsTimeline, EarliestStartsAgree) {
+  Rng rng(707070);
+  const Time periods[] = {4, 8, 16};
+  for (int iter = 0; iter < 300; ++iter) {
+    const Time h = 16;
+    std::vector<PlacedTask> placed;
+    ProcTimeline timeline(h);
+    for (int i = 0; i < 3; ++i) {
+      PlacedTask t{rng.uniform(0, 7), rng.uniform(1, 2),
+                   periods[rng.uniform(0, 2)]};
+      bool ok = true;
+      for (const PlacedTask& other : placed) {
+        if (!pairwise_compatible(other, t)) ok = false;
+      }
+      if (!ok) continue;
+      placed.push_back(t);
+      for (InstanceIdx k = 0; k < static_cast<InstanceIdx>(h / t.period);
+           ++k) {
+        timeline.add(instance_start(t.start, t.period, k), t.wcet,
+                     TaskInstance{static_cast<TaskId>(i), k});
+      }
+    }
+    const Time wcet = rng.uniform(1, 2);
+    const Time period = periods[rng.uniform(0, 2)];
+    const Time lb = rng.uniform(0, 10);
+    const auto analytic =
+        earliest_compatible_start(placed, wcet, period, lb);
+    const auto via_timeline = timeline.earliest_fit(
+        lb, period, wcet, static_cast<InstanceIdx>(h / period));
+    EXPECT_EQ(analytic, via_timeline) << "iter " << iter;
+  }
+}
+
+/// Bus analyzer consistency on balanced random systems: Fits implies an
+/// explicit witness schedule; Overloaded implies a demand window
+/// exceeding its length; transfer counts match the schedule's remote
+/// dependences.
+TEST(BusConsistency, VerdictsCarryWitnesses) {
+  SuiteSpec spec;
+  spec.params.tasks = 30;
+  spec.processors = 4;
+  spec.comm_cost = 2;
+  spec.count = 8;
+  spec.base_seed = 818181;
+  const LoadBalancer balancer;
+  for (const SuiteInstance& instance : make_suite(spec)) {
+    const BalanceResult balanced = balancer.balance(instance.schedule);
+    for (const Schedule* sched : {&instance.schedule, &balanced.schedule}) {
+      const BusReport report = analyze_single_bus(*sched);
+      EXPECT_EQ(report.jobs.size(), count_remote_transfers(*sched));
+      switch (report.verdict) {
+        case BusVerdict::Fits: {
+          // Witness: every job scheduled inside its window, and the bus
+          // never double-booked.
+          std::vector<std::pair<Time, Time>> busy;
+          for (const TransferJob& job : report.jobs) {
+            EXPECT_GE(job.scheduled_at, job.release);
+            EXPECT_LE(job.scheduled_at + job.length, job.deadline);
+            busy.emplace_back(job.scheduled_at,
+                              job.scheduled_at + job.length);
+          }
+          std::sort(busy.begin(), busy.end());
+          for (std::size_t i = 1; i < busy.size(); ++i) {
+            EXPECT_LE(busy[i - 1].second, busy[i].first)
+                << "bus double-booked";
+          }
+          break;
+        }
+        case BusVerdict::Overloaded: {
+          Time demand = 0;
+          for (const TransferJob& job : report.jobs) {
+            if (job.release >= report.window_begin &&
+                job.deadline <= report.window_end) {
+              demand += job.length;
+            }
+          }
+          EXPECT_GT(demand, report.window_end - report.window_begin);
+          break;
+        }
+        case BusVerdict::Unknown:
+          break;  // allowed: EDF is a heuristic for unequal lengths
+      }
+    }
+  }
+}
+
+/// The balancer's decisions are invariant under uniformly scaling all
+/// memory amounts (only relative memory matters to the cost function).
+TEST(ScaleInvariance, MemoryUnitsDoNotChangeDecisions) {
+  for (const Mem scale : {Mem{1}, Mem{10}, Mem{1000}}) {
+    TaskGraph g;
+    const TaskId a = g.add_task("a", 3, 1, 4 * scale);
+    const TaskId b = g.add_task("b", 6, 1, 1 * scale);
+    const TaskId c = g.add_task("c", 6, 1, 1 * scale);
+    const TaskId d = g.add_task("d", 12, 1, 2 * scale);
+    const TaskId e = g.add_task("e", 12, 1, 2 * scale);
+    g.add_dependence(a, b);
+    g.add_dependence(b, c);
+    g.add_dependence(b, d);
+    g.add_dependence(c, e);
+    g.add_dependence(d, e);
+    g.freeze();
+    SchedulerOptions so;
+    so.policy = PlacementPolicy::PeriodCluster;
+    const Schedule before =
+        build_initial_schedule(g, Architecture(3), CommModel::flat(1), so);
+    const BalanceResult r = LoadBalancer().balance(before);
+    EXPECT_EQ(r.schedule.makespan(), 14) << "scale " << scale;
+    EXPECT_EQ(r.schedule.memory_on(0), 10 * scale);
+    EXPECT_EQ(r.schedule.memory_on(1), 6 * scale);
+    EXPECT_EQ(r.schedule.memory_on(2), 8 * scale);
+  }
+}
+
+}  // namespace
+}  // namespace lbmem

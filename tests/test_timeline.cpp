@@ -1,0 +1,164 @@
+/// Unit tests for the per-processor circular occupancy (lbmem/sched/timeline).
+
+#include <gtest/gtest.h>
+
+#include "lbmem/sched/timeline.hpp"
+#include "lbmem/util/check.hpp"
+#include "lbmem/util/rng.hpp"
+
+namespace lbmem {
+namespace {
+
+TaskInstance inst(TaskId t, InstanceIdx k = 0) { return TaskInstance{t, k}; }
+
+TEST(ProcTimeline, EmptyFitsEverything) {
+  const ProcTimeline tl(12);
+  EXPECT_TRUE(tl.fits(0, 1));
+  EXPECT_TRUE(tl.fits(11, 1));
+  EXPECT_TRUE(tl.fits(0, 12));
+  EXPECT_TRUE(tl.fits(100, 5));
+}
+
+TEST(ProcTimeline, AddAndConflict) {
+  ProcTimeline tl(12);
+  tl.add(3, 2, inst(0));
+  EXPECT_FALSE(tl.fits(3, 1));
+  EXPECT_FALSE(tl.fits(4, 1));
+  EXPECT_FALSE(tl.fits(2, 2));
+  EXPECT_TRUE(tl.fits(5, 1));
+  EXPECT_TRUE(tl.fits(1, 2));
+  EXPECT_EQ(tl.conflicting_owner(4, 1), inst(0));
+  EXPECT_EQ(tl.conflicting_owner(5, 1), std::nullopt);
+}
+
+TEST(ProcTimeline, WrappingIntervalSplits) {
+  ProcTimeline tl(12);
+  tl.add(10, 4, inst(1));  // covers [10,12) and [0,2)
+  EXPECT_EQ(tl.piece_count(), 2u);
+  EXPECT_FALSE(tl.fits(0, 1));
+  EXPECT_FALSE(tl.fits(11, 1));
+  EXPECT_TRUE(tl.fits(2, 8));
+  EXPECT_EQ(tl.busy_time(), 4);
+}
+
+TEST(ProcTimeline, ModularPositions) {
+  ProcTimeline tl(12);
+  tl.add(13, 1, inst(2));  // the paper's d@13 occupies [1,2) mod 12
+  EXPECT_FALSE(tl.fits(1, 1));
+  EXPECT_FALSE(tl.fits(25, 1));
+  EXPECT_TRUE(tl.fits(0, 1));
+}
+
+TEST(ProcTimeline, AddRejectsOverlap) {
+  ProcTimeline tl(12);
+  tl.add(0, 3, inst(0));
+  EXPECT_THROW(tl.add(2, 2, inst(1)), PreconditionError);
+}
+
+TEST(ProcTimeline, RemoveReleases) {
+  ProcTimeline tl(12);
+  tl.add(10, 4, inst(0));
+  tl.add(4, 2, inst(1));
+  tl.remove(inst(0));
+  EXPECT_TRUE(tl.fits(10, 4));
+  EXPECT_FALSE(tl.fits(4, 1));
+  EXPECT_EQ(tl.busy_time(), 2);
+}
+
+TEST(ProcTimeline, EarliestFitEmpty) {
+  const ProcTimeline tl(12);
+  EXPECT_EQ(tl.earliest_fit(0, 3, 1, 4), 0);
+  EXPECT_EQ(tl.earliest_fit(5, 6, 1, 2), 5);
+}
+
+TEST(ProcTimeline, EarliestFitSkipsOccupied) {
+  ProcTimeline tl(12);
+  // Occupy the slots a strict-periodic task (T=3, E=1) would take at S=0.
+  tl.add(0, 1, inst(0));
+  const auto s = tl.earliest_fit(0, 3, 1, 4);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, 1);  // instances at 1,4,7,10 avoid [0,1)
+}
+
+TEST(ProcTimeline, EarliestFitDetectsInfeasible) {
+  ProcTimeline tl(4);
+  tl.add(0, 2, inst(0));  // [0,2)
+  tl.add(2, 2, inst(1));  // [2,4): circle full
+  EXPECT_EQ(tl.earliest_fit(0, 4, 1, 1), std::nullopt);
+}
+
+TEST(ProcTimeline, EarliestFitInterleavesPeriodicTasks) {
+  // Two tasks with T=4, E=2 fill the circle of 8 exactly.
+  ProcTimeline tl(8);
+  tl.add(0, 2, inst(0, 0));
+  tl.add(4, 2, inst(0, 1));
+  const auto s = tl.earliest_fit(0, 4, 2, 2);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, 2);  // instances at 2,6
+  tl.add(2, 2, inst(1, 0));
+  tl.add(6, 2, inst(1, 1));
+  EXPECT_EQ(tl.earliest_fit(0, 4, 1, 2), std::nullopt);
+}
+
+TEST(ProcTimeline, EarliestFitRespectsLowerBound) {
+  const ProcTimeline tl(12);
+  EXPECT_EQ(tl.earliest_fit(7, 12, 2, 1), 7);
+}
+
+TEST(ProcTimeline, EarliestFitPaperTaskB) {
+  // P2 of the example: place b (T=6, E=1, 2 instances) from lb=5 on an
+  // empty processor -> 5; then c from lb=6 -> 6.
+  ProcTimeline tl(12);
+  const auto sb = tl.earliest_fit(5, 6, 1, 2);
+  ASSERT_TRUE(sb.has_value());
+  EXPECT_EQ(*sb, 5);
+  tl.add(5, 1, inst(0, 0));
+  tl.add(11, 1, inst(0, 1));
+  const auto sc = tl.earliest_fit(6, 6, 1, 2);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(*sc, 6);
+}
+
+TEST(ProcTimeline, EarliestFitMatchesBruteForce) {
+  Rng rng(99);
+  for (int iter = 0; iter < 300; ++iter) {
+    const Time h = 24;
+    ProcTimeline tl(h);
+    std::vector<char> occ(static_cast<std::size_t>(h), 0);
+    // Random pre-occupation.
+    for (int i = 0; i < 5; ++i) {
+      const Time s = rng.uniform(0, h - 1);
+      const Time len = rng.uniform(1, 3);
+      bool free = true;
+      for (Time t = 0; t < len; ++t) {
+        if (occ[static_cast<std::size_t>((s + t) % h)]) free = false;
+      }
+      if (!free) continue;
+      tl.add(s, len, inst(static_cast<TaskId>(i)));
+      for (Time t = 0; t < len; ++t) {
+        occ[static_cast<std::size_t>((s + t) % h)] = 1;
+      }
+    }
+    const Time period = 8;
+    const Time wcet = rng.uniform(1, 3);
+    const Time lb = rng.uniform(0, 30);
+    const InstanceIdx n = 3;  // 3 * 8 = 24 = h
+    // Brute force earliest S in [lb, lb+period).
+    std::optional<Time> expected;
+    for (Time s = lb; s < lb + period && !expected; ++s) {
+      bool ok = true;
+      for (InstanceIdx k = 0; k < n && ok; ++k) {
+        for (Time t = 0; t < wcet && ok; ++t) {
+          const Time pos = (s + k * period + t) % h;
+          if (occ[static_cast<std::size_t>(pos)]) ok = false;
+        }
+      }
+      if (ok) expected = s;
+    }
+    EXPECT_EQ(tl.earliest_fit(lb, period, wcet, n), expected)
+        << "iter " << iter << " lb=" << lb << " wcet=" << wcet;
+  }
+}
+
+}  // namespace
+}  // namespace lbmem

@@ -1,0 +1,252 @@
+/// \file lbmem_cli.cpp
+/// \brief Command-line front end to the library.
+///
+/// Subcommands:
+///   example                         run the paper's worked example
+///   balance  [workload flags]       generate, schedule, balance, report
+///   simulate [workload flags]       balance + discrete-event execution
+///   bus      [workload flags]       balance + single-medium analysis
+///   export   [workload flags]       emit DOT/JSON artifacts
+///
+/// Workload flags (all optional):
+///   --tasks=N --procs=M --seed=S --comm=C --period-levels=L
+///   --edge-prob=P --capacity=MEM --policy=lex|formula|literal|gain|memory
+///   --placement=cluster|minstart --hyperperiods=K --out=PREFIX
+///
+/// Exit code 0 on success, 1 on bad usage, 2 when the workload is
+/// unschedulable.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lbmem/gen/paper_example.hpp"
+#include "lbmem/gen/random_graph.hpp"
+#include "lbmem/lb/block_builder.hpp"
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/report/export.hpp"
+#include "lbmem/report/gantt.hpp"
+#include "lbmem/report/summary.hpp"
+#include "lbmem/sched/scheduler.hpp"
+#include "lbmem/sim/bus.hpp"
+#include "lbmem/sim/engine.hpp"
+#include "lbmem/util/check.hpp"
+#include "lbmem/validate/validator.hpp"
+
+namespace {
+
+using namespace lbmem;
+
+struct CliOptions {
+  int tasks = 40;
+  int procs = 4;
+  std::uint64_t seed = 1;
+  Time comm = 2;
+  int period_levels = 3;
+  double edge_prob = 0.25;
+  Mem capacity = kUnlimitedMemory;
+  CostPolicy policy = CostPolicy::Lexicographic;
+  PlacementPolicy placement = PlacementPolicy::PeriodCluster;
+  int hyperperiods = 2;
+  std::string out_prefix;
+};
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: lbmem_cli <example|balance|simulate|bus|export> [flags]\n"
+      "flags: --tasks=N --procs=M --seed=S --comm=C --period-levels=L\n"
+      "       --edge-prob=P --capacity=MEM\n"
+      "       --policy=lex|formula|literal|gain|memory\n"
+      "       --placement=cluster|minstart --hyperperiods=K --out=PREFIX\n";
+  std::exit(1);
+}
+
+CliOptions parse_flags(int argc, char** argv, int first) {
+  CliOptions options;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      usage("malformed flag: " + arg);
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    try {
+      if (key == "tasks") {
+        options.tasks = std::stoi(value);
+      } else if (key == "procs") {
+        options.procs = std::stoi(value);
+      } else if (key == "seed") {
+        options.seed = std::stoull(value);
+      } else if (key == "comm") {
+        options.comm = std::stoll(value);
+      } else if (key == "period-levels") {
+        options.period_levels = std::stoi(value);
+      } else if (key == "edge-prob") {
+        options.edge_prob = std::stod(value);
+      } else if (key == "capacity") {
+        options.capacity = std::stoll(value);
+      } else if (key == "hyperperiods") {
+        options.hyperperiods = std::stoi(value);
+      } else if (key == "out") {
+        options.out_prefix = value;
+      } else if (key == "policy") {
+        if (value == "lex") options.policy = CostPolicy::Lexicographic;
+        else if (value == "formula") options.policy = CostPolicy::PaperFormula;
+        else if (value == "literal") options.policy = CostPolicy::PaperLiteral;
+        else if (value == "gain") options.policy = CostPolicy::GainOnly;
+        else if (value == "memory") options.policy = CostPolicy::MemoryOnly;
+        else usage("unknown policy: " + value);
+      } else if (key == "placement") {
+        if (value == "cluster") {
+          options.placement = PlacementPolicy::PeriodCluster;
+        } else if (value == "minstart") {
+          options.placement = PlacementPolicy::MinStartTime;
+        } else {
+          usage("unknown placement: " + value);
+        }
+      } else {
+        usage("unknown flag: --" + key);
+      }
+    } catch (const std::exception&) {
+      usage("bad value for --" + key + ": " + value);
+    }
+  }
+  return options;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << content;
+  std::cout << "wrote " << path << "\n";
+}
+
+struct Prepared {
+  // Heap-allocated: schedules hold a pointer to the graph, so its address
+  // must survive the moves below.
+  std::unique_ptr<TaskGraph> graph;
+  Schedule before;
+  BalanceResult result;
+};
+
+Prepared prepare(const CliOptions& options) {
+  RandomGraphParams params;
+  params.tasks = options.tasks;
+  params.period_levels = options.period_levels;
+  params.edge_probability = options.edge_prob;
+  params.intended_processors = options.procs;
+  auto graph =
+      std::make_unique<TaskGraph>(random_task_graph(params, options.seed));
+
+  SchedulerOptions sched_options;
+  sched_options.policy = options.placement;
+  Schedule before = build_initial_schedule(
+      *graph, Architecture(options.procs, options.capacity),
+      CommModel::flat(options.comm), sched_options);
+
+  BalanceOptions balance_options;
+  balance_options.policy = options.policy;
+  balance_options.enforce_memory_capacity =
+      options.capacity != kUnlimitedMemory;
+  balance_options.record_trace = true;
+  BalanceResult result = LoadBalancer(balance_options).balance(before);
+  return Prepared{std::move(graph), std::move(before), std::move(result)};
+}
+
+int cmd_example() {
+  const TaskGraph graph = paper_example_graph();
+  const Schedule before = paper_example_schedule(graph);
+  BalanceOptions options;
+  options.record_trace = true;
+  const BalanceResult result = LoadBalancer(options).balance(before);
+  std::cout << "--- before (paper Fig. 3) ---\n" << render_gantt(before)
+            << "\n--- after (paper Fig. 4) ---\n"
+            << render_gantt(result.schedule) << "\n"
+            << summarize(result.stats);
+  return 0;
+}
+
+int cmd_balance(const CliOptions& options) {
+  const Prepared p = prepare(options);
+  std::cout << "--- initial ---\n" << render_gantt(p.before)
+            << "\n--- balanced (" << to_string(options.policy) << ") ---\n"
+            << render_gantt(p.result.schedule) << "\n"
+            << summarize(p.result.stats);
+  validate_or_throw(p.result.schedule);
+  return 0;
+}
+
+int cmd_simulate(const CliOptions& options) {
+  const Prepared p = prepare(options);
+  std::cout << summarize(p.result.stats) << "\n";
+  const SimMetrics metrics =
+      simulate(p.result.schedule, SimOptions{options.hyperperiods, true});
+  std::cout << "simulated " << options.hyperperiods << " hyper-periods ("
+            << metrics.span << " ticks): " << metrics.violations
+            << " violations\n";
+  for (std::size_t i = 0; i < metrics.procs.size(); ++i) {
+    const ProcMetrics& pm = metrics.procs[i];
+    std::cout << "  P" << i + 1 << ": idle "
+              << static_cast<int>(100 * pm.idle_fraction) << "%, static mem "
+              << pm.static_memory << ", peak buffers " << pm.peak_buffer
+              << "\n";
+  }
+  return metrics.violations == 0 ? 0 : 2;
+}
+
+int cmd_bus(const CliOptions& options) {
+  const Prepared p = prepare(options);
+  const BusReport before = analyze_single_bus(p.before);
+  const BusReport after = analyze_single_bus(p.result.schedule);
+  auto show = [](const char* label, const BusReport& report) {
+    std::cout << label << ": " << report.jobs.size() << " transfers, busy "
+              << report.bus_busy << ", utilization "
+              << report.utilization << " — " << report.detail << "\n";
+  };
+  show("before", before);
+  show("after ", after);
+  return 0;
+}
+
+int cmd_export(const CliOptions& options) {
+  const Prepared p = prepare(options);
+  const std::string prefix =
+      options.out_prefix.empty() ? "lbmem" : options.out_prefix;
+  write_file(prefix + "_graph.dot", graph_to_dot(*p.graph));
+  write_file(prefix + "_before.dot", schedule_to_dot(p.before));
+  write_file(prefix + "_after.dot", schedule_to_dot(p.result.schedule));
+  write_file(prefix + "_before.json", schedule_to_json(p.before));
+  write_file(prefix + "_after.json", schedule_to_json(p.result.schedule));
+  write_file(prefix + "_stats.json", stats_to_json(p.result.stats));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "example") return cmd_example();
+    const CliOptions options = parse_flags(argc, argv, 2);
+    if (command == "balance") return cmd_balance(options);
+    if (command == "simulate") return cmd_simulate(options);
+    if (command == "bus") return cmd_bus(options);
+    if (command == "export") return cmd_export(options);
+    usage("unknown command: " + command);
+  } catch (const ScheduleError& e) {
+    std::cerr << "unschedulable: " << e.what() << "\n";
+    return 2;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
