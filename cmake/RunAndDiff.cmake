@@ -1,0 +1,31 @@
+# Runs CMD with ARGS (space-separated), captures stdout, and fails unless it
+# matches the GOLDEN reference file byte for byte.
+#
+# Usage:
+#   cmake -DCMD=<exe> -DARGS="<args>" -DGOLDEN=<file> -P RunAndDiff.cmake
+if(NOT CMD OR NOT GOLDEN)
+  message(FATAL_ERROR "RunAndDiff.cmake requires -DCMD=... and -DGOLDEN=...")
+endif()
+
+separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+execute_process(
+  COMMAND ${CMD} ${arg_list}
+  OUTPUT_VARIABLE actual
+  ERROR_VARIABLE stderr_text
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR
+    "${CMD} ${ARGS} exited with ${status}\nstderr:\n${stderr_text}")
+endif()
+
+if(NOT EXISTS "${GOLDEN}")
+  message(FATAL_ERROR "golden file missing: ${GOLDEN}")
+endif()
+file(READ "${GOLDEN}" expected)
+
+if(NOT actual STREQUAL expected)
+  file(WRITE "${CMAKE_BINARY_DIR}/rundiff_actual.txt" "${actual}")
+  message(FATAL_ERROR
+    "output of `${CMD} ${ARGS}` differs from ${GOLDEN}\n"
+    "--- expected ---\n${expected}\n--- actual ---\n${actual}")
+endif()

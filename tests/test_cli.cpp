@@ -1,0 +1,206 @@
+/// End-to-end tests for tools/lbmem_cli.cpp: argument parsing, exit codes,
+/// and the paper-example subcommand. The binary path comes from CMake via
+/// LBMEM_CLI_PATH, so these tests exercise exactly what a user runs.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+#ifndef LBMEM_CLI_PATH
+#error "LBMEM_CLI_PATH must point at the lbmem_cli binary (set by CMake)"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout + stderr interleaved
+};
+
+/// Runs the CLI with \p args, capturing combined output and the exit code.
+RunResult run_cli(const std::string& args) {
+  const std::string command =
+      std::string("\"") + LBMEM_CLI_PATH + "\" " + args + " 2>&1";
+  RunResult result;
+#if defined(_WIN32)
+  FILE* pipe = _popen(command.c_str(), "r");
+#else
+  FILE* pipe = popen(command.c_str(), "r");
+#endif
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << command;
+    return result;
+  }
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+#if defined(_WIN32)
+  result.exit_code = _pclose(pipe);
+#else
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+  return result;
+}
+
+// Small, fast workload shared by the generated-workload subcommands.
+const char kSmallWorkload[] = "--tasks=12 --procs=3 --seed=7";
+
+TEST(CliUsage, NoArgumentsFailsWithUsage) {
+  const RunResult r = run_cli("");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("usage: lbmem_cli"), std::string::npos) << r.output;
+}
+
+TEST(CliUsage, UnknownCommandFails) {
+  const RunResult r = run_cli("frobnicate");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown command: frobnicate"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliUsage, MalformedFlagFails) {
+  // Flags must be --key=value; a bare token is rejected.
+  const RunResult r = run_cli("balance tasks");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("malformed flag: tasks"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliUsage, UnknownFlagFails) {
+  const RunResult r = run_cli("balance --frobs=3");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown flag: --frobs"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliUsage, BadFlagValueFails) {
+  const RunResult r = run_cli("balance --tasks=banana");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("bad value for --tasks: banana"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliUsage, UnknownPolicyFails) {
+  const RunResult r = run_cli("balance --policy=magic");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown policy: magic"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliUsage, UnknownPlacementFails) {
+  const RunResult r = run_cli("balance --placement=anywhere");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown placement: anywhere"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliExample, ReproducesPaperFigures) {
+  const RunResult r = run_cli("example");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("before (paper Fig. 3)"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("after (paper Fig. 4)"), std::string::npos)
+      << r.output;
+  // The paper's headline result: makespan 15 -> 14, Gtotal = 1.
+  EXPECT_NE(r.output.find("makespan: 15 -> 14  (Gtotal = 1)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(CliExample, OutputIsDeterministic) {
+  const RunResult first = run_cli("example");
+  const RunResult second = run_cli("example");
+  EXPECT_EQ(first.exit_code, 0);
+  EXPECT_EQ(first.output, second.output);
+}
+
+TEST(CliBalance, SmallWorkloadSucceeds) {
+  const RunResult r = run_cli(std::string("balance ") + kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--- initial ---"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("--- balanced (Lexicographic) ---"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("makespan: "), std::string::npos) << r.output;
+}
+
+TEST(CliBalance, PolicyFlagSelectsPolicy) {
+  const RunResult r =
+      run_cli(std::string("balance --policy=memory ") + kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--- balanced (MemoryOnly) ---"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(CliSimulate, ReportsHyperperiodsAndViolations) {
+  const RunResult r = run_cli(std::string("simulate --hyperperiods=1 ") +
+                              kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("simulated 1 hyper-periods"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("0 violations"), std::string::npos) << r.output;
+}
+
+TEST(CliBus, ReportsBeforeAndAfter) {
+  const RunResult r = run_cli(std::string("bus ") + kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("before: "), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("utilization"), std::string::npos) << r.output;
+}
+
+TEST(CliBalance, InfeasibleCapacityExitsWithTwo) {
+  // Exit code 2 is the documented "unschedulable workload" contract.
+  const RunResult r =
+      run_cli(std::string("balance --capacity=1 ") + kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unschedulable"), std::string::npos) << r.output;
+}
+
+TEST(CliExport, WritesAllArtifacts) {
+  namespace fs = std::filesystem;
+  // Per-process directory: concurrent runs from several build trees
+  // (default + sanitize) must not clobber each other.
+#if defined(_WIN32)
+  const int pid = _getpid();
+#else
+  const int pid = getpid();
+#endif
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("lbmem_cli_export_test_" + std::to_string(pid));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string prefix = (dir / "out").string();
+
+  const RunResult r = run_cli(std::string("export \"--out=") + prefix +
+                              "\" " + kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* suffix :
+       {"_graph.dot", "_before.dot", "_after.dot", "_before.json",
+        "_after.json", "_stats.json"}) {
+    const fs::path artifact = prefix + suffix;
+    std::error_code ec;
+    const auto size = fs::file_size(artifact, ec);
+    EXPECT_FALSE(ec) << "missing " << artifact;
+    if (!ec) {
+      EXPECT_GT(size, 0u) << "empty " << artifact;
+    }
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+/// Golden-file regression tests for report/export.cpp and report/summary.cpp
+/// on the paper's worked example (gen/paper_example.cpp).
+///
+/// Each test renders one artifact and compares it byte for byte against the
+/// checked-in reference under tests/golden/. To regenerate after an
+/// intentional output change, run the binary with LBMEM_UPDATE_GOLDEN=1
+/// (see README.md, "Golden files") and review the diff like any other code.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "lbmem/gen/paper_example.hpp"
+#include "lbmem/lb/block_builder.hpp"
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/report/export.hpp"
+#include "lbmem/report/gantt.hpp"
+#include "lbmem/report/summary.hpp"
+
+#ifndef LBMEM_GOLDEN_DIR
+#error "LBMEM_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+namespace lbmem {
+namespace {
+
+bool update_mode() {
+  const char* flag = std::getenv("LBMEM_UPDATE_GOLDEN");
+  return flag != nullptr && *flag != '\0' && std::string(flag) != "0";
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(LBMEM_GOLDEN_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ADD_FAILURE() << "cannot read golden file " << path
+                  << " (run with LBMEM_UPDATE_GOLDEN=1 to create it)";
+    return {};
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (update_mode()) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  EXPECT_EQ(read_file(path), actual) << "artifact " << name
+      << " drifted from tests/golden/" << name
+      << "; if intentional, regenerate with LBMEM_UPDATE_GOLDEN=1";
+}
+
+/// Shared fixture: the worked example balanced once, with trace recording.
+class GoldenPaperExample : public ::testing::Test {
+ protected:
+  GoldenPaperExample()
+      : graph_(paper_example_graph()),
+        before_(paper_example_schedule(graph_)),
+        result_([this] {
+          BalanceOptions options;
+          options.record_trace = true;
+          return LoadBalancer(options).balance(before_);
+        }()) {}
+
+  TaskGraph graph_;
+  Schedule before_;
+  BalanceResult result_;
+};
+
+TEST_F(GoldenPaperExample, GraphDot) {
+  check_golden("paper_graph.dot", graph_to_dot(graph_));
+}
+
+TEST_F(GoldenPaperExample, ScheduleBeforeDot) {
+  check_golden("paper_before.dot", schedule_to_dot(before_));
+}
+
+TEST_F(GoldenPaperExample, ScheduleAfterDot) {
+  check_golden("paper_after.dot", schedule_to_dot(result_.schedule));
+}
+
+TEST_F(GoldenPaperExample, ScheduleBeforeJson) {
+  check_golden("paper_before.json", schedule_to_json(before_));
+}
+
+TEST_F(GoldenPaperExample, ScheduleAfterJson) {
+  check_golden("paper_after.json", schedule_to_json(result_.schedule));
+}
+
+TEST_F(GoldenPaperExample, StatsJson) {
+  // wall_seconds is the one nondeterministic stat; pin it for the diff.
+  BalanceStats stats = result_.stats;
+  stats.wall_seconds = 0.0;
+  check_golden("paper_stats.json", stats_to_json(stats));
+}
+
+TEST_F(GoldenPaperExample, Summary) {
+  check_golden("paper_summary.txt", summarize(result_.stats));
+}
+
+TEST_F(GoldenPaperExample, GanttBeforeAfter) {
+  check_golden("paper_gantt.txt",
+               "--- before (paper Fig. 3) ---\n" + render_gantt(before_) +
+                   "\n--- after (paper Fig. 4) ---\n" +
+                   render_gantt(result_.schedule));
+}
+
+TEST_F(GoldenPaperExample, Walkthrough) {
+  // The Section 3.3 decision walkthrough, one line per balancing step.
+  const BlockDecomposition dec = build_blocks(before_);
+  std::ostringstream out;
+  for (const StepRecord& step : result_.trace) {
+    out << describe_step(before_, step, dec) << "\n";
+  }
+  check_golden("paper_walkthrough.txt", out.str());
+}
+
+}  // namespace
+}  // namespace lbmem
