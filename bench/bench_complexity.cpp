@@ -95,6 +95,12 @@ BENCHMARK(BM_Balance)
 BENCHMARK(BM_Balance)
     ->ArgsProduct({{1000}, {4, 8, 16, 32, 64}})
     ->Unit(benchmark::kMillisecond);
+// Processor sweep at the largest task count: the scheduler-excluded
+// O(M*Nblocks) fit from the file header — ns_per_M*Nblocks should stay
+// near-constant down this column. (M=8 is covered by the task sweep.)
+BENCHMARK(BM_Balance)
+    ->ArgsProduct({{4000}, {4, 16, 32, 64}})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BuildBlocks)
     ->Arg(500)
     ->Arg(2000)

@@ -22,12 +22,4 @@ CommModel CommModel::affine(Time latency, Mem bandwidth_units_per_tick) {
   return CommModel(-1, latency, bandwidth_units_per_tick);
 }
 
-Time CommModel::transfer_time(Mem data_size) const {
-  LBMEM_REQUIRE(data_size >= 0, "negative data size");
-  if (flat_cost_ >= 0) {
-    return flat_cost_;
-  }
-  return latency_ + ceil_div(data_size, bandwidth_);
-}
-
 }  // namespace lbmem

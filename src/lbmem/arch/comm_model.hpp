@@ -11,6 +11,7 @@
 /// of Theorem 1).
 
 #include "lbmem/model/types.hpp"
+#include "lbmem/util/math.hpp"
 
 namespace lbmem {
 
@@ -25,7 +26,14 @@ class CommModel {
 
   /// Time for transferring \p data_size units between two distinct
   /// processors. Returns 0 for a local (same-processor) "transfer".
-  Time transfer_time(Mem data_size) const;
+  /// Inline: evaluated once per dependence on the balancer hot path.
+  Time transfer_time(Mem data_size) const {
+    LBMEM_REQUIRE(data_size >= 0, "negative data size");
+    if (flat_cost_ >= 0) {
+      return flat_cost_;
+    }
+    return latency_ + ceil_div(data_size, bandwidth_);
+  }
 
   /// Largest transfer time over the given data sizes — the paper's γ
   /// (longest communication), used by the Theorem-1 bound.

@@ -47,17 +47,9 @@ BlockDecomposition build_blocks(const Schedule& sched) {
   LBMEM_REQUIRE(sched.complete(), "build_blocks requires a complete schedule");
   const TaskGraph& graph = sched.graph();
 
-  // Dense index over all instances.
-  std::vector<std::size_t> base(graph.task_count());
-  std::size_t total = 0;
-  for (TaskId t = 0; t < static_cast<TaskId>(graph.task_count()); ++t) {
-    base[static_cast<std::size_t>(t)] = total;
-    total += static_cast<std::size_t>(graph.instance_count(t));
-  }
-  const auto dense = [&](TaskInstance inst) {
-    return base[static_cast<std::size_t>(inst.task)] +
-           static_cast<std::size_t>(inst.k);
-  };
+  // Dense index over all instances (the graph's CSR enumeration).
+  const std::size_t total = graph.total_instances();
+  const auto dense = [&](TaskInstance inst) { return graph.dense_index(inst); };
 
   UnionFind uf(total);
 
@@ -69,8 +61,9 @@ BlockDecomposition build_blocks(const Schedule& sched) {
     const InstanceIdx nc = graph.instance_count(dep.consumer);
     for (InstanceIdx k = 0; k < nc; ++k) {
       const TaskInstance consumer{dep.consumer, k};
-      for (const InstanceIdx pk : graph.consumed_instances(e, k)) {
-        const TaskInstance producer{dep.producer, pk};
+      const ConsumedRange range = graph.consumed_range(e, k);
+      for (InstanceIdx i = 0; i < range.count; ++i) {
+        const TaskInstance producer{dep.producer, range.first + i};
         if (sched.proc(producer) != sched.proc(consumer)) continue;
         const Time slack = sched.start(consumer) - sched.end(producer);
         if (slack < comm) {

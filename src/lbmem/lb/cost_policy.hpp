@@ -59,7 +59,9 @@ struct DestinationScore {
   Mem moved_mem = 0;   ///< Σ memory of blocks already moved to proc
   bool is_home = false;
   Lambda lambda;       ///< filled for feasible candidates
-  std::string reject_reason;  ///< set when !feasible
+  /// Set when !feasible. Always a string literal (static storage) so that
+  /// evaluating a candidate never allocates on the balancer hot path.
+  const char* reject_reason = "";
 };
 
 /// Is candidate \p a strictly better than \p b under \p policy?

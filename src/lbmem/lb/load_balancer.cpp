@@ -1,6 +1,7 @@
 #include "lbmem/lb/load_balancer.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 
 #include "lbmem/model/hyperperiod.hpp"
@@ -26,14 +27,21 @@ namespace {
 /// are invisible to overlap checks (their placement is fixed when their
 /// turn comes — step 3 of the worked example moves a block onto P1 slots
 /// that still "hold" the unmoved a3).
+///
+/// Hot-path layout: every per-destination evaluation (M of them per block)
+/// works exclusively off scratch state prepared once per block pop by
+/// prepare_block() — the tentative instance layout, the destination-
+/// invariant split of each member's external data-readiness, and the gain
+/// cap imposed by the block's pinned later instances. evaluate() therefore
+/// performs no heap allocation and never rewalks the dependence graph.
 class Attempt {
  public:
   Attempt(const Schedule& input, const BalanceOptions& opts,
-          Time max_gain_override)
+          Time max_gain_override, const BlockDecomposition& dec)
       : opts_(opts),
         max_gain_(max_gain_override),
         sched_(input),
-        dec_(build_blocks(input)),
+        dec_(dec),
         h_(input.graph().hyperperiod()),
         procs_(input.architecture().processor_count()),
         occupancy_(static_cast<std::size_t>(procs_), ProcTimeline(h_)),
@@ -46,12 +54,9 @@ class Attempt {
     for (ProcId p = 0; p < procs_; ++p) {
       resident_mem_[static_cast<std::size_t>(p)] = input.memory_on(p);
     }
-    instance_processed_.resize(input.graph().task_count());
-    for (TaskId t = 0; t < static_cast<TaskId>(input.graph().task_count());
-         ++t) {
-      instance_processed_[static_cast<std::size_t>(t)].assign(
-          static_cast<std::size_t>(input.graph().instance_count(t)), false);
-    }
+    const std::size_t total = input.graph().total_instances();
+    instance_processed_.assign(total, 0);
+    affected_epoch_.assign(total, 0);
     if (opts_.overlap_rule == OverlapRule::AllInstances) {
       for (const TaskInstance inst : input.all_instances()) {
         all_occ_[static_cast<std::size_t>(input.proc(inst))].add(
@@ -75,35 +80,83 @@ class Attempt {
     }
   };
 
-  /// Target position of one instance affected by a tentative move: members
-  /// land on the destination; for a positive category-1 gain the later
-  /// instances of the block's tasks shift in place on their own processor.
-  struct ShiftedInstance {
+  /// One instance a tentative move relocates, frozen at pop time: members
+  /// land on the candidate destination; for a positive category-1 gain the
+  /// later instances of the block's tasks shift in place on their own
+  /// processor. Tentative start = base_start - gain.
+  struct LayoutEntry {
     TaskInstance inst;
-    ProcId proc;
-    Time new_start;
+    ProcId proc;  // shifting siblings: own processor; members: the candidate
+    Time base_start;
+    Time wcet;
+  };
+
+  /// Destination-invariant split of one member's external data-readiness
+  /// (paper Eq. 1): over external producers, the arrival is end + C unless
+  /// the producer sits on the candidate destination (then C = 0). So
+  /// ready(dest) = max over producer procs q != dest of A[q], maxed with
+  /// the colocated term B[dest], where A[q] is the per-proc max of
+  /// end + C and B[q] the per-proc max of plain end. We cache the top two
+  /// A values on distinct procs plus the (proc, end) pairs for B.
+  struct MemberReady {
+    Time remote_top1 = 0;
+    ProcId remote_top1_proc = kNoProc;
+    Time remote_top2 = 0;
+    std::uint32_t local_begin = 0;
+    std::uint32_t local_end = 0;  // slice of local_arrivals_
   };
 
   const TaskGraph& graph() const { return sched_.graph(); }
 
-  std::vector<ShiftedInstance> shifted_layout(const Block& block, ProcId dest,
-                                              Time gain) const;
-  Time external_data_ready(const Block& block, TaskInstance inst,
-                           ProcId dest) const;
+  std::size_t dense(TaskInstance inst) const {
+    return graph().dense_index(inst);
+  }
+
+  void prepare_block(const Block& block);
+  Time member_ready(std::size_t member_idx, ProcId dest) const;
   DestinationScore evaluate(const Block& block, ProcId dest) const;
   void commit(const Block& block, ProcId dest, Time gain, bool forced,
               BalanceStats& stats);
 
-  /// Re-insert detached instances into the all-instances occupancy at
-  /// their (post-commit) positions.
-  void reattach(const std::vector<TaskInstance>& affected) {
+  /// An instance this pop's tentative move would relocate (its existing
+  /// footprint must not block its own placement).
+  bool is_affected(TaskInstance inst) const {
+    return affected_epoch_[dense(inst)] == epoch_;
+  }
+
+  /// Occupancy filter for overlap checks: skip only affected instances
+  /// that are still unprocessed. A processed sibling is a committed
+  /// placement (it also pins the gain to zero), so its footprint must keep
+  /// blocking candidates — under MovedOnly it is the only record of the
+  /// committed prefix the old unfiltered scan consulted.
+  bool ignore_in_occupancy(TaskInstance inst) const {
+    return is_affected(inst) && !instance_processed_[dense(inst)];
+  }
+
+  /// Update the all-instances occupancy after a commit. Only instances
+  /// whose placement actually changed are touched: a zero-gain stay-at-home
+  /// (the common case at scale) costs nothing.
+  void update_all_occ(ProcId dest, ProcId home, Time gain) {
     if (opts_.overlap_rule != OverlapRule::AllInstances) return;
-    for (const TaskInstance& inst : affected) {
+    if (gain <= 0 && dest == home) return;  // nothing moved
+    // gain > 0: every affected instance shifted; gain == 0 with an
+    // off-home destination: only the members changed processor. layout_ is
+    // parallel to affected_ and still records the pre-commit processors
+    // (members lived on the block's home).
+    const std::size_t count = (gain > 0) ? affected_.size() : member_count_;
+    for (std::size_t i = 0; i < count; ++i) {
+      const ProcId before = (i < member_count_) ? home : layout_[i].proc;
+      all_occ_[static_cast<std::size_t>(before)].remove(affected_[i]);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const TaskInstance inst = affected_[i];
       auto& occ = all_occ_[static_cast<std::size_t>(sched_.proc(inst))];
       const Time start = sched_.start(inst);
       const Time wcet = graph().task(inst.task).wcet;
-      // A forced stay can leave a genuine conflict; the final validation
-      // reports it, so tolerate the missing footprint here.
+      // Every committed placement should fit (evaluate() checked it), but
+      // if one ever does not, drop the footprint rather than throw: the
+      // schedule itself then carries the overlap, the end-of-run validation
+      // rejects it, and the gain-disabled retry takes over gracefully.
       if (occ.fits(start, wcet)) occ.add(start, wcet, inst);
     }
   }
@@ -118,26 +171,12 @@ class Attempt {
     return occupancy_[static_cast<std::size_t>(p)];
   }
 
-  /// Instances whose positions this block's processing may change:
-  /// the members, plus — for category-1 blocks — the later (pinned)
-  /// instances of the block's tasks, which shift with any gain.
-  std::vector<TaskInstance> affected_instances(const Block& block) const {
-    std::vector<TaskInstance> out = block.members;
-    if (block.category == 1) {
-      for (const TaskId t : block.tasks) {
-        const InstanceIdx n = graph().instance_count(t);
-        for (InstanceIdx k = 1; k < n; ++k) {
-          out.push_back(TaskInstance{t, k});
-        }
-      }
-    }
-    return out;
-  }
-
   const BalanceOptions& opts_;
   Time max_gain_;  // -1 = unlimited, otherwise a cap on per-block gains
   Schedule sched_;
-  BlockDecomposition dec_;
+  // Blocks depend only on the (shared) input schedule, so the
+  // decomposition is built once per balance() and reused across attempts.
+  const BlockDecomposition& dec_;
   Time h_;
   int procs_;
   std::vector<ProcTimeline> occupancy_;  // moved prefix only
@@ -147,43 +186,138 @@ class Attempt {
   std::vector<Time> first_moved_start_;
   std::vector<Mem> resident_mem_;
   std::vector<bool> processed_;
-  std::vector<std::vector<bool>> instance_processed_;
+  std::vector<std::uint8_t> instance_processed_; // flat, by graph dense index
+  // Epoch-stamped membership of the current pop's affected set: stamping is
+  // O(|affected|) per pop with no clearing pass.
+  std::vector<std::uint32_t> affected_epoch_;
+  std::uint32_t epoch_ = 0;
+
+  // ---- scratch prepared by prepare_block(), read-only in evaluate() ------
+  // (capacities persist across pops, so steady-state pops do not allocate)
+  std::vector<TaskInstance> affected_;  // members + shifting siblings
+  std::vector<LayoutEntry> layout_;     // members prefix, then siblings
+  std::size_t member_count_ = 0;
+  std::vector<MemberReady> member_ready_;  // parallel to block.members
+  std::vector<std::pair<ProcId, Time>> local_arrivals_;  // B terms, sliced
+  Time pinned_cap_ = 0;  // gain cap from pinned later instances
+  Time block_start_ = 0;
 };
 
-std::vector<Attempt::ShiftedInstance> Attempt::shifted_layout(
-    const Block& block, ProcId dest, Time gain) const {
-  std::vector<ShiftedInstance> layout;
+void Attempt::prepare_block(const Block& block) {
+  affected_.clear();
+  layout_.clear();
+  member_ready_.clear();
+  local_arrivals_.clear();
+  pinned_cap_ = std::numeric_limits<Time>::max();
+  block_start_ = block.start(sched_);
+  ++epoch_;
+
   for (const TaskInstance& inst : block.members) {
-    layout.push_back(ShiftedInstance{inst, dest, sched_.start(inst) - gain});
+    affected_.push_back(inst);
+    affected_epoch_[dense(inst)] = epoch_;
+    layout_.push_back(LayoutEntry{inst, kNoProc, sched_.start(inst),
+                                  graph().task(inst.task).wcet});
   }
-  if (block.category == 1 && gain > 0) {
+  member_count_ = layout_.size();
+  if (block.category == 1) {
     for (const TaskId t : block.tasks) {
       const InstanceIdx n = graph().instance_count(t);
       for (InstanceIdx k = 1; k < n; ++k) {
         const TaskInstance inst{t, k};
-        layout.push_back(ShiftedInstance{inst, sched_.proc(inst),
-                                         sched_.start(inst) - gain});
+        affected_.push_back(inst);
+        affected_epoch_[dense(inst)] = epoch_;
+        layout_.push_back(LayoutEntry{inst, sched_.proc(inst),
+                                      sched_.start(inst),
+                                      graph().task(inst.task).wcet});
       }
     }
   }
-  return layout;
+
+  // Member data-readiness, split into the dest-invariant remote part and
+  // the per-producer-proc colocated corrections.
+  for (const TaskInstance& inst : block.members) {
+    MemberReady mr;
+    mr.local_begin = static_cast<std::uint32_t>(local_arrivals_.size());
+    for (const std::int32_t e : graph().deps_in(inst.task)) {
+      const Dependence& dep =
+          graph().dependences()[static_cast<std::size_t>(e)];
+      // Producers whose task belongs to the block either move along
+      // (members) or shift along (later instances of a member task); in
+      // both cases the constraint is invariant under the move — DESIGN.md §6.
+      if (block.contains_task(dep.producer)) continue;
+      const Time comm = sched_.comm().transfer_time(dep.data_size);
+      const ConsumedRange range = graph().consumed_range(e, inst.k);
+      for (InstanceIdx i = 0; i < range.count; ++i) {
+        const TaskInstance producer{dep.producer, range.first + i};
+        const ProcId pp = sched_.proc(producer);
+        const Time end = sched_.end(producer);
+        const Time remote = end + comm;
+        if (pp == mr.remote_top1_proc) {
+          mr.remote_top1 = std::max(mr.remote_top1, remote);
+        } else if (remote > mr.remote_top1) {
+          mr.remote_top2 = mr.remote_top1;
+          mr.remote_top1 = remote;
+          mr.remote_top1_proc = pp;
+        } else {
+          mr.remote_top2 = std::max(mr.remote_top2, remote);
+        }
+        // Fold the colocated term to one per-proc max so member_ready
+        // rescans at most min(#procs, #producers) pairs per destination.
+        bool merged = false;
+        for (std::size_t j = mr.local_begin; j < local_arrivals_.size();
+             ++j) {
+          if (local_arrivals_[j].first == pp) {
+            local_arrivals_[j].second =
+                std::max(local_arrivals_[j].second, end);
+            merged = true;
+            break;
+          }
+        }
+        if (!merged) local_arrivals_.emplace_back(pp, end);
+      }
+    }
+    mr.local_end = static_cast<std::uint32_t>(local_arrivals_.size());
+    member_ready_.push_back(mr);
+  }
+
+  // Gain cap from the pinned later instances of the block's tasks
+  // (DESIGN.md F5): their strict-periodic starts shift along, so even the
+  // best possible data arrival (co-location with the producer) must not
+  // exceed the shifted start; an already-committed later instance pins the
+  // gain to zero outright.
+  if (block.category == 1) {
+    for (const TaskId t : block.tasks) {
+      const InstanceIdx n = graph().instance_count(t);
+      for (InstanceIdx k = 1; k < n; ++k) {
+        const TaskInstance later{t, k};
+        if (instance_processed_[dense(later)]) {
+          pinned_cap_ = 0;  // committed placements must not move retroactively
+          continue;
+        }
+        const Time later_start = sched_.start(later);
+        for (const std::int32_t e : graph().deps_in(t)) {
+          const Dependence& dep =
+              graph().dependences()[static_cast<std::size_t>(e)];
+          if (block.contains_task(dep.producer)) continue;
+          const ConsumedRange range = graph().consumed_range(e, later.k);
+          for (InstanceIdx i = 0; i < range.count; ++i) {
+            const Time best_arrival =
+                sched_.end(TaskInstance{dep.producer, range.first + i});
+            pinned_cap_ = std::min(pinned_cap_, later_start - best_arrival);
+          }
+        }
+      }
+    }
+  }
 }
 
-Time Attempt::external_data_ready(const Block& block, TaskInstance inst,
-                                  ProcId dest) const {
-  Time ready = 0;
-  for (const std::int32_t e : graph().deps_in(inst.task)) {
-    const Dependence& dep = graph().dependences()[static_cast<std::size_t>(e)];
-    // Producers whose task belongs to the block either move along (members)
-    // or shift along (later instances of a member task); in both cases the
-    // constraint is invariant under the move — see DESIGN.md §6.
-    if (block.contains_task(dep.producer)) continue;
-    const Time comm = sched_.comm().transfer_time(dep.data_size);
-    for (const InstanceIdx pk : graph().consumed_instances(e, inst.k)) {
-      const TaskInstance producer{dep.producer, pk};
-      const Time arrival = sched_.end(producer) +
-                           (sched_.proc(producer) == dest ? Time{0} : comm);
-      ready = std::max(ready, arrival);
+Time Attempt::member_ready(std::size_t member_idx, ProcId dest) const {
+  const MemberReady& mr = member_ready_[member_idx];
+  Time ready =
+      (dest == mr.remote_top1_proc) ? mr.remote_top2 : mr.remote_top1;
+  for (std::uint32_t i = mr.local_begin; i < mr.local_end; ++i) {
+    if (local_arrivals_[i].first == dest) {
+      ready = std::max(ready, local_arrivals_[i].second);
     }
   }
   return ready;
@@ -195,7 +329,7 @@ DestinationScore Attempt::evaluate(const Block& block, ProcId dest) const {
   score.is_home = (dest == block.home);
   score.moved_mem = moved_mem_[static_cast<std::size_t>(dest)];
 
-  const Time block_start = block.start(sched_);
+  const Time block_start = block_start_;
 
   // Eligibility (paper Section 3.2): the processor's moved prefix must end
   // no later than the block starts.
@@ -218,19 +352,15 @@ DestinationScore Attempt::evaluate(const Block& block, ProcId dest) const {
   // collides independently of the gain (both move by the same amount, so
   // their relative offset is fixed).
   if (block.category == 1 && dest != block.home) {
-    for (const TaskId t : block.tasks) {
-      const InstanceIdx n = graph().instance_count(t);
-      for (InstanceIdx k = 1; k < n; ++k) {
-        const TaskInstance sibling{t, k};
-        if (sched_.proc(sibling) != dest) continue;
-        for (const TaskInstance& member : block.members) {
-          if (circular_overlap(sched_.start(member),
-                               graph().task(member.task).wcet,
-                               sched_.start(sibling),
-                               graph().task(sibling.task).wcet, h_)) {
-            score.reject_reason = "member collides with shifting sibling";
-            return score;
-          }
+    for (std::size_t s = member_count_; s < layout_.size(); ++s) {
+      const LayoutEntry& sibling = layout_[s];
+      if (sibling.proc != dest) continue;
+      for (std::size_t m = 0; m < member_count_; ++m) {
+        const LayoutEntry& member = layout_[m];
+        if (circular_overlap(member.base_start, member.wcet,
+                             sibling.base_start, sibling.wcet, h_)) {
+          score.reject_reason = "member collides with shifting sibling";
+          return score;
         }
       }
     }
@@ -241,84 +371,78 @@ DestinationScore Attempt::evaluate(const Block& block, ProcId dest) const {
     // Largest shift allowed by processor availability…
     gain = block_start - avail;
     // …by every member's external data (paper Eq. 1 semantics)…
-    for (const TaskInstance& inst : block.members) {
-      gain = std::min(gain,
-                      sched_.start(inst) - external_data_ready(block, inst, dest));
+    for (std::size_t m = 0; m < member_count_; ++m) {
+      gain = std::min(gain, layout_[m].base_start - member_ready(m, dest));
     }
     if (gain < 0) {
       score.reject_reason = "data arrives after the required start";
       return score;
     }
-    // …and by the pinned later instances of the block's tasks (DESIGN.md
-    // F5): their strict-periodic starts shift along, so even the best
-    // possible data arrival (co-location with the producer) must not
-    // exceed the shifted start.
-    for (const TaskId t : block.tasks) {
-      const InstanceIdx n = graph().instance_count(t);
-      for (InstanceIdx k = 1; k < n && gain > 0; ++k) {
-        const TaskInstance later{t, k};
-        if (instance_processed_[static_cast<std::size_t>(t)]
-                               [static_cast<std::size_t>(k)]) {
-          gain = 0;  // committed placements must not move retroactively
-          break;
-        }
-        for (const std::int32_t e : graph().deps_in(t)) {
-          const Dependence& dep =
-              graph().dependences()[static_cast<std::size_t>(e)];
-          if (block.contains_task(dep.producer)) continue;
-          for (const InstanceIdx pk :
-               graph().consumed_instances(e, later.k)) {
-            const Time best_arrival =
-                sched_.end(TaskInstance{dep.producer, pk});
-            gain = std::min(gain, sched_.start(later) - best_arrival);
-          }
-        }
-      }
-    }
+    // …and by the pinned later instances of the block's tasks.
+    gain = std::min(gain, pinned_cap_);
     gain = std::max<Time>(gain, 0);
     if (max_gain_ >= 0) gain = std::min(gain, max_gain_);
 
     // Conflict-driven reduction against the moved prefix: every affected
     // instance must avoid the committed occupation on its target processor.
     // Reducing the gain slides positions later; each step clears the
-    // current conflict at the end of the conflicting piece.
+    // current conflict at the end of the conflicting piece. The scan
+    // resumes from the conflicting entry (re-checking it at the reduced
+    // gain) and terminates once a full circular pass stays conflict-free —
+    // committed pieces never move, so any gain skipped over is infeasible
+    // for the instance that conflicted, making the result order-independent.
+    const std::size_t total = layout_.size();
+    std::size_t idx = 0;
+    std::size_t cleared = 0;
     std::size_t guard = 0;
-    for (bool reduced = true; reduced;) {
-      if (++guard > 10000) {
-        score.reject_reason = "no conflict-free gain";
-        return score;
-      }
-      reduced = false;
-      for (const ShiftedInstance& si : shifted_layout(block, dest, gain)) {
-        const Time wcet = graph().task(si.inst.task).wcet;
-        const auto conflict =
-            blocking_occ(si.proc).conflicting_owner(si.new_start, wcet);
-        if (!conflict) continue;
-        const Time conflict_end =
-            sched_.end(*conflict);  // committed positions never move later
-        Time delta = mod_floor(conflict_end - si.new_start, h_);
-        if (delta == 0) delta = h_;
-        gain -= delta;
-        if (gain < 0) {
-          score.reject_reason = "overlap with moved blocks";
-          return score;
+    while (cleared < total) {
+      const LayoutEntry& le = layout_[idx];
+      // Shifting siblings only move while the gain is positive; at zero
+      // gain they stay put and impose no constraint.
+      const bool active = idx < member_count_ || gain > 0;
+      if (active) {
+        const ProcId where = idx < member_count_ ? dest : le.proc;
+        const Time tentative = le.base_start - gain;
+        if (const auto conflict = blocking_occ(where).conflicting_owner_if(
+                tentative, le.wcet, [this](TaskInstance owner) {
+                  return ignore_in_occupancy(owner);
+                })) {
+          if (++guard > 10000) {
+            score.reject_reason = "no conflict-free gain";
+            return score;
+          }
+          const Time conflict_end =
+              sched_.end(*conflict);  // committed positions never move later
+          Time delta = mod_floor(conflict_end - tentative, h_);
+          if (delta == 0) delta = h_;
+          gain -= delta;
+          if (gain < 0) {
+            score.reject_reason = "overlap with moved blocks";
+            return score;
+          }
+          cleared = 0;
+          continue;  // re-check this entry at the reduced gain
         }
-        reduced = true;
-        break;
       }
+      ++cleared;
+      idx = (idx + 1 == total) ? 0 : idx + 1;
     }
   } else {
     // Category 2: pinned by strict periodicity; the move must work at the
     // current start times.
-    for (const TaskInstance& inst : block.members) {
-      if (external_data_ready(block, inst, dest) > sched_.start(inst)) {
+    for (std::size_t m = 0; m < member_count_; ++m) {
+      if (member_ready(m, dest) > layout_[m].base_start) {
         score.reject_reason = "data arrives after the pinned start";
         return score;
       }
     }
-    for (const TaskInstance& inst : block.members) {
-      const Time wcet = graph().task(inst.task).wcet;
-      if (!blocking_occ(dest).fits(sched_.start(inst), wcet)) {
+    for (std::size_t m = 0; m < member_count_; ++m) {
+      if (blocking_occ(dest)
+              .conflicting_owner_if(layout_[m].base_start, layout_[m].wcet,
+                                    [this](TaskInstance owner) {
+                                      return ignore_in_occupancy(owner);
+                                    })
+              .has_value()) {
         score.reject_reason = "overlap with moved blocks";
         return score;
       }
@@ -364,8 +488,7 @@ void Attempt::commit(const Block& block, ProcId dest, Time gain, bool forced,
       // Only reachable on a forced stay; the final validation reports it.
       LBMEM_REQUIRE(forced, "unexpected occupancy conflict on commit");
     }
-    instance_processed_[static_cast<std::size_t>(inst.task)]
-                       [static_cast<std::size_t>(inst.k)] = true;
+    instance_processed_[dense(inst)] = 1;
   }
 
   if (dest != block.home) {
@@ -403,38 +526,35 @@ bool Attempt::run(std::vector<StepRecord>* trace, BalanceStats& stats) {
       continue;  // stale key; the shifted re-queue entry will handle it
     }
 
-    // Detach the instances this decision may relocate from the
-    // all-instances occupancy, so they do not block their own placement;
-    // commit() re-attaches them at their final positions.
-    const std::vector<TaskInstance> affected = affected_instances(block);
-    if (opts_.overlap_rule == OverlapRule::AllInstances) {
-      for (const TaskInstance& inst : affected) {
-        all_occ_[static_cast<std::size_t>(sched_.proc(inst))].remove(inst);
-      }
-    }
+    // Freeze this block's layout, data-readiness split and gain cap for
+    // the M evaluations below. Overlap checks ignore the affected set (its
+    // footprints must not block their own relocation), so nothing is
+    // detached from the occupancy here.
+    prepare_block(block);
 
     StepRecord record;
     record.block = block.id;
-    record.start_before = block.start(sched_);
-    record.candidates.reserve(static_cast<std::size_t>(procs_));
-    for (ProcId p = 0; p < procs_; ++p) {
-      record.candidates.push_back(evaluate(block, p));
-    }
+    record.start_before = block_start_;
+    if (trace) record.candidates.reserve(static_cast<std::size_t>(procs_));
 
-    const DestinationScore* best = nullptr;
-    for (const DestinationScore& cand : record.candidates) {
-      if (!cand.feasible) continue;
-      if (!best || better_candidate(opts_.policy, cand, *best)) {
-        best = &cand;
+    DestinationScore best;
+    bool have_best = false;
+    for (ProcId p = 0; p < procs_; ++p) {
+      const DestinationScore cand = evaluate(block, p);
+      if (trace) record.candidates.push_back(cand);
+      if (cand.feasible &&
+          (!have_best || better_candidate(opts_.policy, cand, best))) {
+        best = cand;
+        have_best = true;
       }
     }
 
-    if (best) {
-      record.chosen = best->proc;
-      record.applied_gain = best->gain;
-      commit(block, best->proc, best->gain, /*forced=*/false, stats);
-      reattach(affected);
-      if (best->gain > 0) {
+    if (have_best) {
+      record.chosen = best.proc;
+      record.applied_gain = best.gain;
+      commit(block, best.proc, best.gain, /*forced=*/false, stats);
+      update_all_occ(best.proc, block.home, best.gain);
+      if (best.gain > 0) {
         // Re-queue the blocks whose pinned instances shifted along.
         for (const TaskId t : block.tasks) {
           const InstanceIdx n = graph().instance_count(t);
@@ -453,7 +573,7 @@ bool Attempt::run(std::vector<StepRecord>* trace, BalanceStats& stats) {
       record.chosen = block.home;
       ++stats.forced_stays;
       commit(block, block.home, 0, /*forced=*/true, stats);
-      reattach(affected);
+      // Forced stay: nothing moved, the occupancy already matches.
     }
     if (trace) trace->push_back(std::move(record));
   }
@@ -474,12 +594,14 @@ BalanceResult LoadBalancer::balance(const Schedule& input) const {
     base.memory_before.push_back(input.memory_on(p));
   }
 
+  const BlockDecomposition dec = build_blocks(input);
+
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
     // The first attempt honours options_.max_gain; later attempts disable
     // gains entirely (pure memory spreading — every move is individually
     // checked, no optimistic shift propagation remains).
     const Time gain_override = (attempt == 1) ? options_.max_gain : 0;
-    Attempt run(input, options_, gain_override);
+    Attempt run(input, options_, gain_override, dec);
     BalanceStats stats = base;
     stats.attempts_used = attempt;
     std::vector<StepRecord> trace;

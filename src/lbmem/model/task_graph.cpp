@@ -119,13 +119,19 @@ void TaskGraph::freeze() {
   if (topo_order_.size() != tasks_.size()) {
     throw ModelError("task graph contains a dependence cycle");
   }
-  frozen_ = true;
-}
 
-const Task& TaskGraph::task(TaskId id) const {
-  LBMEM_REQUIRE(id >= 0 && id < static_cast<TaskId>(tasks_.size()),
-                "task id out of range");
-  return tasks_[static_cast<std::size_t>(id)];
+  // Instance counts (H / period) and CSR offsets, cached so hot paths
+  // never divide or re-derive the dense instance enumeration.
+  instance_count_.resize(tasks_.size());
+  instance_base_.resize(tasks_.size() + 1);
+  instance_base_[0] = 0;
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    instance_count_[t] = static_cast<InstanceIdx>(hyperperiod_ / tasks_[t].period);
+    instance_base_[t + 1] =
+        instance_base_[t] + static_cast<std::size_t>(instance_count_[t]);
+  }
+  total_instances_ = instance_base_.back();
+  frozen_ = true;
 }
 
 TaskId TaskGraph::find(const std::string& name) const {
@@ -135,39 +141,6 @@ TaskId TaskGraph::find(const std::string& name) const {
   throw ModelError("no task named " + name);
 }
 
-Time TaskGraph::hyperperiod() const {
-  require_frozen("hyperperiod");
-  return hyperperiod_;
-}
-
-InstanceIdx TaskGraph::instance_count(TaskId id) const {
-  require_frozen("instance_count");
-  return static_cast<InstanceIdx>(hyperperiod_ / task(id).period);
-}
-
-std::size_t TaskGraph::total_instances() const {
-  require_frozen("total_instances");
-  std::size_t total = 0;
-  for (TaskId t = 0; t < static_cast<TaskId>(tasks_.size()); ++t) {
-    total += static_cast<std::size_t>(instance_count(t));
-  }
-  return total;
-}
-
-std::span<const std::int32_t> TaskGraph::deps_in(TaskId consumer) const {
-  require_frozen("deps_in");
-  LBMEM_REQUIRE(consumer >= 0 && consumer < static_cast<TaskId>(tasks_.size()),
-                "task id out of range");
-  return in_edges_[static_cast<std::size_t>(consumer)];
-}
-
-std::span<const std::int32_t> TaskGraph::deps_out(TaskId producer) const {
-  require_frozen("deps_out");
-  LBMEM_REQUIRE(producer >= 0 && producer < static_cast<TaskId>(tasks_.size()),
-                "task id out of range");
-  return out_edges_[static_cast<std::size_t>(producer)];
-}
-
 std::span<const TaskId> TaskGraph::topological_order() const {
   require_frozen("topological_order");
   return topo_order_;
@@ -175,27 +148,11 @@ std::span<const TaskId> TaskGraph::topological_order() const {
 
 std::vector<InstanceIdx> TaskGraph::consumed_instances(std::int32_t dep_index,
                                                        InstanceIdx k) const {
-  require_frozen("consumed_instances");
-  LBMEM_REQUIRE(dep_index >= 0 &&
-                    dep_index < static_cast<std::int32_t>(deps_.size()),
-                "dependence index out of range");
-  const Dependence& d = deps_[static_cast<std::size_t>(dep_index)];
-  LBMEM_REQUIRE(k >= 0 && k < instance_count(d.consumer),
-                "consumer instance out of range");
-  const Time tp = task(d.producer).period;
-  const Time tc = task(d.consumer).period;
+  const ConsumedRange range = consumed_range(dep_index, k);
   std::vector<InstanceIdx> result;
-  if (tc >= tp) {
-    // Slow consumer gathers n = tc/tp data (paper Figure 1).
-    const auto n = static_cast<InstanceIdx>(tc / tp);
-    result.reserve(static_cast<std::size_t>(n));
-    for (InstanceIdx i = 0; i < n; ++i) {
-      result.push_back(k * n + i);
-    }
-  } else {
-    // Fast consumer samples the latest completed producer instance.
-    const auto n = static_cast<InstanceIdx>(tp / tc);
-    result.push_back(k / n);
+  result.reserve(static_cast<std::size_t>(range.count));
+  for (InstanceIdx i = 0; i < range.count; ++i) {
+    result.push_back(range.first + i);
   }
   return result;
 }
@@ -208,11 +165,9 @@ double TaskGraph::utilization() const {
   return u;
 }
 
-void TaskGraph::require_frozen(const char* what) const {
-  if (!frozen_) {
-    throw PreconditionError(std::string(what) +
-                            " requires a frozen TaskGraph (call freeze())");
-  }
+void TaskGraph::throw_not_frozen(const char* what) {
+  throw PreconditionError(std::string(what) +
+                          " requires a frozen TaskGraph (call freeze())");
 }
 
 void TaskGraph::require_mutable(const char* what) const {

@@ -15,8 +15,16 @@
 
 #include "lbmem/model/task.hpp"
 #include "lbmem/model/types.hpp"
+#include "lbmem/util/check.hpp"
 
 namespace lbmem {
+
+/// Contiguous run of producer instance indices consumed by one consumer
+/// instance (see TaskGraph::consumed_range).
+struct ConsumedRange {
+  InstanceIdx first = 0;
+  InstanceIdx count = 0;
+};
 
 /// Multi-rate application graph with strict-periodic tasks.
 class TaskGraph {
@@ -46,7 +54,13 @@ class TaskGraph {
   std::size_t task_count() const { return tasks_.size(); }
   std::size_t dependence_count() const { return deps_.size(); }
 
-  const Task& task(TaskId id) const;
+  /// Inline with a bounds check only: the balancer reads task shapes tens
+  /// of millions of times per run.
+  const Task& task(TaskId id) const {
+    LBMEM_REQUIRE(id >= 0 && id < static_cast<TaskId>(tasks_.size()),
+                  "task id out of range");
+    return tasks_[static_cast<std::size_t>(id)];
+  }
   std::span<const Task> tasks() const { return tasks_; }
   std::span<const Dependence> dependences() const { return deps_; }
 
@@ -54,19 +68,69 @@ class TaskGraph {
   TaskId find(const std::string& name) const;
 
   /// Hyper-period H = lcm of all task periods (paper Section 3.1, ref [13]).
-  Time hyperperiod() const;
+  Time hyperperiod() const {
+    require_frozen("hyperperiod");
+    return hyperperiod_;
+  }
 
   /// Number of instances of \p id within one hyper-period (H / period).
-  InstanceIdx instance_count(TaskId id) const;
+  /// Cached at freeze() — no division on the hot path.
+  InstanceIdx instance_count(TaskId id) const {
+    require_frozen("instance_count");
+    LBMEM_REQUIRE(id >= 0 && id < static_cast<TaskId>(tasks_.size()),
+                  "task id out of range");
+    return instance_count_[static_cast<std::size_t>(id)];
+  }
 
   /// Total instances across all tasks within one hyper-period.
-  std::size_t total_instances() const;
+  std::size_t total_instances() const {
+    require_frozen("total_instances");
+    return total_instances_;
+  }
+
+  /// Offset of task \p id's instances in the dense (CSR) instance
+  /// enumeration: instance (t, k) has dense index instance_base(t) + k, and
+  /// task t's slice is [instance_base(t), instance_base(t+1)). Cached at
+  /// freeze(); the single source of the mapping used by Schedule and the
+  /// balancer's flat per-instance tables.
+  std::size_t instance_base(TaskId id) const {
+    require_frozen("instance_base");
+    LBMEM_REQUIRE(id >= 0 && id <= static_cast<TaskId>(tasks_.size()),
+                  "task id out of range");
+    return instance_base_[static_cast<std::size_t>(id)];
+  }
+
+  /// Dense index of instance (t, k), bounds-checked.
+  std::size_t dense_index(TaskInstance inst) const {
+    require_frozen("dense_index");
+    LBMEM_REQUIRE(inst.task >= 0 &&
+                      inst.task < static_cast<TaskId>(tasks_.size()),
+                  "task id out of range");
+    LBMEM_REQUIRE(
+        inst.k >= 0 &&
+            inst.k < instance_count_[static_cast<std::size_t>(inst.task)],
+        "instance index out of range");
+    return instance_base_[static_cast<std::size_t>(inst.task)] +
+           static_cast<std::size_t>(inst.k);
+  }
 
   /// Dependences entering \p consumer (indices into dependences()).
-  std::span<const std::int32_t> deps_in(TaskId consumer) const;
+  std::span<const std::int32_t> deps_in(TaskId consumer) const {
+    require_frozen("deps_in");
+    LBMEM_REQUIRE(consumer >= 0 &&
+                      consumer < static_cast<TaskId>(tasks_.size()),
+                  "task id out of range");
+    return in_edges_[static_cast<std::size_t>(consumer)];
+  }
 
   /// Dependences leaving \p producer (indices into dependences()).
-  std::span<const std::int32_t> deps_out(TaskId producer) const;
+  std::span<const std::int32_t> deps_out(TaskId producer) const {
+    require_frozen("deps_out");
+    LBMEM_REQUIRE(producer >= 0 &&
+                      producer < static_cast<TaskId>(tasks_.size()),
+                  "task id out of range");
+    return out_edges_[static_cast<std::size_t>(producer)];
+  }
 
   /// A topological order of task ids (producers before consumers).
   std::span<const TaskId> topological_order() const;
@@ -80,12 +144,37 @@ class TaskGraph {
   std::vector<InstanceIdx> consumed_instances(std::int32_t dep_index,
                                               InstanceIdx k) const;
 
+  /// The same producer instances as a contiguous range {first, count}
+  /// (both harmonic cases consume consecutive indices). Allocation-free and
+  /// inline; preferred on hot paths.
+  ConsumedRange consumed_range(std::int32_t dep_index, InstanceIdx k) const {
+    require_frozen("consumed_range");
+    LBMEM_REQUIRE(dep_index >= 0 &&
+                      dep_index < static_cast<std::int32_t>(deps_.size()),
+                  "dependence index out of range");
+    const Dependence& d = deps_[static_cast<std::size_t>(dep_index)];
+    LBMEM_REQUIRE(k >= 0 && k < instance_count(d.consumer),
+                  "consumer instance out of range");
+    const Time tp = task(d.producer).period;
+    const Time tc = task(d.consumer).period;
+    if (tc >= tp) {
+      // Slow consumer gathers n = tc/tp data (paper Figure 1).
+      const auto n = static_cast<InstanceIdx>(tc / tp);
+      return ConsumedRange{k * n, n};
+    }
+    // Fast consumer samples the latest completed producer instance.
+    return ConsumedRange{k / static_cast<InstanceIdx>(tp / tc), 1};
+  }
+
   /// Sum over tasks of wcet/period (fraction of one processor the whole
   /// application needs; schedulability requires utilization() <= M).
   double utilization() const;
 
  private:
-  void require_frozen(const char* what) const;
+  void require_frozen(const char* what) const {
+    if (!frozen_) throw_not_frozen(what);
+  }
+  [[noreturn]] static void throw_not_frozen(const char* what);
   void require_mutable(const char* what) const;
 
   std::vector<Task> tasks_;
@@ -94,7 +183,10 @@ class TaskGraph {
 
   // Derived by freeze():
   Time hyperperiod_ = 0;
+  std::size_t total_instances_ = 0;
   std::vector<TaskId> topo_order_;
+  std::vector<InstanceIdx> instance_count_;  // per task: H / period
+  std::vector<std::size_t> instance_base_;   // CSR offsets, size tasks+1
   std::vector<std::vector<std::int32_t>> in_edges_;
   std::vector<std::vector<std::int32_t>> out_edges_;
 };

@@ -11,31 +11,39 @@ Schedule::Schedule(const TaskGraph& graph, Architecture arch, CommModel comm)
     : graph_(&graph), arch_(arch), comm_(comm) {
   LBMEM_REQUIRE(graph.frozen(), "Schedule requires a frozen TaskGraph");
   first_start_.assign(graph.task_count(), Time{-1});
-  instance_proc_.resize(graph.task_count());
-  for (TaskId t = 0; t < static_cast<TaskId>(graph.task_count()); ++t) {
-    instance_proc_[static_cast<std::size_t>(t)].assign(
-        static_cast<std::size_t>(graph.instance_count(t)), kNoProc);
-  }
+  unset_starts_ = graph.task_count();
+  instance_proc_.assign(graph.total_instances(), kNoProc);
+  unassigned_instances_ = instance_proc_.size();
+  mem_on_.assign(static_cast<std::size_t>(arch_.processor_count()), Mem{0});
+  busy_time_on_.assign(static_cast<std::size_t>(arch_.processor_count()),
+                       Time{0});
 }
 
 void Schedule::set_first_start(TaskId t, Time start) {
   LBMEM_REQUIRE(t >= 0 && t < static_cast<TaskId>(graph_->task_count()),
                 "task id out of range");
   LBMEM_REQUIRE(start >= 0, "start times must be non-negative");
-  first_start_[static_cast<std::size_t>(t)] = start;
+  Time& slot = first_start_[static_cast<std::size_t>(t)];
+  if (slot < 0) --unset_starts_;
+  slot = start;
 }
 
 void Schedule::assign(TaskInstance inst, ProcId p) {
-  LBMEM_REQUIRE(inst.task >= 0 &&
-                    inst.task < static_cast<TaskId>(graph_->task_count()),
-                "task id out of range");
-  auto& procs = instance_proc_[static_cast<std::size_t>(inst.task)];
-  LBMEM_REQUIRE(inst.k >= 0 &&
-                    inst.k < static_cast<InstanceIdx>(procs.size()),
-                "instance index out of range");
+  const std::size_t i = slot(inst);
   LBMEM_REQUIRE(p >= 0 && p < arch_.processor_count(),
                 "processor id out of range");
-  procs[static_cast<std::size_t>(inst.k)] = p;
+  const ProcId old = instance_proc_[i];
+  if (old == p) return;
+  const Task& task = graph_->task(inst.task);
+  if (old == kNoProc) {
+    --unassigned_instances_;
+  } else {
+    mem_on_[static_cast<std::size_t>(old)] -= task.memory;
+    busy_time_on_[static_cast<std::size_t>(old)] -= task.wcet;
+  }
+  mem_on_[static_cast<std::size_t>(p)] += task.memory;
+  busy_time_on_[static_cast<std::size_t>(p)] += task.wcet;
+  instance_proc_[i] = p;
 }
 
 void Schedule::assign_all(TaskId t, ProcId p) {
@@ -43,44 +51,6 @@ void Schedule::assign_all(TaskId t, ProcId p) {
   for (InstanceIdx k = 0; k < n; ++k) {
     assign(TaskInstance{t, k}, p);
   }
-}
-
-bool Schedule::complete() const {
-  for (std::size_t t = 0; t < first_start_.size(); ++t) {
-    if (first_start_[t] < 0) return false;
-    for (const ProcId p : instance_proc_[t]) {
-      if (p == kNoProc) return false;
-    }
-  }
-  return true;
-}
-
-Time Schedule::first_start(TaskId t) const {
-  LBMEM_REQUIRE(t >= 0 && t < static_cast<TaskId>(graph_->task_count()),
-                "task id out of range");
-  const Time s = first_start_[static_cast<std::size_t>(t)];
-  LBMEM_REQUIRE(s >= 0, "task has no start time yet");
-  return s;
-}
-
-Time Schedule::start(TaskInstance inst) const {
-  return first_start(inst.task) +
-         graph_->task(inst.task).period * static_cast<Time>(inst.k);
-}
-
-Time Schedule::end(TaskInstance inst) const {
-  return start(inst) + graph_->task(inst.task).wcet;
-}
-
-ProcId Schedule::proc(TaskInstance inst) const {
-  LBMEM_REQUIRE(inst.task >= 0 &&
-                    inst.task < static_cast<TaskId>(graph_->task_count()),
-                "task id out of range");
-  const auto& procs = instance_proc_[static_cast<std::size_t>(inst.task)];
-  LBMEM_REQUIRE(inst.k >= 0 &&
-                    inst.k < static_cast<InstanceIdx>(procs.size()),
-                "instance index out of range");
-  return procs[static_cast<std::size_t>(inst.k)];
 }
 
 Time Schedule::makespan() const {
@@ -98,8 +68,9 @@ Time Schedule::data_ready(TaskInstance inst, ProcId p) const {
   for (const std::int32_t e : graph_->deps_in(inst.task)) {
     const Dependence& dep =
         graph_->dependences()[static_cast<std::size_t>(e)];
-    for (const InstanceIdx pk : graph_->consumed_instances(e, inst.k)) {
-      const TaskInstance producer{dep.producer, pk};
+    const ConsumedRange range = graph_->consumed_range(e, inst.k);
+    for (InstanceIdx i = 0; i < range.count; ++i) {
+      const TaskInstance producer{dep.producer, range.first + i};
       const ProcId pp = proc(producer);
       LBMEM_REQUIRE(pp != kNoProc, "producer instance not yet placed");
       const Time comm =
@@ -118,24 +89,14 @@ Time Schedule::min_data_ready(TaskInstance inst) const {
   return best;
 }
 
-Mem Schedule::memory_on(ProcId p) const {
-  Mem total = 0;
-  for (TaskId t = 0; t < static_cast<TaskId>(graph_->task_count()); ++t) {
-    const Mem m = graph_->task(t).memory;
-    for (const ProcId q : instance_proc_[static_cast<std::size_t>(t)]) {
-      if (q == p) total += m;
-    }
-  }
-  return total;
-}
-
 std::vector<TaskInstance> Schedule::instances_on(ProcId p) const {
   std::vector<TaskInstance> result;
   for (TaskId t = 0; t < static_cast<TaskId>(graph_->task_count()); ++t) {
-    const auto& procs = instance_proc_[static_cast<std::size_t>(t)];
-    for (InstanceIdx k = 0; k < static_cast<InstanceIdx>(procs.size()); ++k) {
-      if (procs[static_cast<std::size_t>(k)] == p) {
-        result.push_back(TaskInstance{t, k});
+    const std::size_t base = graph_->instance_base(t);
+    const std::size_t limit = graph_->instance_base(t + 1);
+    for (std::size_t i = base; i < limit; ++i) {
+      if (instance_proc_[i] == p) {
+        result.push_back(TaskInstance{t, static_cast<InstanceIdx>(i - base)});
       }
     }
   }
@@ -161,17 +122,6 @@ std::vector<TaskInstance> Schedule::all_instances() const {
   return result;
 }
 
-Time Schedule::busy_on(ProcId p) const {
-  Time busy = 0;
-  for (TaskId t = 0; t < static_cast<TaskId>(graph_->task_count()); ++t) {
-    const Time e = graph_->task(t).wcet;
-    for (const ProcId q : instance_proc_[static_cast<std::size_t>(t)]) {
-      if (q == p) busy += e;
-    }
-  }
-  return busy;
-}
-
 double Schedule::idle_fraction(ProcId p) const {
   return 1.0 - static_cast<double>(busy_on(p)) /
                    static_cast<double>(graph_->hyperperiod());
@@ -179,9 +129,7 @@ double Schedule::idle_fraction(ProcId p) const {
 
 Mem Schedule::max_memory() const {
   Mem worst = 0;
-  for (ProcId p = 0; p < arch_.processor_count(); ++p) {
-    worst = std::max(worst, memory_on(p));
-  }
+  for (const Mem m : mem_on_) worst = std::max(worst, m);
   return worst;
 }
 

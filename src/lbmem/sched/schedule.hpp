@@ -17,6 +17,7 @@
 #include "lbmem/arch/comm_model.hpp"
 #include "lbmem/model/task_graph.hpp"
 #include "lbmem/model/types.hpp"
+#include "lbmem/util/check.hpp"
 
 namespace lbmem {
 
@@ -45,15 +46,28 @@ class Schedule {
   /// Assign every instance of \p t to \p p (initial whole-task placement).
   void assign_all(TaskId t, ProcId p);
 
-  // ---- timing queries ----------------------------------------------------
+  // ---- timing queries (inline: the balancer's innermost reads) -----------
 
-  /// True once every task has a start and every instance a processor.
-  bool complete() const;
+  /// True once every task has a start and every instance a processor. O(1).
+  bool complete() const {
+    return unset_starts_ == 0 && unassigned_instances_ == 0;
+  }
 
-  Time first_start(TaskId t) const;
-  Time start(TaskInstance inst) const;
-  Time end(TaskInstance inst) const;
-  ProcId proc(TaskInstance inst) const;
+  Time first_start(TaskId t) const {
+    LBMEM_REQUIRE(t >= 0 && t < static_cast<TaskId>(graph_->task_count()),
+                  "task id out of range");
+    const Time s = first_start_[static_cast<std::size_t>(t)];
+    LBMEM_REQUIRE(s >= 0, "task has no start time yet");
+    return s;
+  }
+  Time start(TaskInstance inst) const {
+    return first_start(inst.task) +
+           graph_->task(inst.task).period * static_cast<Time>(inst.k);
+  }
+  Time end(TaskInstance inst) const {
+    return start(inst) + graph_->task(inst.task).wcet;
+  }
+  ProcId proc(TaskInstance inst) const { return instance_proc_[slot(inst)]; }
 
   /// Completion time of the last instance — the paper's "total execution
   /// time" (makespan). Requires a complete schedule.
@@ -73,7 +87,12 @@ class Schedule {
 
   /// Sum of required memory of instances assigned to \p p (paper counts
   /// each resident instance: P1 holding four instances of a costs 4*m_a).
-  Mem memory_on(ProcId p) const;
+  /// O(1): maintained incrementally by assign().
+  Mem memory_on(ProcId p) const {
+    LBMEM_REQUIRE(p >= 0 && p < arch_.processor_count(),
+                  "processor id out of range");
+    return mem_on_[static_cast<std::size_t>(p)];
+  }
 
   /// Instances currently assigned to \p p, sorted by start time.
   std::vector<TaskInstance> instances_on(ProcId p) const;
@@ -82,20 +101,38 @@ class Schedule {
   std::vector<TaskInstance> all_instances() const;
 
   /// Busy time on \p p within one hyper-period (sum of instance WCETs).
-  Time busy_on(ProcId p) const;
+  /// O(1): maintained incrementally by assign().
+  Time busy_on(ProcId p) const {
+    LBMEM_REQUIRE(p >= 0 && p < arch_.processor_count(),
+                  "processor id out of range");
+    return busy_time_on_[static_cast<std::size_t>(p)];
+  }
 
   /// Fraction of [0, H) processor \p p is idle in steady state.
   double idle_fraction(ProcId p) const;
 
-  /// Largest per-processor memory (the paper's ω for Theorem 2).
+  /// Largest per-processor memory (the paper's ω for Theorem 2). O(M).
   Mem max_memory() const;
 
  private:
+  /// Dense index of (t, k) into instance_proc_, with bounds checks.
+  std::size_t slot(TaskInstance inst) const {
+    return graph_->dense_index(inst);
+  }
+
   const TaskGraph* graph_;
   Architecture arch_;
   CommModel comm_;
-  std::vector<Time> first_start_;                  // per task; -1 = unset
-  std::vector<std::vector<ProcId>> instance_proc_; // per task, per instance
+  std::vector<Time> first_start_;  // per task; -1 = unset
+  // CSR-style flat placement: instance (t, k) lives at
+  // instance_proc_[graph_->dense_index({t, k})].
+  std::vector<ProcId> instance_proc_;
+  // Per-processor aggregates, kept in sync by assign(); unassigned
+  // instances (kNoProc) contribute nowhere.
+  std::vector<Mem> mem_on_;
+  std::vector<Time> busy_time_on_;
+  std::size_t unassigned_instances_ = 0;
+  std::size_t unset_starts_ = 0;
 };
 
 }  // namespace lbmem

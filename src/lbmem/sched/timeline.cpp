@@ -11,35 +11,9 @@ ProcTimeline::ProcTimeline(Time hyperperiod) : h_(hyperperiod) {
   LBMEM_REQUIRE(hyperperiod > 0, "hyper-period must be positive");
 }
 
-bool ProcTimeline::range_occupied(Time a, Time b) const {
-  return find_conflict(a, b) != nullptr;
-}
-
-const ProcTimeline::Piece* ProcTimeline::find_conflict(Time a, Time b) const {
-  if (a >= b) return nullptr;
-  // First piece with start >= a; the predecessor may still reach past a.
-  auto it = std::lower_bound(
-      pieces_.begin(), pieces_.end(), a,
-      [](const Piece& p, Time value) { return p.start < value; });
-  if (it != pieces_.begin()) {
-    const Piece& prev = *(it - 1);
-    if (prev.start + prev.len > a) return &prev;
-  }
-  if (it != pieces_.end() && it->start < b) return &*it;
-  return nullptr;
-}
-
 std::optional<TaskInstance> ProcTimeline::conflicting_owner(Time start,
                                                             Time len) const {
-  LBMEM_REQUIRE(len > 0 && len <= h_, "interval length must be in (0, H]");
-  const Time s = mod_floor(start, h_);
-  if (s + len <= h_) {
-    if (const Piece* p = find_conflict(s, s + len)) return p->owner;
-    return std::nullopt;
-  }
-  if (const Piece* p = find_conflict(s, h_)) return p->owner;
-  if (const Piece* p = find_conflict(0, s + len - h_)) return p->owner;
-  return std::nullopt;
+  return conflicting_owner_if(start, len, NoIgnore{});
 }
 
 bool ProcTimeline::fits(Time start, Time len) const {
@@ -53,19 +27,113 @@ void ProcTimeline::insert_piece(Piece piece) {
   pieces_.insert(it, piece);
 }
 
+ProcTimeline::OwnerPieces* ProcTimeline::OwnerIndex::find(TaskInstance key) {
+  if (table_.empty()) return nullptr;
+  const std::size_t mask = table_.size() - 1;
+  for (std::size_t i = probe(key);; i = (i + 1) & mask) {
+    Entry& e = table_[i];
+    if (empty_slot(e)) return nullptr;
+    if (!tombstone(e) && e.key == key) return &e.val;
+  }
+}
+
+ProcTimeline::OwnerPieces& ProcTimeline::OwnerIndex::insert(TaskInstance key) {
+  // Rehash at 3/4 load (live + tombstones) so probe chains stay short.
+  if (table_.empty() || (used_ + 1) * 4 > table_.size() * 3) grow();
+  const std::size_t mask = table_.size() - 1;
+  std::size_t first_tombstone = table_.size();
+  for (std::size_t i = probe(key);; i = (i + 1) & mask) {
+    Entry& e = table_[i];
+    if (empty_slot(e)) {
+      Entry& dest =
+          (first_tombstone < table_.size()) ? table_[first_tombstone] : e;
+      if (&dest == &e) ++used_;  // tombstone reuse keeps `used_` unchanged
+      dest.key = key;
+      dest.val = OwnerPieces{};
+      ++live_;
+      return dest.val;
+    }
+    if (tombstone(e)) {
+      if (first_tombstone == table_.size()) first_tombstone = i;
+    } else if (e.key == key) {
+      return e.val;
+    }
+  }
+}
+
+void ProcTimeline::OwnerIndex::erase(TaskInstance key) {
+  if (table_.empty()) return;
+  const std::size_t mask = table_.size() - 1;
+  for (std::size_t i = probe(key);; i = (i + 1) & mask) {
+    Entry& e = table_[i];
+    if (empty_slot(e)) return;
+    if (!tombstone(e) && e.key == key) {
+      e.key = TaskInstance{-2, -2};  // tombstone keeps probe chains intact
+      --live_;
+      return;
+    }
+  }
+}
+
+void ProcTimeline::OwnerIndex::grow() {
+  std::vector<Entry> old = std::move(table_);
+  std::size_t cap = 16;
+  while (cap < live_ * 4) cap <<= 1;  // rehash also purges tombstones
+  table_.assign(cap, Entry{});
+  used_ = live_;
+  const std::size_t mask = cap - 1;
+  for (const Entry& e : old) {
+    if (empty_slot(e) || tombstone(e)) continue;
+    std::size_t i = probe(e.key);
+    while (!empty_slot(table_[i])) i = (i + 1) & mask;
+    table_[i] = e;
+  }
+}
+
 void ProcTimeline::add(Time start, Time len, TaskInstance owner) {
   LBMEM_REQUIRE(fits(start, len), "ProcTimeline::add would overlap");
   const Time s = mod_floor(start, h_);
-  if (s + len <= h_) {
+  const bool wraps = s + len > h_;
+  OwnerPieces& slots = owner_index_.insert(owner);
+  // Validate capacity before mutating anything: a rejected add must leave
+  // both the index and the pieces consistent (remove() stays a no-op).
+  // (A fresh owner always has two free slots, so a throw here never leaves
+  // behind a newly inserted index entry with pieces.)
+  const int free_slots = (slots.first < 0 ? 1 : 0) + (slots.second < 0 ? 1 : 0);
+  LBMEM_REQUIRE(free_slots >= (wraps ? 2 : 1),
+                "ProcTimeline: an owner may hold at most two pieces");
+  const auto record = [&](Time piece_start) {
+    (slots.first < 0 ? slots.first : slots.second) = piece_start;
+  };
+  if (!wraps) {
+    record(s);
     insert_piece(Piece{s, len, owner});
   } else {
+    record(s);
+    record(Time{0});
     insert_piece(Piece{s, h_ - s, owner});
     insert_piece(Piece{0, s + len - h_, owner});
   }
 }
 
+void ProcTimeline::erase_piece_at(Time start, TaskInstance owner) {
+  // Pieces are disjoint with positive length, so starts are unique keys.
+  auto it = std::lower_bound(
+      pieces_.begin(), pieces_.end(), start,
+      [](const Piece& p, Time value) { return p.start < value; });
+  LBMEM_REQUIRE(it != pieces_.end() && it->start == start &&
+                    it->owner == owner,
+                "ProcTimeline owner index out of sync");
+  pieces_.erase(it);
+}
+
 void ProcTimeline::remove(TaskInstance owner) {
-  std::erase_if(pieces_, [&](const Piece& p) { return p.owner == owner; });
+  const OwnerPieces* found = owner_index_.find(owner);
+  if (!found) return;
+  const OwnerPieces slots = *found;
+  owner_index_.erase(owner);
+  if (slots.first >= 0) erase_piece_at(slots.first, owner);
+  if (slots.second >= 0) erase_piece_at(slots.second, owner);
 }
 
 std::optional<Time> ProcTimeline::earliest_fit(Time lb, Time period, Time wcet,
@@ -83,14 +151,7 @@ std::optional<Time> ProcTimeline::earliest_fit(Time lb, Time period, Time wcet,
     for (InstanceIdx k = 0; k < n; ++k) {
       const Time inst_start = s + static_cast<Time>(k) * period;
       const Time pos = mod_floor(inst_start, h_);
-      const Piece* conflict = nullptr;
-      if (pos + wcet <= h_) {
-        conflict = find_conflict(pos, pos + wcet);
-      } else {
-        conflict = find_conflict(pos, h_);
-        if (!conflict) conflict = find_conflict(0, pos + wcet - h_);
-      }
-      if (conflict) {
+      if (const Piece* conflict = find_conflict_circular(pos, wcet)) {
         ok = false;
         // Shift so that this instance lands exactly at the conflicting
         // piece's end (circularly). Strictly positive because they overlap.

@@ -14,11 +14,21 @@
 /// Feasibility of a first-instance start S is periodic in S with period T:
 /// shifting S by T reproduces the same occupied positions modulo H, so the
 /// earliest-fit search only ever scans [lb, lb+T).
+///
+/// The balancer churns add/remove heavily (it re-attaches the instances of
+/// every block it relocates), so removal is indexed: an owner -> piece-start
+/// index locates an owner's pieces in O(1) and each is erased after an
+/// O(log n) binary search, instead of a full predicate scan over all
+/// pieces. The index is a small open-addressing hash table backed by one
+/// flat array, so steady-state churn performs no per-node heap allocation.
 
+#include <algorithm>
 #include <optional>
 #include <vector>
 
 #include "lbmem/model/types.hpp"
+#include "lbmem/util/check.hpp"
+#include "lbmem/util/math.hpp"
 
 namespace lbmem {
 
@@ -32,7 +42,8 @@ class ProcTimeline {
   bool fits(Time start, Time len) const;
 
   /// Occupy [start, start+len) for \p owner; throws PreconditionError if it
-  /// does not fit.
+  /// does not fit. An owner may hold at most two pieces (one wrapping
+  /// interval, or two separate adds).
   void add(Time start, Time len, TaskInstance owner);
 
   /// Release all intervals owned by \p owner (no-op if absent).
@@ -40,6 +51,21 @@ class ProcTimeline {
 
   /// The owner of some interval overlapping [start, start+len), if any.
   std::optional<TaskInstance> conflicting_owner(Time start, Time len) const;
+
+  /// Like conflicting_owner, but skips pieces whose owner satisfies
+  /// \p ignore (a callable TaskInstance -> bool). Lets the balancer test a
+  /// tentative placement against a timeline that still contains the very
+  /// instances the move would relocate, without detaching them first.
+  template <typename Ignore>
+  std::optional<TaskInstance> conflicting_owner_if(Time start, Time len,
+                                                   Ignore&& ignore) const {
+    LBMEM_REQUIRE(len > 0 && len <= h_, "interval length must be in (0, H]");
+    if (const Piece* p = find_conflict_circular(mod_floor(start, h_), len,
+                                                ignore)) {
+      return p->owner;
+    }
+    return std::nullopt;
+  }
 
   /// Earliest S in [lb, lb+period) such that every instance interval
   /// [S + k*period, +wcet), k in [0, n), fits. std::nullopt if none exists.
@@ -52,7 +78,8 @@ class ProcTimeline {
   /// Hyper-period this timeline was built for.
   Time hyperperiod() const { return h_; }
 
-  /// Number of stored (possibly split) interval pieces.
+  /// Number of stored (possibly split) interval pieces. Always equals the
+  /// number of starts recorded in the owner index.
   std::size_t piece_count() const { return pieces_.size(); }
 
  private:
@@ -61,14 +88,88 @@ class ProcTimeline {
     Time len;    // start + len <= H (wrapping intervals are split)
     TaskInstance owner;
   };
+  struct OwnerPieces {
+    Time first = -1;
+    Time second = -1;  // -1 = unused slot
+  };
 
-  /// True if any piece intersects the non-wrapping range [a, b).
-  bool range_occupied(Time a, Time b) const;
-  const Piece* find_conflict(Time a, Time b) const;
+  /// Linear-probing owner -> OwnerPieces table with tombstone deletion and
+  /// amortized rehashing. One backing vector: no allocation per insert.
+  class OwnerIndex {
+   public:
+    OwnerPieces* find(TaskInstance key);
+    /// Slot for \p key, inserting an empty record if absent.
+    OwnerPieces& insert(TaskInstance key);
+    void erase(TaskInstance key);
+
+   private:
+    struct Entry {
+      TaskInstance key{-1, -1};  // task -1: empty; task -2: tombstone
+      OwnerPieces val;
+    };
+    static bool empty_slot(const Entry& e) { return e.key.task == -1; }
+    static bool tombstone(const Entry& e) { return e.key.task == -2; }
+    std::size_t probe(TaskInstance key) const {
+      // std::hash on integers is typically the identity; with a
+      // power-of-two mask that would key every owner on its low (instance
+      // index) bits and collapse the table into one cluster. Fibonacci
+      // mixing spreads the packed (task, k) pair across the word first.
+      const auto packed =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.task))
+           << 32) |
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.k));
+      const std::uint64_t mixed = packed * 0x9e3779b97f4a7c15ULL;
+      return static_cast<std::size_t>(mixed >> 32) & (table_.size() - 1);
+    }
+    void grow();
+
+    std::vector<Entry> table_;  // power-of-two size
+    std::size_t used_ = 0;      // live + tombstones
+    std::size_t live_ = 0;
+  };
+
+  /// Never-ignore predicate: the default for unfiltered queries.
+  struct NoIgnore {
+    bool operator()(TaskInstance) const { return false; }
+  };
+
+  /// First piece intersecting the non-wrapping range [a, b) whose owner is
+  /// not skipped by \p ignore — the single overlap scan every query shares.
+  template <typename Ignore = NoIgnore>
+  const Piece* find_conflict(Time a, Time b, Ignore&& ignore = {}) const {
+    if (a >= b) return nullptr;
+    // First piece with start >= a; the predecessor may still reach past a.
+    auto it = std::lower_bound(
+        pieces_.begin(), pieces_.end(), a,
+        [](const Piece& p, Time value) { return p.start < value; });
+    if (it != pieces_.begin()) {
+      const Piece& prev = *(it - 1);
+      if (prev.start + prev.len > a && !ignore(prev.owner)) return &prev;
+    }
+    for (; it != pieces_.end() && it->start < b; ++it) {
+      if (!ignore(it->owner)) return &*it;
+    }
+    return nullptr;
+  }
+
+  /// Conflict lookup for [pos, pos+len) with pos in [0, H), splitting the
+  /// wrap-around at H — the circular-interval primitive behind
+  /// fits/conflicting_owner/conflicting_owner_if/earliest_fit.
+  template <typename Ignore = NoIgnore>
+  const Piece* find_conflict_circular(Time pos, Time len,
+                                      Ignore&& ignore = {}) const {
+    if (pos + len <= h_) return find_conflict(pos, pos + len, ignore);
+    if (const Piece* p = find_conflict(pos, h_, ignore)) return p;
+    return find_conflict(0, pos + len - h_, ignore);
+  }
+
   void insert_piece(Piece piece);
+  void erase_piece_at(Time start, TaskInstance owner);
 
   Time h_;
   std::vector<Piece> pieces_;  // sorted by start, pairwise disjoint
+  // Records the start(s) of each owner's pieces for indexed removal.
+  OwnerIndex owner_index_;
 };
 
 }  // namespace lbmem

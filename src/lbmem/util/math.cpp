@@ -35,19 +35,6 @@ std::int64_t lcm_all(std::span<const std::int64_t> values) {
   return acc;
 }
 
-std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
-  LBMEM_REQUIRE(b > 0, "ceil_div expects positive divisor");
-  const std::int64_t q = a / b;
-  const std::int64_t r = a % b;
-  return q + (r > 0 ? 1 : 0);
-}
-
-std::int64_t mod_floor(std::int64_t a, std::int64_t m) {
-  LBMEM_REQUIRE(m > 0, "mod_floor expects positive modulus");
-  const std::int64_t r = a % m;
-  return r < 0 ? r + m : r;
-}
-
 int compare_fractions(std::int64_t a, std::int64_t b, std::int64_t c,
                       std::int64_t d) {
   LBMEM_REQUIRE(b > 0 && d > 0, "compare_fractions expects positive denominators");

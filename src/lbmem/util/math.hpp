@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "lbmem/util/check.hpp"
+
 namespace lbmem {
 
 /// Greatest common divisor of two non-negative values; gcd(0, x) == x.
@@ -23,11 +25,22 @@ std::int64_t lcm64(std::int64_t a, std::int64_t b);
 /// lcm over a sequence; throws lbmem::ModelError if empty or on overflow.
 std::int64_t lcm_all(std::span<const std::int64_t> values);
 
-/// ceil(a / b) for b > 0, exact for negative a as well.
-std::int64_t ceil_div(std::int64_t a, std::int64_t b);
+/// ceil(a / b) for b > 0, exact for negative a as well. Inline: sits on the
+/// balancer and scheduler hot paths.
+inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  LBMEM_REQUIRE(b > 0, "ceil_div expects positive divisor");
+  const std::int64_t q = a / b;
+  const std::int64_t r = a % b;
+  return q + (r > 0 ? 1 : 0);
+}
 
 /// Reduce \p a into the canonical range [0, m) for m > 0 (true math modulo).
-std::int64_t mod_floor(std::int64_t a, std::int64_t m);
+/// Inline: called per overlap check on the hyper-period circle.
+inline std::int64_t mod_floor(std::int64_t a, std::int64_t m) {
+  LBMEM_REQUIRE(m > 0, "mod_floor expects positive modulus");
+  const std::int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
 
 /// Exact comparison of rationals a/b vs c/d with positive denominators,
 /// without floating point. Returns -1, 0 or +1.

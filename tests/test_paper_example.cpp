@@ -189,7 +189,7 @@ TEST_F(PaperExample, StepTraceMatchesWalkthrough) {
   // does not satisfy the LCM condition").
   const StepRecord& step7 = result.trace[6];
   EXPECT_FALSE(step7.candidates[0].feasible);
-  EXPECT_NE(step7.candidates[0].reject_reason.find("Block Condition"),
+  EXPECT_NE(std::string(step7.candidates[0].reject_reason).find("Block Condition"),
             std::string::npos);
   EXPECT_TRUE(step7.candidates[1].feasible);
   EXPECT_TRUE(step7.candidates[2].feasible);

@@ -119,6 +119,105 @@ TEST(ProcTimeline, EarliestFitPaperTaskB) {
   EXPECT_EQ(*sc, 6);
 }
 
+TEST(ProcTimelineChurn, RepeatedAddRemoveTracksReference) {
+  // The balancer's detach/re-attach pattern: heavy add/remove churn with
+  // owners coming and going. The owner index must keep pieces_ exact —
+  // piece_count, busy_time and point queries are compared against a
+  // per-tick reference occupancy after every operation.
+  Rng rng(4242);
+  const Time h = 48;
+  ProcTimeline tl(h);
+  struct Held {
+    Time start;
+    Time len;
+  };
+  std::vector<std::optional<Held>> held(20);  // owner slot -> interval
+
+  for (int step = 0; step < 2000; ++step) {
+    const auto slot = static_cast<std::size_t>(rng.uniform(0, 19));
+    const TaskInstance owner = inst(static_cast<TaskId>(slot));
+    if (held[slot]) {
+      tl.remove(owner);
+      held[slot].reset();
+    } else {
+      const Time start = rng.uniform(0, 2 * h);
+      const Time len = rng.uniform(1, 6);
+      if (tl.fits(start, len)) {
+        tl.add(start, len, owner);
+        held[slot] = Held{start, len};
+      } else {
+        // A rejected add must leave the timeline untouched.
+        EXPECT_THROW(tl.add(start, len, owner), PreconditionError);
+      }
+    }
+
+    // Reference occupancy, tick by tick.
+    std::vector<char> occ(static_cast<std::size_t>(h), 0);
+    std::size_t expected_pieces = 0;
+    Time expected_busy = 0;
+    for (const auto& hd : held) {
+      if (!hd) continue;
+      const Time s = ((hd->start % h) + h) % h;
+      // Wrapping intervals are stored split in two pieces.
+      expected_pieces += (s + hd->len <= h) ? 1u : 2u;
+      expected_busy += hd->len;
+      for (Time t = 0; t < hd->len; ++t) {
+        occ[static_cast<std::size_t>((s + t) % h)] = 1;
+      }
+    }
+    ASSERT_EQ(tl.piece_count(), expected_pieces) << "step " << step;
+    ASSERT_EQ(tl.busy_time(), expected_busy) << "step " << step;
+    for (Time t = 0; t < h; t += 3) {
+      ASSERT_EQ(tl.fits(t, 1), occ[static_cast<std::size_t>(t)] == 0)
+          << "step " << step << " t " << t;
+    }
+  }
+}
+
+TEST(ProcTimelineChurn, WrappingIntervalRemovesBothPieces) {
+  ProcTimeline tl(12);
+  tl.add(10, 4, inst(0));  // split into [10,12) and [0,2)
+  tl.add(4, 2, inst(1));
+  EXPECT_EQ(tl.piece_count(), 3u);
+  tl.remove(inst(0));
+  EXPECT_EQ(tl.piece_count(), 1u);
+  EXPECT_TRUE(tl.fits(10, 4));
+  EXPECT_TRUE(tl.fits(0, 2));
+  // Re-add after removal: the owner slots must have been fully released.
+  tl.add(11, 3, inst(0));
+  EXPECT_EQ(tl.piece_count(), 3u);
+  EXPECT_FALSE(tl.fits(0, 1));
+  tl.remove(inst(0));
+  EXPECT_EQ(tl.piece_count(), 1u);
+  EXPECT_EQ(tl.busy_time(), 2);
+}
+
+TEST(ProcTimelineChurn, RemoveAbsentOwnerIsNoOp) {
+  ProcTimeline tl(12);
+  tl.add(0, 2, inst(0));
+  tl.remove(inst(7));
+  EXPECT_EQ(tl.piece_count(), 1u);
+  tl.remove(inst(0));
+  tl.remove(inst(0));  // second removal: still a no-op
+  EXPECT_EQ(tl.piece_count(), 0u);
+  EXPECT_EQ(tl.busy_time(), 0);
+}
+
+TEST(ProcTimelineChurn, ConflictingOwnerIfSkipsIgnoredOwners) {
+  ProcTimeline tl(12);
+  tl.add(3, 2, inst(0));
+  tl.add(6, 2, inst(1));
+  const auto ignore0 = [](TaskInstance owner) { return owner.task == 0; };
+  // [3,5) only conflicts with the ignored owner -> no conflict reported.
+  EXPECT_EQ(tl.conflicting_owner_if(3, 2, ignore0), std::nullopt);
+  // [4,7) overlaps both; the non-ignored one must be found.
+  EXPECT_EQ(tl.conflicting_owner_if(4, 3, ignore0), inst(1));
+  // Wrap-around: [11,13) -> [11,12) + [0,1), both free.
+  EXPECT_EQ(tl.conflicting_owner_if(11, 2, ignore0), std::nullopt);
+  tl.add(11, 2, inst(2));
+  EXPECT_EQ(tl.conflicting_owner_if(11, 2, ignore0), inst(2));
+}
+
 TEST(ProcTimeline, EarliestFitMatchesBruteForce) {
   Rng rng(99);
   for (int iter = 0; iter < 300; ++iter) {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Record the performance trajectory: build the Release bench preset, run
+# bench_complexity with JSON output, and write BENCH_complexity.json at the
+# repo root (override the destination with $1). Check the result in so the
+# perf history stays non-empty; see README.md, "Performance".
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+out="${1:-${repo}/BENCH_complexity.json}"
+
+cd "${repo}"
+cmake --preset bench
+cmake --build --preset bench -j "$(nproc)" --target bench_complexity
+
+"${repo}/build-bench/bench/bench_complexity" \
+  --benchmark_out="${out}" \
+  --benchmark_out_format=json
+
+echo "wrote ${out}"
