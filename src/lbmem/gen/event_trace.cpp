@@ -1,0 +1,136 @@
+#include "lbmem/gen/event_trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <vector>
+
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+
+namespace {
+
+/// The generator's view of one alive task (enough to produce well-formed
+/// removals, WCET changes and harmonic arrival dependences).
+struct AliveTask {
+  std::string name;
+  Time period;
+};
+
+bool harmonic(Time a, Time b) { return a % b == 0 || b % a == 0; }
+
+}  // namespace
+
+EventTrace random_event_trace(const TaskGraph& base, const Architecture& arch,
+                              const EventTraceParams& params,
+                              std::uint64_t seed) {
+  LBMEM_REQUIRE(params.events >= 0, "event count must be non-negative");
+  LBMEM_REQUIRE(params.mem_min >= 0 && params.mem_min <= params.mem_max,
+                "invalid memory range");
+  LBMEM_REQUIRE(params.data_min > 0 && params.data_min <= params.data_max,
+                "invalid data-size range");
+  LBMEM_REQUIRE(params.min_gap >= 0 && params.min_gap <= params.max_gap,
+                "invalid gap range");
+  Rng rng(seed);
+
+  std::vector<AliveTask> alive;
+  alive.reserve(base.task_count());
+  for (const Task& task : base.tasks()) {
+    alive.push_back(AliveTask{task.name, task.period});
+  }
+  // Periods the base application uses (the arrival pool), deduplicated.
+  std::vector<Time> periods;
+  for (const Task& task : base.tasks()) periods.push_back(task.period);
+  std::sort(periods.begin(), periods.end());
+  periods.erase(std::unique(periods.begin(), periods.end()), periods.end());
+
+  std::vector<std::uint8_t> failed(
+      static_cast<std::size_t>(arch.processor_count()), 0);
+  int failures = 0;
+  int next_dyn = 0;
+
+  EventTrace trace;
+  trace.reserve(static_cast<std::size_t>(params.events));
+  Time now = 0;
+
+  const std::array<double, 4> weights = {
+      params.arrival_weight, params.removal_weight, params.wcet_weight,
+      params.failure_weight};
+
+  for (int i = 0; i < params.events; ++i) {
+    now += rng.uniform(params.min_gap, params.max_gap);
+    std::size_t kind = rng.pick_weighted(weights);
+
+    // Degrade structurally impossible picks to a WCET change, the one kind
+    // that is always available (the alive set is never empty).
+    if (kind == 1 && alive.size() <= 1) kind = 2;
+    if (kind == 3 &&
+        (failures >= params.max_failures ||
+         failures + 1 >= arch.processor_count())) {
+      kind = 2;
+    }
+
+    Event event;
+    event.at = now;
+    switch (kind) {
+      case 0: {  // arrival
+        NewTaskSpec spec;
+        spec.name = "dyn" + std::to_string(next_dyn++);
+        spec.period = periods[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(periods.size()) - 1))];
+        spec.wcet = rng.uniform(1, std::max<Time>(1, spec.period / 4));
+        spec.memory = rng.uniform(params.mem_min, params.mem_max);
+        // Wire up to max_producers harmonic producers from the alive set.
+        std::vector<std::size_t> candidates;
+        for (std::size_t a = 0; a < alive.size(); ++a) {
+          if (harmonic(alive[a].period, spec.period)) candidates.push_back(a);
+        }
+        rng.shuffle(candidates);
+        const std::size_t wanted = static_cast<std::size_t>(rng.uniform(
+            0, std::min<std::int64_t>(params.max_producers,
+                                      static_cast<std::int64_t>(
+                                          candidates.size()))));
+        for (std::size_t c = 0; c < wanted; ++c) {
+          spec.producers.push_back(NewTaskSpec::Producer{
+              alive[candidates[c]].name,
+              rng.uniform(params.data_min, params.data_max)});
+        }
+        alive.push_back(AliveTask{spec.name, spec.period});
+        event.payload = TaskArrival{std::move(spec)};
+        break;
+      }
+      case 1: {  // removal
+        const std::size_t victim = static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(alive.size()) - 1));
+        event.payload = TaskRemoval{alive[victim].name};
+        alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(victim));
+        break;
+      }
+      case 2: {  // wcet change
+        const AliveTask& task = alive[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(alive.size()) - 1))];
+        const Time wcet =
+            rng.uniform(1, std::max<Time>(1, task.period / 4));
+        event.payload = WcetChange{task.name, wcet};
+        break;
+      }
+      default: {  // failure
+        std::vector<ProcId> up;
+        for (ProcId p = 0; p < arch.processor_count(); ++p) {
+          if (!failed[static_cast<std::size_t>(p)]) up.push_back(p);
+        }
+        const ProcId victim = up[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(up.size()) - 1))];
+        failed[static_cast<std::size_t>(victim)] = 1;
+        ++failures;
+        event.payload = ProcessorFailure{victim};
+        break;
+      }
+    }
+    trace.push_back(std::move(event));
+  }
+  return trace;
+}
+
+}  // namespace lbmem

@@ -1,0 +1,61 @@
+#pragma once
+/// \file event_trace.hpp
+/// \brief Seeded random event-trace generator for the online engine.
+///
+/// Produces plausible runtime histories over a base application: mode
+/// changes (WCET re-estimates) dominate, task arrivals/removals model
+/// software updates, and rare processor failures model hardware faults.
+/// The generator tracks the alive task set and the failed processor set so
+/// every emitted event is *structurally* well-formed (arrival producers
+/// are alive and harmonic, removals never empty the system, failures never
+/// kill the last processor). Whether an event is *schedulable* is decided
+/// by the Rebalancer at replay time — traces may contain events the system
+/// rightfully rejects.
+///
+/// Generation is deterministic per (params, seed) across platforms
+/// (lbmem::Rng), so replays are reproducible.
+
+#include <cstdint>
+
+#include "lbmem/arch/architecture.hpp"
+#include "lbmem/model/task_graph.hpp"
+#include "lbmem/online/event.hpp"
+#include "lbmem/util/rng.hpp"
+
+namespace lbmem {
+
+/// Tunable trace-generator parameters.
+struct EventTraceParams {
+  /// Number of events to emit.
+  int events = 16;
+  /// Relative weights of the four event kinds (need not sum to 1).
+  double arrival_weight = 0.25;
+  double removal_weight = 0.15;
+  double wcet_weight = 0.5;
+  double failure_weight = 0.1;
+  /// Cap on processor failures over the whole trace; additionally at least
+  /// one processor always stays alive.
+  int max_failures = 1;
+  /// Maximum producers wired to an arriving task.
+  int max_producers = 2;
+  /// Memory range of arriving tasks.
+  Mem mem_min = 1;
+  Mem mem_max = 12;
+  /// Data-size range of arriving tasks' dependences.
+  Mem data_min = 1;
+  Mem data_max = 6;
+  /// Informational inter-event timestamp gap range.
+  Time min_gap = 1;
+  Time max_gap = 64;
+};
+
+/// Generate a trace over \p base running on \p arch. Deterministic in
+/// (params, seed). Arriving tasks reuse periods already present in the
+/// base application (the paper's Section-4 observation that realistic
+/// systems draw from a small sensor-imposed period set), which also keeps
+/// the hyper-period stable along typical traces.
+EventTrace random_event_trace(const TaskGraph& base, const Architecture& arch,
+                              const EventTraceParams& params,
+                              std::uint64_t seed);
+
+}  // namespace lbmem

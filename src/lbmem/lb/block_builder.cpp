@@ -41,6 +41,70 @@ class UnionFind {
   std::vector<std::size_t> parent_;
 };
 
+/// Shared materialization tail of build_blocks and build_blocks_around:
+/// turn instance equivalence classes into Block records, numbered in
+/// global start order, with block_of filled for the given instances and
+/// -1 elsewhere. \p class_of maps an instance to its class id in
+/// [0, class_count); one Block is emitted per class that occurs.
+template <typename ClassOf>
+BlockDecomposition materialize_blocks(const Schedule& sched,
+                                      std::vector<TaskInstance> instances,
+                                      std::size_t class_count,
+                                      ClassOf&& class_of) {
+  const TaskGraph& graph = sched.graph();
+  std::sort(instances.begin(), instances.end(),
+            [&](const TaskInstance& a, const TaskInstance& b) {
+              const Time sa = sched.start(a);
+              const Time sb = sched.start(b);
+              if (sa != sb) return sa < sb;
+              return a < b;
+            });
+
+  BlockDecomposition out;
+  out.block_of.resize(graph.task_count());
+  for (TaskId t = 0; t < static_cast<TaskId>(graph.task_count()); ++t) {
+    out.block_of[static_cast<std::size_t>(t)].assign(
+        static_cast<std::size_t>(graph.instance_count(t)), BlockId{-1});
+  }
+  std::vector<BlockId> class_to_block(class_count, BlockId{-1});
+
+  for (const TaskInstance inst : instances) {
+    const std::size_t cls = class_of(inst);
+    BlockId bid = class_to_block[cls];
+    if (bid < 0) {
+      bid = static_cast<BlockId>(out.blocks.size());
+      class_to_block[cls] = bid;
+      Block block;
+      block.id = bid;
+      block.home = sched.proc(inst);
+      out.blocks.push_back(std::move(block));
+    }
+    Block& block = out.blocks[static_cast<std::size_t>(bid)];
+    LBMEM_REQUIRE(block.home == sched.proc(inst),
+                  "block members must share a processor");
+    block.members.push_back(inst);
+    block.exec_sum += graph.task(inst.task).wcet;
+    block.mem_sum += graph.task(inst.task).memory;
+    out.block_of[static_cast<std::size_t>(inst.task)]
+                [static_cast<std::size_t>(inst.k)] = bid;
+  }
+
+  for (Block& block : out.blocks) {
+    // Members were appended in global start order, so they are sorted.
+    block.tasks.clear();
+    bool all_first = true;
+    for (const TaskInstance& inst : block.members) {
+      if (inst.k != 0) all_first = false;
+      block.tasks.push_back(inst.task);
+    }
+    std::sort(block.tasks.begin(), block.tasks.end());
+    block.tasks.erase(std::unique(block.tasks.begin(), block.tasks.end()),
+                      block.tasks.end());
+    block.category = all_first ? 1 : 2;
+  }
+  return out;
+}
+
 }  // namespace
 
 BlockDecomposition build_blocks(const Schedule& sched) {
@@ -73,60 +137,84 @@ BlockDecomposition build_blocks(const Schedule& sched) {
     }
   }
 
-  // Collect classes into blocks.
-  BlockDecomposition out;
-  out.block_of.resize(graph.task_count());
-  std::vector<BlockId> root_to_block(total, BlockId{-1});
+  // Classes are union-find roots over the dense index space.
+  return materialize_blocks(
+      sched, sched.all_instances(), total,
+      [&](TaskInstance inst) { return uf.find(dense(inst)); });
+}
 
-  std::vector<TaskInstance> instances = sched.all_instances();
-  std::sort(instances.begin(), instances.end(),
-            [&](const TaskInstance& a, const TaskInstance& b) {
-              const Time sa = sched.start(a);
-              const Time sb = sched.start(b);
-              if (sa != sb) return sa < sb;
-              return a < b;
-            });
+BlockDecomposition build_blocks_around(const Schedule& sched,
+                                       std::span<const TaskId> seed_tasks) {
+  LBMEM_REQUIRE(sched.complete(),
+                "build_blocks_around requires a complete schedule");
+  const TaskGraph& graph = sched.graph();
+  const std::size_t total = graph.total_instances();
+  const auto dense = [&](TaskInstance inst) { return graph.dense_index(inst); };
 
-  for (TaskId t = 0; t < static_cast<TaskId>(graph.task_count()); ++t) {
-    out.block_of[static_cast<std::size_t>(t)].assign(
-        static_cast<std::size_t>(graph.instance_count(t)), BlockId{-1});
-  }
+  // Two instances are neighbors when separating them would create a
+  // communication the current timing cannot absorb — the exact merge rule
+  // of build_blocks, applied as an adjacency instead of a global sweep.
+  const auto tight = [&](TaskInstance producer, TaskInstance consumer,
+                         Mem data_size) {
+    if (sched.proc(producer) != sched.proc(consumer)) return false;
+    const Time slack = sched.start(consumer) - sched.end(producer);
+    return slack < sched.comm().transfer_time(data_size);
+  };
 
-  for (const TaskInstance inst : instances) {
-    const std::size_t root = uf.find(dense(inst));
-    BlockId bid = root_to_block[root];
-    if (bid < 0) {
-      bid = static_cast<BlockId>(out.blocks.size());
-      root_to_block[root] = bid;
-      Block block;
-      block.id = bid;
-      block.home = sched.proc(inst);
-      out.blocks.push_back(std::move(block));
+  // Flood-fill components from every instance of every seed task.
+  std::vector<std::int32_t> component(total, -1);
+  std::vector<TaskInstance> frontier;
+  std::vector<TaskInstance> visited;
+  std::int32_t components = 0;
+  for (const TaskId seed : seed_tasks) {
+    LBMEM_REQUIRE(seed >= 0 && seed < static_cast<TaskId>(graph.task_count()),
+                  "seed task id out of range");
+    const InstanceIdx n = graph.instance_count(seed);
+    for (InstanceIdx k = 0; k < n; ++k) {
+      const TaskInstance root{seed, k};
+      if (component[dense(root)] >= 0) continue;
+      const std::int32_t id = components++;
+      component[dense(root)] = id;
+      frontier.assign(1, root);
+      while (!frontier.empty()) {
+        const TaskInstance inst = frontier.back();
+        frontier.pop_back();
+        visited.push_back(inst);
+        const auto visit = [&](TaskInstance next) {
+          std::int32_t& slot = component[dense(next)];
+          if (slot >= 0) return;  // same component by construction (BFS)
+          slot = id;
+          frontier.push_back(next);
+        };
+        for (const std::int32_t e : graph.deps_in(inst.task)) {
+          const Dependence& dep =
+              graph.dependences()[static_cast<std::size_t>(e)];
+          const ConsumedRange range = graph.consumed_range(e, inst.k);
+          for (InstanceIdx i = 0; i < range.count; ++i) {
+            const TaskInstance producer{dep.producer, range.first + i};
+            if (tight(producer, inst, dep.data_size)) visit(producer);
+          }
+        }
+        for (const std::int32_t e : graph.deps_out(inst.task)) {
+          const Dependence& dep =
+              graph.dependences()[static_cast<std::size_t>(e)];
+          const ConsumedRange range = graph.consumer_range(e, inst.k);
+          for (InstanceIdx i = 0; i < range.count; ++i) {
+            const TaskInstance consumer{dep.consumer, range.first + i};
+            if (tight(inst, consumer, dep.data_size)) visit(consumer);
+          }
+        }
+      }
     }
-    Block& block = out.blocks[static_cast<std::size_t>(bid)];
-    LBMEM_REQUIRE(block.home == sched.proc(inst),
-                  "block members must share a processor");
-    block.members.push_back(inst);
-    block.exec_sum += graph.task(inst.task).wcet;
-    block.mem_sum += graph.task(inst.task).memory;
-    out.block_of[static_cast<std::size_t>(inst.task)]
-                [static_cast<std::size_t>(inst.k)] = bid;
   }
 
-  for (Block& block : out.blocks) {
-    // Members were appended in global start order, so they are sorted.
-    block.tasks.clear();
-    bool all_first = true;
-    for (const TaskInstance& inst : block.members) {
-      if (inst.k != 0) all_first = false;
-      block.tasks.push_back(inst.task);
-    }
-    std::sort(block.tasks.begin(), block.tasks.end());
-    block.tasks.erase(std::unique(block.tasks.begin(), block.tasks.end()),
-                      block.tasks.end());
-    block.category = all_first ? 1 : 2;
-  }
-  return out;
+  // Materialize the discovered components in global start order through
+  // the exact same tail build_blocks uses.
+  return materialize_blocks(
+      sched, std::move(visited), static_cast<std::size_t>(components),
+      [&](TaskInstance inst) {
+        return static_cast<std::size_t>(component[dense(inst)]);
+      });
 }
 
 }  // namespace lbmem

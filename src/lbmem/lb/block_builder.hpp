@@ -2,6 +2,7 @@
 /// \file block_builder.hpp
 /// \brief Builds the block decomposition of a schedule (paper Section 3.1).
 
+#include <span>
 #include <vector>
 
 #include "lbmem/lb/block.hpp"
@@ -30,5 +31,16 @@ struct BlockDecomposition {
 ///
 /// Requires a complete schedule.
 BlockDecomposition build_blocks(const Schedule& sched);
+
+/// Partial decomposition for the online engine (DESIGN.md F12): only the
+/// blocks reachable from any instance of a seed task through chains of
+/// tight same-processor dependences (the same merge rule as build_blocks)
+/// are materialized, by BFS from the seeds instead of a global edge sweep.
+/// block_of entries of undiscovered instances stay -1; blocks are numbered
+/// in the same global start order build_blocks uses, so a pass over the
+/// result behaves like the corresponding slice of the full decomposition.
+/// Cost is proportional to the discovered neighborhood, not the system.
+BlockDecomposition build_blocks_around(const Schedule& sched,
+                                       std::span<const TaskId> seed_tasks);
 
 }  // namespace lbmem

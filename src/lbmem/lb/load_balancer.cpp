@@ -37,7 +37,8 @@ namespace {
 class Attempt {
  public:
   Attempt(const Schedule& input, const BalanceOptions& opts,
-          Time max_gain_override, const BlockDecomposition& dec)
+          Time max_gain_override, const BlockDecomposition& dec,
+          const std::vector<ProcTimeline>* warm_all_occ)
       : opts_(opts),
         max_gain_(max_gain_override),
         sched_(input),
@@ -58,9 +59,20 @@ class Attempt {
     instance_processed_.assign(total, 0);
     affected_epoch_.assign(total, 0);
     if (opts_.overlap_rule == OverlapRule::AllInstances) {
-      for (const TaskInstance inst : input.all_instances()) {
-        all_occ_[static_cast<std::size_t>(input.proc(inst))].add(
-            input.start(inst), input.graph().task(inst.task).wcet, inst);
+      if (warm_all_occ != nullptr) {
+        // Warm start: the caller hands over an occupancy that already
+        // mirrors the input schedule — a flat copy instead of re-adding
+        // every instance (DESIGN.md F12).
+        LBMEM_REQUIRE(warm_all_occ->size() == all_occ_.size() &&
+                          (warm_all_occ->empty() ||
+                           warm_all_occ->front().hyperperiod() == h_),
+                      "warm occupancy does not match the input schedule");
+        all_occ_ = *warm_all_occ;
+      } else {
+        for (const TaskInstance inst : input.all_instances()) {
+          all_occ_[static_cast<std::size_t>(input.proc(inst))].add(
+              input.start(inst), input.graph().task(inst.task).wcet, inst);
+        }
       }
     }
   }
@@ -69,6 +81,10 @@ class Attempt {
   bool run(std::vector<StepRecord>* trace, BalanceStats& stats);
 
   Schedule& schedule() { return sched_; }
+
+  /// Final all-instances occupancy (mirrors schedule() after a successful
+  /// run under OverlapRule::AllInstances); movable out for warm-state reuse.
+  std::vector<ProcTimeline>& all_occupancy() { return all_occ_; }
 
  private:
   struct QueueEntry {
@@ -117,6 +133,34 @@ class Attempt {
   DestinationScore evaluate(const Block& block, ProcId dest) const;
   void commit(const Block& block, ProcId dest, Time gain, bool forced,
               BalanceStats& stats);
+
+  /// Closed (failed) processors are never destinations.
+  bool closed(ProcId p) const {
+    return !opts_.closed_procs.empty() &&
+           opts_.closed_procs[static_cast<std::size_t>(p)] != 0;
+  }
+
+  /// The migration-penalty gate (DESIGN.md F9), applied *after* the policy
+  /// has picked its preferred destination: if that pick is a migration and
+  /// the (feasible) home candidate exists, the migration only stands when
+  /// its net gain — gain minus the penalty — strictly beats the home's
+  /// gain; otherwise the block stays home. A post-selection gate rather
+  /// than a pairwise comparator keeps the choice transitive and
+  /// independent of processor iteration order, and leaves the policy full
+  /// authority among migrations; the committed gain stays the full
+  /// achievable one. Gain-disabled runs (max_gain_ == 0: the validation-
+  /// failure retry, or a pure memory-spreading configuration) are exempt —
+  /// there are no gains to price, and gating would silently forfeit the
+  /// memory spreading those runs exist for.
+  DestinationScore apply_migration_gate(const DestinationScore& best,
+                                        const DestinationScore& home,
+                                        bool home_feasible) const {
+    if (opts_.migration_penalty <= 0 || max_gain_ == 0 || best.is_home ||
+        !home_feasible) {
+      return best;
+    }
+    return (best.gain - opts_.migration_penalty > home.gain) ? best : home;
+  }
 
   /// An instance this pop's tentative move would relocate (its existing
   /// footprint must not block its own placement).
@@ -525,6 +569,9 @@ bool Attempt::run(std::vector<StepRecord>* trace, BalanceStats& stats) {
     if (block.start(sched_) != entry.start) {
       continue;  // stale key; the shifted re-queue entry will handle it
     }
+    LBMEM_REQUIRE(!closed(block.home),
+                  "blocks homed on a closed processor must be evacuated "
+                  "before balancing");
 
     // Freeze this block's layout, data-readiness split and gain cap for
     // the M evaluations below. Overlap checks ignore the affected set (its
@@ -539,14 +586,32 @@ bool Attempt::run(std::vector<StepRecord>* trace, BalanceStats& stats) {
 
     DestinationScore best;
     bool have_best = false;
+    DestinationScore home_score;
+    bool home_feasible = false;
     for (ProcId p = 0; p < procs_; ++p) {
+      if (closed(p)) {
+        if (trace) {
+          DestinationScore cand;
+          cand.proc = p;
+          cand.reject_reason = "processor closed";
+          record.candidates.push_back(cand);
+        }
+        continue;
+      }
       const DestinationScore cand = evaluate(block, p);
       if (trace) record.candidates.push_back(cand);
+      if (cand.feasible && cand.is_home) {
+        home_score = cand;
+        home_feasible = true;
+      }
       if (cand.feasible &&
           (!have_best || better_candidate(opts_.policy, cand, best))) {
         best = cand;
         have_best = true;
       }
+    }
+    if (have_best) {
+      best = apply_migration_gate(best, home_score, home_feasible);
     }
 
     if (have_best) {
@@ -561,6 +626,11 @@ bool Attempt::run(std::vector<StepRecord>* trace, BalanceStats& stats) {
           for (InstanceIdx k = 1; k < n; ++k) {
             const BlockId other = dec_.block_of[static_cast<std::size_t>(t)]
                                                [static_cast<std::size_t>(k)];
+            // Partial decompositions leave undiscovered instances at -1;
+            // their blocks are out of scope and never popped, so there is
+            // nothing to re-queue (the shifted footprints are already
+            // maintained by update_all_occ).
+            if (other < 0) continue;
             if (!processed_[static_cast<std::size_t>(other)]) {
               const Block& ob = dec_.blocks[static_cast<std::size_t>(other)];
               queue.push(QueueEntry{ob.start(sched_), other});
@@ -585,6 +655,30 @@ bool Attempt::run(std::vector<StepRecord>* trace, BalanceStats& stats) {
 
 BalanceResult LoadBalancer::balance(const Schedule& input) const {
   LBMEM_REQUIRE(input.complete(), "balance requires a complete schedule");
+  const BlockDecomposition dec = build_blocks(input);
+  return run_attempts(input, dec, /*warm_occupancy=*/nullptr,
+                      /*return_occupancy=*/false);
+}
+
+BalanceResult LoadBalancer::rebalance(const Schedule& input,
+                                      const RebalanceScope& scope) const {
+  LBMEM_REQUIRE(input.complete(), "rebalance requires a complete schedule");
+  LBMEM_REQUIRE(scope.blocks != nullptr,
+                "rebalance requires a block decomposition");
+  // Under MovedOnly, instances outside the scope would be invisible to
+  // overlap checks — the opposite of the RebalanceScope contract (unscoped
+  // instances constrain every placement). Scoped rebalancing is therefore
+  // defined for the AllInstances rule only.
+  LBMEM_REQUIRE(options_.overlap_rule == OverlapRule::AllInstances,
+                "rebalance requires OverlapRule::AllInstances");
+  return run_attempts(input, *scope.blocks, scope.occupancy,
+                      scope.return_occupancy);
+}
+
+BalanceResult LoadBalancer::run_attempts(
+    const Schedule& input, const BlockDecomposition& dec,
+    const std::vector<ProcTimeline>* warm_occupancy,
+    bool return_occupancy) const {
   Stopwatch watch;
 
   BalanceStats base;
@@ -594,14 +688,12 @@ BalanceResult LoadBalancer::balance(const Schedule& input) const {
     base.memory_before.push_back(input.memory_on(p));
   }
 
-  const BlockDecomposition dec = build_blocks(input);
-
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
     // The first attempt honours options_.max_gain; later attempts disable
     // gains entirely (pure memory spreading — every move is individually
     // checked, no optimistic shift propagation remains).
     const Time gain_override = (attempt == 1) ? options_.max_gain : 0;
-    Attempt run(input, options_, gain_override, dec);
+    Attempt run(input, options_, gain_override, dec, warm_occupancy);
     BalanceStats stats = base;
     stats.attempts_used = attempt;
     std::vector<StepRecord> trace;
@@ -616,8 +708,13 @@ BalanceResult LoadBalancer::balance(const Schedule& input) const {
       stats.memory_after.push_back(result.memory_on(p));
     }
     stats.wall_seconds = watch.seconds();
-    return BalanceResult{std::move(result), std::move(stats),
-                         std::move(trace)};
+    BalanceResult out{std::move(result), std::move(stats), std::move(trace),
+                      {}};
+    if (return_occupancy &&
+        options_.overlap_rule == OverlapRule::AllInstances) {
+      out.occupancy = std::move(run.all_occupancy());
+    }
+    return out;
   }
 
   // Fall back: the input schedule is valid and Gtotal = 0, so Theorem 1's
@@ -630,7 +727,7 @@ BalanceResult LoadBalancer::balance(const Schedule& input) const {
   stats.max_memory_after = base.max_memory_before;
   stats.memory_after = base.memory_before;
   stats.wall_seconds = watch.seconds();
-  return BalanceResult{input, std::move(stats), {}};
+  return BalanceResult{input, std::move(stats), {}, {}};
 }
 
 }  // namespace lbmem

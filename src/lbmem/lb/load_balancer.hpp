@@ -22,11 +22,13 @@
 ///     schedule — so the returned schedule is always valid and the total
 ///     gain is never negative (Theorem 1's lower bound by construction).
 
+#include <cstdint>
 #include <vector>
 
 #include "lbmem/lb/block_builder.hpp"
 #include "lbmem/lb/cost_policy.hpp"
 #include "lbmem/sched/schedule.hpp"
+#include "lbmem/sched/timeline.hpp"
 
 namespace lbmem {
 
@@ -63,6 +65,37 @@ struct BalanceOptions {
   /// Record a per-block decision trace (costs memory; used by tests and
   /// the example bench).
   bool record_trace = false;
+  /// Price of moving a block off its current processor (DESIGN.md F9).
+  /// When positive, the policy first picks its preferred destination as
+  /// usual; if that pick is a migration while staying home is feasible,
+  /// the migration only stands when its gain beats the home's gain by
+  /// more than this penalty — otherwise the block stays home. The gain
+  /// committed for the winner is still the full achievable one. The
+  /// online engine sets this to damp migration churn; 0 (the default)
+  /// preserves the paper's offline behavior exactly.
+  Time migration_penalty = 0;
+  /// Per-processor "closed" flags, size M (empty = all open). Closed
+  /// processors are never evaluated as destinations; the online engine
+  /// closes failed processors. Blocks homed on a closed processor must be
+  /// evacuated by the caller before balancing.
+  std::vector<std::uint8_t> closed_procs;
+};
+
+/// Scope of an incremental warm-start rebalance (DESIGN.md F12). Scoped
+/// rebalancing is defined for OverlapRule::AllInstances only: under
+/// MovedOnly the unscoped instances would be invisible to overlap checks,
+/// the opposite of this contract.
+struct RebalanceScope {
+  /// Blocks to re-evaluate — typically build_blocks_around() of the tasks
+  /// an event dirtied. Instances outside the decomposition are never moved
+  /// but still constrain every placement through the occupancy. Required.
+  const BlockDecomposition* blocks = nullptr;
+  /// Warm per-processor all-instances occupancy mirroring the input
+  /// schedule, copied instead of being rebuilt from scratch. Optional.
+  const std::vector<ProcTimeline>* occupancy = nullptr;
+  /// Return the final all-instances occupancy in BalanceResult::occupancy
+  /// (empty on fallback) so the caller can keep its warm state in sync.
+  bool return_occupancy = false;
 };
 
 /// Per-block decision record (mirrors the paper's step-by-step example).
@@ -106,6 +139,9 @@ struct BalanceResult {
   Schedule schedule;
   BalanceStats stats;
   std::vector<StepRecord> trace;
+  /// All-instances occupancy of `schedule`, filled only when a
+  /// RebalanceScope asked for it (warm-state handover; empty otherwise).
+  std::vector<ProcTimeline> occupancy;
 };
 
 /// The load-balancing heuristic.
@@ -118,9 +154,23 @@ class LoadBalancer {
   /// equals the input (stats.fell_back).
   BalanceResult balance(const Schedule& input) const;
 
+  /// Incremental warm-start balance: identical decision machinery, but only
+  /// the blocks of \p scope are popped — everything else stays put and acts
+  /// as committed occupancy. Eligibility and the Block Condition anchor are
+  /// local to this run, mirroring one balancing "round" over the scoped
+  /// blocks. Same validity contract as balance(): on validation failure the
+  /// gain-disabled retry runs, and ultimately the input is returned.
+  BalanceResult rebalance(const Schedule& input,
+                          const RebalanceScope& scope) const;
+
   const BalanceOptions& options() const { return options_; }
 
  private:
+  BalanceResult run_attempts(const Schedule& input,
+                             const BlockDecomposition& dec,
+                             const std::vector<ProcTimeline>* warm_occupancy,
+                             bool return_occupancy) const;
+
   BalanceOptions options_;
 };
 

@@ -41,6 +41,20 @@ TaskId TaskGraph::add_task(std::string name, Time period, Time wcet,
   return add_task(Task{std::move(name), period, wcet, memory});
 }
 
+void TaskGraph::set_wcet(TaskId id, Time wcet) {
+  LBMEM_REQUIRE(id >= 0 && id < static_cast<TaskId>(tasks_.size()),
+                "task id out of range");
+  Task& task = tasks_[static_cast<std::size_t>(id)];
+  if (wcet <= 0) {
+    throw ModelError("task " + task.name + ": wcet must be positive");
+  }
+  if (wcet > task.period) {
+    throw ModelError("task " + task.name +
+                     ": wcet must not exceed the period");
+  }
+  task.wcet = wcet;
+}
+
 void TaskGraph::add_dependence(TaskId producer, TaskId consumer,
                                Mem data_size) {
   require_mutable("add_dependence");

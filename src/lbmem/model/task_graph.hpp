@@ -46,6 +46,15 @@ class TaskGraph {
   /// called once after construction; mutating calls afterwards throw.
   void freeze();
 
+  /// Update a task's WCET after freeze() — the one structural mutation the
+  /// online engine needs (WcetChange events). Legal because nothing derived
+  /// at freeze time depends on WCETs (hyper-period, instance counts,
+  /// adjacency and topological order all come from periods and edges).
+  /// Revalidates 0 < wcet <= period. Schedules referencing this graph keep
+  /// incrementally-maintained busy aggregates; callers must invoke
+  /// Schedule::refresh_aggregates() on them afterwards.
+  void set_wcet(TaskId id, Time wcet);
+
   /// True once freeze() has completed successfully.
   bool frozen() const { return frozen_; }
 
@@ -164,6 +173,31 @@ class TaskGraph {
     }
     // Fast consumer samples the latest completed producer instance.
     return ConsumedRange{k / static_cast<InstanceIdx>(tp / tc), 1};
+  }
+
+  /// Inverse of consumed_range: the consumer instances that consume
+  /// producer instance \p j of dependence \p dep_index. Contiguous in both
+  /// harmonic cases (slow consumer: j/n gathers j; fast consumer: the n
+  /// instances j*n .. j*n+n-1 each re-read j). Allocation-free; used by the
+  /// online engine's dirty-set cascade and the partial block builder.
+  ConsumedRange consumer_range(std::int32_t dep_index, InstanceIdx j) const {
+    require_frozen("consumer_range");
+    LBMEM_REQUIRE(dep_index >= 0 &&
+                      dep_index < static_cast<std::int32_t>(deps_.size()),
+                  "dependence index out of range");
+    const Dependence& d = deps_[static_cast<std::size_t>(dep_index)];
+    LBMEM_REQUIRE(j >= 0 && j < instance_count(d.producer),
+                  "producer instance out of range");
+    const Time tp = task(d.producer).period;
+    const Time tc = task(d.consumer).period;
+    if (tc >= tp) {
+      // Slow consumer: j belongs to the gather window of consumer j/n.
+      const auto n = static_cast<InstanceIdx>(tc / tp);
+      return ConsumedRange{j / n, 1};
+    }
+    // Fast consumer: the n consumers within j's production period re-read j.
+    const auto n = static_cast<InstanceIdx>(tp / tc);
+    return ConsumedRange{j * n, n};
   }
 
   /// Sum over tasks of wcet/period (fraction of one processor the whole

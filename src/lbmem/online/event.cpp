@@ -1,0 +1,47 @@
+#include "lbmem/online/event.hpp"
+
+#include <sstream>
+
+namespace lbmem {
+
+std::string to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::TaskArrival:
+      return "arrival";
+    case EventKind::TaskRemoval:
+      return "removal";
+    case EventKind::WcetChange:
+      return "wcet";
+    case EventKind::ProcessorFailure:
+      return "failure";
+  }
+  return "unknown";
+}
+
+std::string to_string(const Event& event) {
+  std::ostringstream out;
+  out << "t=" << event.at << " " << to_string(event.kind()) << " ";
+  switch (event.kind()) {
+    case EventKind::TaskArrival: {
+      const NewTaskSpec& spec = std::get<TaskArrival>(event.payload).spec;
+      out << spec.name << " (T=" << spec.period << " E=" << spec.wcet
+          << " m=" << spec.memory << ", " << spec.producers.size()
+          << " deps)";
+      break;
+    }
+    case EventKind::TaskRemoval:
+      out << std::get<TaskRemoval>(event.payload).task;
+      break;
+    case EventKind::WcetChange: {
+      const WcetChange& change = std::get<WcetChange>(event.payload);
+      out << change.task << " -> E=" << change.wcet;
+      break;
+    }
+    case EventKind::ProcessorFailure:
+      out << "P" << std::get<ProcessorFailure>(event.payload).proc + 1;
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace lbmem

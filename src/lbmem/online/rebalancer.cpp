@@ -1,0 +1,627 @@
+#include "lbmem/online/rebalancer.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "lbmem/lb/block_builder.hpp"
+#include "lbmem/sched/scheduler.hpp"
+#include "lbmem/util/check.hpp"
+#include "lbmem/util/stopwatch.hpp"
+
+namespace lbmem {
+
+namespace {
+
+/// Task id by name, or -1 (events identify tasks by name; DESIGN.md F10).
+TaskId maybe_find(const TaskGraph& graph, const std::string& name) {
+  for (TaskId t = 0; t < static_cast<TaskId>(graph.task_count()); ++t) {
+    if (graph.task(t).name == name) return t;
+  }
+  return -1;
+}
+
+/// All-instances occupancy of \p sched. Unassigned instances (a not-yet-
+/// admitted arrival) simply have no footprint. instances_on() is sorted by
+/// start, which keeps the sorted-vector inserts cheap.
+std::vector<ProcTimeline> build_occupancy(const Schedule& sched) {
+  const int m = sched.architecture().processor_count();
+  std::vector<ProcTimeline> occ(static_cast<std::size_t>(m),
+                                ProcTimeline(sched.graph().hyperperiod()));
+  for (ProcId p = 0; p < m; ++p) {
+    for (const TaskInstance inst : sched.instances_on(p)) {
+      occ[static_cast<std::size_t>(p)].add(
+          sched.start(inst), sched.graph().task(inst.task).wcet, inst);
+    }
+  }
+  return occ;
+}
+
+/// Processor of each task's first instance (kNoProc when unassigned) —
+/// the repair's migration-avoiding placement preference.
+std::vector<ProcId> instance0_procs(const Schedule& sched) {
+  const auto count = static_cast<TaskId>(sched.graph().task_count());
+  std::vector<ProcId> preferred(static_cast<std::size_t>(count), kNoProc);
+  for (TaskId t = 0; t < count; ++t) {
+    preferred[static_cast<std::size_t>(t)] = sched.proc(TaskInstance{t, 0});
+  }
+  return preferred;
+}
+
+/// Surviving instances whose processor changed across the event, matched
+/// by task name (ids are not stable across graph rebuilds).
+int count_migrations(const Schedule& pre, const Schedule& post) {
+  const TaskGraph& og = pre.graph();
+  const TaskGraph& ng = post.graph();
+  if (&og == &ng) {
+    // No graph rebuild (the hot WcetChange/failure path): ids are the
+    // identity — skip the name index and its per-event string hashing.
+    int migrations = 0;
+    for (TaskId t = 0; t < static_cast<TaskId>(og.task_count()); ++t) {
+      const InstanceIdx n = og.instance_count(t);
+      for (InstanceIdx k = 0; k < n; ++k) {
+        const TaskInstance inst{t, k};
+        if (pre.proc(inst) != post.proc(inst)) ++migrations;
+      }
+    }
+    return migrations;
+  }
+  std::unordered_map<std::string, TaskId> new_ids;
+  for (TaskId t = 0; t < static_cast<TaskId>(ng.task_count()); ++t) {
+    new_ids.emplace(ng.task(t).name, t);
+  }
+  int migrations = 0;
+  for (TaskId t = 0; t < static_cast<TaskId>(og.task_count()); ++t) {
+    const auto it = new_ids.find(og.task(t).name);
+    if (it == new_ids.end()) continue;  // removed
+    const InstanceIdx n =
+        std::min(og.instance_count(t), ng.instance_count(it->second));
+    for (InstanceIdx k = 0; k < n; ++k) {
+      if (pre.proc(TaskInstance{t, k}) !=
+          post.proc(TaskInstance{it->second, k})) {
+        ++migrations;
+      }
+    }
+  }
+  return migrations;
+}
+
+/// Direct consumers of \p t (balance seeds: their data timing changed).
+void add_consumers(const TaskGraph& graph, TaskId t,
+                   std::vector<TaskId>& seeds) {
+  for (const std::int32_t e : graph.deps_out(t)) {
+    seeds.push_back(graph.dependences()[static_cast<std::size_t>(e)].consumer);
+  }
+}
+
+/// Scope guard undoing a durable engine mutation (set_wcet, failed_ flag)
+/// unless dismissed — keeps the "rejected events leave the system exactly
+/// as before" promise even when patching throws (bad_alloc, precondition).
+template <typename Undo>
+class Rollback {
+ public:
+  explicit Rollback(Undo undo) : undo_(std::move(undo)) {}
+  Rollback(const Rollback&) = delete;
+  Rollback& operator=(const Rollback&) = delete;
+  ~Rollback() {
+    if (armed_) undo_();
+  }
+  void dismiss() { armed_ = false; }
+
+ private:
+  Undo undo_;
+  bool armed_ = true;
+};
+
+}  // namespace
+
+/// Candidate post-patch state, committed only when the repair succeeds
+/// (rejected events must leave the system untouched; DESIGN.md F14).
+struct Rebalancer::Patched {
+  explicit Patched(Schedule s) : sched(std::move(s)) {}
+
+  Schedule sched;
+  std::vector<ProcTimeline> occ;
+  std::vector<std::uint8_t> dirty;      ///< per (post-event) TaskId
+  std::vector<ProcId> preferred;        ///< placement preference per task
+  std::vector<TaskId> repaired;
+  std::vector<TaskId> seeds;            ///< balance-stage seed tasks
+  bool full_replace = false;
+};
+
+namespace {
+
+/// The dirty-set repair (DESIGN.md F11): re-place every dirty task whole —
+/// earliest feasible strict-periodic start over the alive processors,
+/// preferring its previous processor — in topological order, cascading to
+/// consumers whose data-readiness a re-placement broke (consumers are
+/// always later in the order, so one pass suffices). Returns an empty
+/// string on success, else the reason the repair is infeasible.
+std::string repair(Schedule& work, std::vector<ProcTimeline>& occ,
+                   std::vector<std::uint8_t>& dirty,
+                   const std::vector<ProcId>& preferred,
+                   const std::vector<std::uint8_t>& failed,
+                   std::vector<TaskId>& repaired) {
+  const TaskGraph& graph = work.graph();
+  const auto detach = [&](TaskId t) {
+    const InstanceIdx n = graph.instance_count(t);
+    for (InstanceIdx k = 0; k < n; ++k) {
+      const TaskInstance inst{t, k};
+      const ProcId p = work.proc(inst);
+      if (p != kNoProc) occ[static_cast<std::size_t>(p)].remove(inst);
+    }
+  };
+  // Detach the initial dirty set up front so it does not constrain its own
+  // re-placement; cascade additions are detached when their turn comes
+  // (remove() is a no-op on absent owners), which is merely conservative.
+  for (TaskId t = 0; t < static_cast<TaskId>(graph.task_count()); ++t) {
+    if (dirty[static_cast<std::size_t>(t)]) detach(t);
+  }
+
+  // Scratch hoisted out of the loop: a full-replace escalation re-places
+  // every task, and a fresh allocation per task adds up.
+  std::vector<Mem> resident;
+  for (const TaskId t : graph.topological_order()) {
+    if (!dirty[static_cast<std::size_t>(t)]) continue;
+    detach(t);
+    const Task& task = graph.task(t);
+    const InstanceIdx n = graph.instance_count(t);
+
+    // t's current residency per processor: the schedule still carries its
+    // stale assignment, so a capacity projection must not double-count it.
+    if (work.architecture().has_memory_limit()) {
+      resident.assign(
+          static_cast<std::size_t>(work.architecture().processor_count()), 0);
+      for (InstanceIdx k = 0; k < n; ++k) {
+        const ProcId p = work.proc(TaskInstance{t, k});
+        if (p != kNoProc) resident[static_cast<std::size_t>(p)] += task.memory;
+      }
+    }
+
+    ProcId best_proc = kNoProc;
+    Time best_start = 0;
+    for (ProcId p = 0;
+         p < work.architecture().processor_count(); ++p) {
+      if (failed[static_cast<std::size_t>(p)]) continue;
+      if (work.architecture().has_memory_limit() &&
+          work.memory_on(p) - resident[static_cast<std::size_t>(p)] +
+                  task.memory * static_cast<Mem>(n) >
+              work.architecture().memory_capacity()) {
+        continue;  // admitting t whole on p would overrun the capacity
+      }
+      const Time lb = precedence_lower_bound(work, t, p);
+      const auto start = occ[static_cast<std::size_t>(p)].earliest_fit(
+          lb, task.period, task.wcet, n);
+      if (!start) continue;
+      bool better = false;
+      if (best_proc == kNoProc) {
+        better = true;
+      } else if (*start != best_start) {
+        better = *start < best_start;
+      } else {
+        const ProcId pref = preferred[static_cast<std::size_t>(t)];
+        const bool cand_pref = (p == pref);
+        const bool best_pref = (best_proc == pref);
+        if (cand_pref != best_pref) {
+          better = cand_pref;
+        } else {
+          better = work.memory_on(p) < work.memory_on(best_proc);
+        }
+      }
+      if (better) {
+        best_proc = p;
+        best_start = *start;
+      }
+    }
+    if (best_proc == kNoProc) {
+      return "no feasible placement for task " + task.name;
+    }
+
+    commit_whole_task(work, occ, t, best_proc, best_start);
+    repaired.push_back(t);
+
+    // Cascade: a later start or a new processor can invalidate consumers.
+    for (const std::int32_t e : graph.deps_out(t)) {
+      const Dependence& dep =
+          graph.dependences()[static_cast<std::size_t>(e)];
+      if (dirty[static_cast<std::size_t>(dep.consumer)]) continue;
+      const InstanceIdx nc = graph.instance_count(dep.consumer);
+      for (InstanceIdx k = 0; k < nc; ++k) {
+        const TaskInstance inst{dep.consumer, k};
+        if (work.data_ready(inst, work.proc(inst)) > work.start(inst)) {
+          dirty[static_cast<std::size_t>(dep.consumer)] = 1;
+          break;
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+/// Fresh candidate that re-places *every* task (hyper-period changes and
+/// the escalation path when a local repair is infeasible; DESIGN.md F13).
+/// Placement preferences come from the pre-event schedule, matched by name.
+Rebalancer::Patched Rebalancer::full_replace_candidate(const TaskGraph& graph,
+                                                       const Schedule& pre) {
+  Rebalancer::Patched candidate{
+      Schedule(graph, pre.architecture(), pre.comm())};
+  candidate.full_replace = true;
+  candidate.occ.assign(
+      static_cast<std::size_t>(pre.architecture().processor_count()),
+      ProcTimeline(graph.hyperperiod()));
+  candidate.dirty.assign(graph.task_count(), 1);
+  candidate.preferred.assign(graph.task_count(), kNoProc);
+  // One name index instead of a per-task linear scan: a full replace at
+  // N tasks would otherwise cost O(N^2) string compares.
+  std::unordered_map<std::string, TaskId> old_ids;
+  for (TaskId t = 0; t < static_cast<TaskId>(pre.graph().task_count());
+       ++t) {
+    old_ids.emplace(pre.graph().task(t).name, t);
+  }
+  for (TaskId t = 0; t < static_cast<TaskId>(graph.task_count()); ++t) {
+    const auto it = old_ids.find(graph.task(t).name);
+    if (it != old_ids.end()) {
+      candidate.preferred[static_cast<std::size_t>(t)] =
+          pre.proc(TaskInstance{it->second, 0});
+    }
+  }
+  return candidate;
+}
+
+Rebalancer::Rebalancer(std::unique_ptr<TaskGraph> graph, Schedule schedule,
+                       RebalancerOptions options)
+    : options_(std::move(options)),
+      graph_(std::move(graph)),
+      sched_(std::move(schedule)) {
+  LBMEM_REQUIRE(graph_ != nullptr, "Rebalancer requires a graph");
+  LBMEM_REQUIRE(&sched_->graph() == graph_.get(),
+                "the schedule must reference the owned graph");
+  LBMEM_REQUIRE(sched_->complete(),
+                "Rebalancer requires a complete schedule");
+  failed_.assign(
+      static_cast<std::size_t>(sched_->architecture().processor_count()), 0);
+  occ_ = build_occupancy(*sched_);
+}
+
+Rebalancer Rebalancer::adopt(const TaskGraph& graph, const Schedule& schedule,
+                             RebalancerOptions options) {
+  LBMEM_REQUIRE(&schedule.graph() == &graph,
+                "the schedule must reference the given graph");
+  auto copy = std::make_unique<TaskGraph>(graph);
+  Schedule rebound(*copy, schedule.architecture(), schedule.comm());
+  for (TaskId t = 0; t < static_cast<TaskId>(copy->task_count()); ++t) {
+    rebound.set_first_start(t, schedule.first_start(t));
+    const InstanceIdx n = copy->instance_count(t);
+    for (InstanceIdx k = 0; k < n; ++k) {
+      rebound.assign(TaskInstance{t, k}, schedule.proc(TaskInstance{t, k}));
+    }
+  }
+  return Rebalancer(std::move(copy), std::move(rebound), std::move(options));
+}
+
+int Rebalancer::alive_processor_count() const {
+  return static_cast<int>(failed_.size()) -
+         static_cast<int>(std::count(failed_.begin(), failed_.end(), 1));
+}
+
+void Rebalancer::commit(Patched&& candidate,
+                        std::unique_ptr<TaskGraph> new_graph) {
+  if (new_graph) graph_ = std::move(new_graph);
+  sched_ = std::move(candidate.sched);
+  occ_ = std::move(candidate.occ);
+}
+
+void Rebalancer::run_balance_stage(const std::vector<TaskId>& seeds,
+                                   EventOutcome& out) {
+  if (!options_.rebalance) return;
+  BalanceOptions bopts = options_.balance;
+  bopts.closed_procs = failed_;
+  const LoadBalancer balancer(bopts);
+
+  // Scoped rebalancing is only defined under AllInstances (see
+  // RebalanceScope); a MovedOnly configuration degrades to a full balance.
+  const bool scoped = options_.incremental &&
+                      bopts.overlap_rule == OverlapRule::AllInstances;
+  BalanceResult result = [&] {
+    if (!scoped) return balancer.balance(*sched_);
+    std::vector<TaskId> deduped(seeds);
+    std::sort(deduped.begin(), deduped.end());
+    deduped.erase(std::unique(deduped.begin(), deduped.end()),
+                  deduped.end());
+    const BlockDecomposition dec = build_blocks_around(*sched_, deduped);
+    RebalanceScope scope;
+    scope.blocks = &dec;
+    scope.occupancy = &occ_;
+    scope.return_occupancy = true;
+    return balancer.rebalance(*sched_, scope);
+  }();
+
+  out.dirty_blocks = result.stats.blocks_total;
+  out.balance_fell_back = result.stats.fell_back;
+  if (result.stats.fell_back) return;  // keep the repaired schedule
+
+  out.balance_moves = result.stats.moves_off_home;
+  out.balance_gain = result.stats.gain_total;
+  sched_ = std::move(result.schedule);
+  occ_ = result.occupancy.empty() ? build_occupancy(*sched_)
+                                  : std::move(result.occupancy);
+}
+
+EventOutcome Rebalancer::apply(const Event& event) {
+  Stopwatch watch;
+  EventOutcome out;
+  out.event = event;
+  // Shared epilogue: post-event system state + latency, filled once at
+  // every exit (no-op, reject, success).
+  const auto finish = [&] {
+    out.makespan = sched_->makespan();
+    out.max_memory = sched_->max_memory();
+    out.alive_tasks = static_cast<int>(graph_->task_count());
+    out.alive_procs = alive_processor_count();
+    out.wall_seconds = watch.seconds();
+  };
+
+  // Snapshot for the migration diff and (conceptually) the rollback: the
+  // candidate-state patching below never mutates *sched_ in place, so a
+  // rejected event only ever needs its explicit graph-level undo. Taken
+  // lazily so cheap rejects and no-op events skip the O(instances) copy;
+  // every applied path materializes it while building its candidate,
+  // before anything commits. (A WcetChange materializes it after the
+  // set_wcet graph mutation, which is safe: the snapshot copies only the
+  // schedule's own vectors, untouched by the graph edit.)
+  std::optional<Schedule> pre_snapshot;
+  const auto pre = [&]() -> const Schedule& {
+    if (!pre_snapshot) pre_snapshot.emplace(*sched_);
+    return *pre_snapshot;
+  };
+
+  std::string reject;
+  std::unique_ptr<TaskGraph> new_graph;  // null = graph kept
+  std::optional<Patched> patched;
+
+  // Local repair first; if a local repair is infeasible, escalate once to
+  // a full re-place before giving up (DESIGN.md F11).
+  const auto repair_with_escalation = [&](Patched& candidate,
+                                          const TaskGraph& graph) {
+    std::string err = repair(candidate.sched, candidate.occ, candidate.dirty,
+                             candidate.preferred, failed_,
+                             candidate.repaired);
+    if (err.empty() || candidate.full_replace) return err;
+    Patched full = full_replace_candidate(graph, pre());
+    std::string full_err =
+        repair(full.sched, full.occ, full.dirty, full.preferred, failed_,
+               full.repaired);
+    if (!full_err.empty()) return err;  // report the local failure
+    full.seeds = full.repaired;
+    candidate = std::move(full);
+    return std::string{};
+  };
+
+  switch (event.kind()) {
+    case EventKind::WcetChange: {
+      const WcetChange& change = std::get<WcetChange>(event.payload);
+      const TaskId t = maybe_find(*graph_, change.task);
+      if (t < 0) {
+        reject = "wcet change for unknown task " + change.task;
+        break;
+      }
+      const Time old_wcet = graph_->task(t).wcet;
+      if (change.wcet == old_wcet) {
+        // Nothing changed: apply as a no-op instead of paying for a
+        // schedule copy, an aggregate refresh and a balance round.
+        out.applied = true;
+        finish();
+        return out;
+      }
+      try {
+        graph_->set_wcet(t, change.wcet);
+      } catch (const ModelError& e) {
+        reject = e.what();
+        break;
+      }
+      // Guarded so the mutation unwinds on reject AND on any exception
+      // thrown while patching (DESIGN.md F14).
+      Rollback undo([this, t, old_wcet] { graph_->set_wcet(t, old_wcet); });
+      Patched candidate{pre()};
+      candidate.sched.refresh_aggregates();
+      candidate.occ = occ_;
+      candidate.dirty.assign(graph_->task_count(), 0);
+      candidate.dirty[static_cast<std::size_t>(t)] = 1;
+      candidate.preferred = instance0_procs(pre());
+      candidate.seeds.push_back(t);
+      add_consumers(*graph_, t, candidate.seeds);
+      reject = repair_with_escalation(candidate, *graph_);
+      if (!reject.empty()) break;  // ~Rollback restores the old WCET
+      undo.dismiss();
+      // The occupancy copy holds old-length pieces for t; the repair
+      // re-placed t, so its pieces already carry the new WCET.
+      patched.emplace(std::move(candidate));
+      break;
+    }
+
+    case EventKind::ProcessorFailure: {
+      const ProcId p = std::get<ProcessorFailure>(event.payload).proc;
+      if (p < 0 || p >= sched_->architecture().processor_count()) {
+        reject = "failure of unknown processor";
+        break;
+      }
+      if (failed_[static_cast<std::size_t>(p)]) {
+        reject = "processor already failed";
+        break;
+      }
+      if (alive_processor_count() <= 1) {
+        reject = "cannot fail the last alive processor";
+        break;
+      }
+      failed_[static_cast<std::size_t>(p)] = 1;
+      // Un-fail on reject and on any exception while patching (F14).
+      Rollback undo([this, p] { failed_[static_cast<std::size_t>(p)] = 0; });
+      Patched candidate{pre()};
+      candidate.occ = occ_;
+      candidate.dirty.assign(graph_->task_count(), 0);
+      for (const TaskInstance inst : pre().instances_on(p)) {
+        candidate.dirty[static_cast<std::size_t>(inst.task)] = 1;
+      }
+      candidate.preferred = instance0_procs(pre());
+      reject = repair_with_escalation(candidate, *graph_);
+      if (!reject.empty()) break;  // ~Rollback un-fails the processor
+      undo.dismiss();
+      patched.emplace(std::move(candidate));
+      break;
+    }
+
+    case EventKind::TaskArrival: {
+      const NewTaskSpec& spec = std::get<TaskArrival>(event.payload).spec;
+      try {
+        auto rebuilt = std::make_unique<TaskGraph>();
+        for (const Task& task : graph_->tasks()) rebuilt->add_task(task);
+        const TaskId nid = rebuilt->add_task(
+            Task{spec.name, spec.period, spec.wcet, spec.memory});
+        for (const Dependence& dep : graph_->dependences()) {
+          rebuilt->add_dependence(dep.producer, dep.consumer, dep.data_size);
+        }
+        for (const NewTaskSpec::Producer& producer : spec.producers) {
+          const TaskId pid = maybe_find(*rebuilt, producer.task);
+          if (pid < 0) {
+            throw ModelError("arrival references unknown producer " +
+                             producer.task);
+          }
+          rebuilt->add_dependence(pid, nid, producer.data_size);
+        }
+        rebuilt->freeze();
+
+        // Existing ids are stable (tasks copied in id order, the new task
+        // appended last), so placements migrate index-for-index. If the
+        // hyper-period grew, the old pattern is replicated around the
+        // larger circle, which preserves validity (DESIGN.md F13).
+        const Time old_h = graph_->hyperperiod();
+        const Time new_h = rebuilt->hyperperiod();
+        Patched candidate{
+            Schedule(*rebuilt, pre().architecture(), pre().comm())};
+        for (TaskId t = 0; t < static_cast<TaskId>(graph_->task_count());
+             ++t) {
+          candidate.sched.set_first_start(t, pre().first_start(t));
+          const InstanceIdx n_old = graph_->instance_count(t);
+          const InstanceIdx n_new = rebuilt->instance_count(t);
+          for (InstanceIdx k = 0; k < n_new; ++k) {
+            candidate.sched.assign(TaskInstance{t, k},
+                                   pre().proc(TaskInstance{t, k % n_old}));
+          }
+        }
+        candidate.occ =
+            (new_h == old_h) ? occ_ : build_occupancy(candidate.sched);
+        candidate.dirty.assign(rebuilt->task_count(), 0);
+        candidate.dirty[static_cast<std::size_t>(nid)] = 1;
+        candidate.preferred = instance0_procs(candidate.sched);
+        candidate.seeds.push_back(nid);
+        reject = repair_with_escalation(candidate, *rebuilt);
+        if (reject.empty()) {
+          new_graph = std::move(rebuilt);
+          patched.emplace(std::move(candidate));
+        }
+      } catch (const ModelError& e) {
+        reject = e.what();
+      }
+      break;
+    }
+
+    case EventKind::TaskRemoval: {
+      const std::string& name = std::get<TaskRemoval>(event.payload).task;
+      const TaskId victim = maybe_find(*graph_, name);
+      if (victim < 0) {
+        reject = "removal of unknown task " + name;
+        break;
+      }
+      if (graph_->task_count() == 1) {
+        reject = "cannot remove the last task";
+        break;
+      }
+      auto rebuilt = std::make_unique<TaskGraph>();
+      const auto remap = [&](TaskId t) {
+        return t - (t > victim ? 1 : 0);
+      };
+      for (TaskId t = 0; t < static_cast<TaskId>(graph_->task_count());
+           ++t) {
+        if (t != victim) rebuilt->add_task(graph_->task(t));
+      }
+      for (const Dependence& dep : graph_->dependences()) {
+        if (dep.producer == victim || dep.consumer == victim) continue;
+        rebuilt->add_dependence(remap(dep.producer), remap(dep.consumer),
+                                dep.data_size);
+      }
+      rebuilt->freeze();
+
+      const Time old_h = graph_->hyperperiod();
+      const Time new_h = rebuilt->hyperperiod();
+      Patched candidate = [&] {
+        if (new_h != old_h) {
+          // The victim's period was load-bearing for the hyper-period;
+          // folding the old circle onto the smaller one is not validity-
+          // preserving, so every task is re-placed (DESIGN.md F13).
+          return full_replace_candidate(*rebuilt, pre());
+        }
+        Patched migrated{Schedule(*rebuilt, pre().architecture(), pre().comm())};
+        for (TaskId t = 0; t < static_cast<TaskId>(graph_->task_count());
+             ++t) {
+          if (t == victim) continue;
+          const TaskId nt = remap(t);
+          migrated.sched.set_first_start(nt, pre().first_start(t));
+          const InstanceIdx n = graph_->instance_count(t);
+          for (InstanceIdx k = 0; k < n; ++k) {
+            migrated.sched.assign(TaskInstance{nt, k},
+                                  pre().proc(TaskInstance{t, k}));
+          }
+        }
+        // Ids shifted, so the occupancy owners must be rebuilt.
+        migrated.occ = build_occupancy(migrated.sched);
+        migrated.dirty.assign(rebuilt->task_count(), 0);
+        migrated.preferred = instance0_procs(migrated.sched);
+        return migrated;
+      }();
+      // Seed the balance around the hole the victim left.
+      for (const Dependence& dep : graph_->dependences()) {
+        if (dep.producer == victim) candidate.seeds.push_back(remap(dep.consumer));
+        if (dep.consumer == victim) candidate.seeds.push_back(remap(dep.producer));
+      }
+      reject = repair_with_escalation(candidate, *rebuilt);
+      if (reject.empty()) {
+        new_graph = std::move(rebuilt);
+        patched.emplace(std::move(candidate));
+      }
+      break;
+    }
+  }
+
+  if (!reject.empty() || !patched.has_value()) {
+    out.applied = false;
+    out.reject_reason =
+        reject.empty() ? std::string("event produced no state") : reject;
+    finish();
+    return out;
+  }
+
+  out.applied = true;
+  out.graph_rebuilt = (new_graph != nullptr);
+  out.full_replace = patched->full_replace;
+  out.repaired_tasks = static_cast<int>(patched->repaired.size());
+
+  std::vector<TaskId> seeds = patched->seeds;
+  seeds.insert(seeds.end(), patched->repaired.begin(),
+               patched->repaired.end());
+
+  // Keep the pre-event graph alive until the migration diff below (the
+  // `pre` snapshot references it).
+  std::unique_ptr<TaskGraph> retired;
+  if (new_graph) retired = std::move(graph_);
+  commit(std::move(*patched), std::move(new_graph));
+
+  run_balance_stage(seeds, out);
+
+  out.migrated_instances = count_migrations(pre(), *sched_);
+  finish();
+  return out;
+}
+
+}  // namespace lbmem

@@ -1,0 +1,123 @@
+#pragma once
+/// \file rebalancer.hpp
+/// \brief Event-driven schedule repair with warm-start incremental
+/// balancing — the online subsystem's core engine.
+///
+/// The Rebalancer owns a running system (task graph + valid schedule +
+/// failed-processor set) and applies runtime events to it:
+///
+///  1. **Patch** — the event is turned into a *dirty task set* and the
+///     schedule is repaired constructively: dirty tasks are re-placed
+///     whole (earliest feasible strict-periodic start over the alive
+///     processors, preferring their previous processor), in topological
+///     order, cascading to consumers whose data-readiness the re-placement
+///     broke (DESIGN.md F11). Task arrivals/removals rebuild the frozen
+///     TaskGraph and migrate the surviving placements (DESIGN.md F10/F13).
+///  2. **Warm-start incremental balance** — only the blocks around the
+///     dirtied tasks are re-decomposed (build_blocks_around) and re-run
+///     through the paper's heuristic (LoadBalancer::rebalance), reusing
+///     the engine's persistently maintained all-instances occupancy
+///     instead of rebuilding it, and pricing migrations through
+///     BalanceOptions::migration_penalty (DESIGN.md F9/F12).
+///
+/// Every applied event leaves a schedule that passes validate/ — events
+/// whose repair is infeasible are *rejected*: the pre-event state is kept
+/// untouched (including un-marking a failed processor, DESIGN.md F14) and
+/// the outcome reports the reason.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/online/event.hpp"
+#include "lbmem/sched/timeline.hpp"
+
+namespace lbmem {
+
+/// Online-engine configuration.
+struct RebalancerOptions {
+  /// Policy of the balance stage (including migration_penalty and memory-
+  /// capacity enforcement). closed_procs is managed by the engine.
+  BalanceOptions balance;
+  /// Warm-start incremental balance over the dirty neighborhood (true) or
+  /// a from-scratch LoadBalancer::balance after every patch (false; the
+  /// baseline the bench compares against).
+  bool incremental = true;
+  /// Skip the balance stage entirely (repair-only mode).
+  bool rebalance = true;
+};
+
+/// What one event did to the system.
+struct EventOutcome {
+  Event event;
+  /// False: the event was infeasible; the state was rolled back untouched.
+  bool applied = false;
+  std::string reject_reason;
+  /// The event rebuilt the task graph (arrival/removal epoch).
+  bool graph_rebuilt = false;
+  /// The hyper-period changed and every task was re-placed (DESIGN.md F13).
+  bool full_replace = false;
+  /// Tasks re-placed by the dirty-set repair (cascade included).
+  int repaired_tasks = 0;
+  /// Blocks re-evaluated by the balance stage.
+  int dirty_blocks = 0;
+  /// Surviving instances whose processor changed across the event.
+  int migrated_instances = 0;
+  /// Balance-stage movement and gain (0 when the stage is off/fell back).
+  int balance_moves = 0;
+  Time balance_gain = 0;
+  bool balance_fell_back = false;
+  /// Post-event system state.
+  Time makespan = 0;
+  Mem max_memory = 0;
+  int alive_tasks = 0;
+  int alive_procs = 0;
+  /// Patch + balance latency.
+  double wall_seconds = 0.0;
+};
+
+/// The online engine. Construction takes ownership of the graph the
+/// schedule references (arrival/removal events replace it).
+class Rebalancer {
+ public:
+  /// \p schedule must be complete, valid, and reference \p graph.
+  Rebalancer(std::unique_ptr<TaskGraph> graph, Schedule schedule,
+             RebalancerOptions options = {});
+
+  /// Convenience: deep-copies \p graph and rebinds a copy of \p schedule
+  /// to the copy (callers keep their originals).
+  static Rebalancer adopt(const TaskGraph& graph, const Schedule& schedule,
+                          RebalancerOptions options = {});
+
+  /// Apply one event: patch, repair, incrementally rebalance. Returns the
+  /// outcome; on rejection the system is exactly as before the call.
+  EventOutcome apply(const Event& event);
+
+  const TaskGraph& graph() const { return *graph_; }
+  const Schedule& schedule() const { return *sched_; }
+  const RebalancerOptions& options() const { return options_; }
+
+  /// Per-processor failed flags (size M).
+  const std::vector<std::uint8_t>& failed_procs() const { return failed_; }
+  int alive_processor_count() const;
+
+ private:
+  struct Patched;  // candidate post-patch state (rebalancer.cpp)
+
+  static Patched full_replace_candidate(const TaskGraph& graph,
+                                        const Schedule& pre);
+  void commit(Patched&& candidate, std::unique_ptr<TaskGraph> new_graph);
+  void run_balance_stage(const std::vector<TaskId>& seeds,
+                         EventOutcome& out);
+
+  RebalancerOptions options_;
+  std::unique_ptr<TaskGraph> graph_;
+  std::optional<Schedule> sched_;
+  std::vector<std::uint8_t> failed_;
+  /// Warm all-instances occupancy, always mirroring *sched_.
+  std::vector<ProcTimeline> occ_;
+};
+
+}  // namespace lbmem

@@ -1,0 +1,64 @@
+#include "lbmem/online/runner.hpp"
+
+#include <algorithm>
+
+#include "lbmem/validate/validator.hpp"
+
+namespace lbmem {
+
+OnlineRunner::OnlineRunner(ReplayOptions options)
+    : options_(options) {}
+
+OnlineReport OnlineRunner::replay(Rebalancer& system,
+                                  const EventTrace& trace) const {
+  OnlineReport report;
+  report.events.reserve(trace.size());
+  report.violations.reserve(trace.size());
+  report.peak_max_memory = system.schedule().max_memory();
+
+  for (const Event& event : trace) {
+    EventOutcome outcome = system.apply(event);
+
+    int violations = -1;
+    if (options_.validate_each) {
+      violations =
+          static_cast<int>(validate(system.schedule()).violations.size());
+      // A failed processor must host nothing — a rule the validator cannot
+      // know about, so the runner enforces it.
+      const auto& failed = system.failed_procs();
+      for (ProcId p = 0; p < static_cast<ProcId>(failed.size()); ++p) {
+        if (failed[static_cast<std::size_t>(p)] &&
+            !system.schedule().instances_on(p).empty()) {
+          ++violations;
+        }
+      }
+      report.total_violations += violations;
+    }
+
+    if (outcome.applied) {
+      ++report.applied;
+      report.total_migrations += outcome.migrated_instances;
+      report.total_repaired += outcome.repaired_tasks;
+      report.total_balance_moves += outcome.balance_moves;
+      report.total_balance_gain += outcome.balance_gain;
+    } else {
+      ++report.rejected;
+    }
+    report.peak_max_memory =
+        std::max(report.peak_max_memory, outcome.max_memory);
+    report.total_wall_seconds += outcome.wall_seconds;
+    report.max_wall_seconds =
+        std::max(report.max_wall_seconds, outcome.wall_seconds);
+
+    const bool stop = options_.stop_on_reject && !outcome.applied;
+    report.events.push_back(std::move(outcome));
+    report.violations.push_back(violations);
+    if (stop) break;
+  }
+
+  report.final_makespan = system.schedule().makespan();
+  report.final_max_memory = system.schedule().max_memory();
+  return report;
+}
+
+}  // namespace lbmem

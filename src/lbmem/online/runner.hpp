@@ -1,0 +1,60 @@
+#pragma once
+/// \file runner.hpp
+/// \brief Trace replay harness: applies an event trace to a Rebalancer,
+/// validates the schedule after every event, and aggregates per-event
+/// metrics into an OnlineReport (rendered by report/online.hpp).
+
+#include <vector>
+
+#include "lbmem/online/rebalancer.hpp"
+
+namespace lbmem {
+
+/// Replay configuration.
+struct ReplayOptions {
+  /// Run validate/ (plus a failed-processor-is-empty check) after every
+  /// event and record the violation count. The acceptance bar for the
+  /// subsystem is zero violations after every applied event.
+  bool validate_each = true;
+  /// Abort the replay at the first rejected event (default: keep going —
+  /// a rejected event leaves the previous valid state in place).
+  bool stop_on_reject = false;
+};
+
+/// Replay results: the per-event outcomes plus trajectory aggregates.
+struct OnlineReport {
+  std::vector<EventOutcome> events;
+  /// Validator violations after each event (parallel to `events`; always 0
+  /// for a correct engine; -1 when validation was disabled).
+  std::vector<int> violations;
+
+  int applied = 0;
+  int rejected = 0;
+  int total_violations = 0;
+  int total_migrations = 0;
+  int total_repaired = 0;
+  int total_balance_moves = 0;
+  Time total_balance_gain = 0;
+  /// Worst per-processor memory seen anywhere along the trajectory.
+  Mem peak_max_memory = 0;
+  Time final_makespan = 0;
+  Mem final_max_memory = 0;
+  double total_wall_seconds = 0.0;
+  double max_wall_seconds = 0.0;
+};
+
+/// Replays traces against a Rebalancer.
+class OnlineRunner {
+ public:
+  explicit OnlineRunner(ReplayOptions options = {});
+
+  /// Apply every event of \p trace to \p system in order.
+  OnlineReport replay(Rebalancer& system, const EventTrace& trace) const;
+
+  const ReplayOptions& options() const { return options_; }
+
+ private:
+  ReplayOptions options_;
+};
+
+}  // namespace lbmem

@@ -1,0 +1,154 @@
+#include "lbmem/report/online.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "lbmem/util/table.hpp"
+
+namespace lbmem {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      // Control characters (task names and reject reasons are free-form)
+      // must be \u-escaped or the artifact is not valid JSON.
+      char buffer[8];
+      std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(ch)));
+      out += buffer;
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+/// Compact event target for table cells ("dyn3", "P2", "imu -> E=4").
+std::string event_target(const Event& event) {
+  switch (event.kind()) {
+    case EventKind::TaskArrival:
+      return std::get<TaskArrival>(event.payload).spec.name;
+    case EventKind::TaskRemoval:
+      return std::get<TaskRemoval>(event.payload).task;
+    case EventKind::WcetChange: {
+      const WcetChange& change = std::get<WcetChange>(event.payload);
+      return change.task + " -> E=" + std::to_string(change.wcet);
+    }
+    case EventKind::ProcessorFailure: {
+      // Built in two steps: GCC 12's -O2 restrict checker reports a false
+      // positive on `"P" + std::to_string(...)`.
+      std::string name = "P";
+      name += std::to_string(
+          std::get<ProcessorFailure>(event.payload).proc + 1);
+      return name;
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string summarize_online(const OnlineReport& report) {
+  Table table({"#", "t", "event", "target", "outcome", "repaired", "blocks",
+               "migr", "gain", "makespan", "maxmem", "viol"});
+  for (std::size_t i = 0; i < report.events.size(); ++i) {
+    const EventOutcome& outcome = report.events[i];
+    std::string result;
+    if (!outcome.applied) {
+      result = "rejected";
+    } else if (outcome.full_replace) {
+      result = "replaced";
+    } else if (outcome.balance_fell_back) {
+      result = "repaired";
+    } else {
+      result = "ok";
+    }
+    const int violations =
+        i < report.violations.size() ? report.violations[i] : -1;
+    table.add_row({std::to_string(i + 1), std::to_string(outcome.event.at),
+                   to_string(outcome.event.kind()),
+                   event_target(outcome.event), result,
+                   std::to_string(outcome.repaired_tasks),
+                   std::to_string(outcome.dirty_blocks),
+                   std::to_string(outcome.migrated_instances),
+                   std::to_string(outcome.balance_gain),
+                   std::to_string(outcome.makespan),
+                   std::to_string(outcome.max_memory),
+                   violations < 0 ? std::string("-")
+                                  : std::to_string(violations)});
+  }
+
+  std::ostringstream out;
+  out << table.to_string() << "\n"
+      << "events: " << report.events.size() << " (" << report.applied
+      << " applied, " << report.rejected << " rejected), violations: "
+      << report.total_violations << "\n"
+      << "migrations: " << report.total_migrations << " instances, repairs: "
+      << report.total_repaired << " tasks, balance moves: "
+      << report.total_balance_moves << " (Gtotal " << report.total_balance_gain
+      << ")\n"
+      << "final makespan: " << report.final_makespan << ", final max memory: "
+      << report.final_max_memory << " (peak " << report.peak_max_memory
+      << ")\n";
+  return out.str();
+}
+
+std::string online_report_to_json(const OnlineReport& report,
+                                  bool include_timing) {
+  std::ostringstream out;
+  out << "{\n  \"events\": [\n";
+  for (std::size_t i = 0; i < report.events.size(); ++i) {
+    const EventOutcome& outcome = report.events[i];
+    out << "    {\"at\": " << outcome.event.at << ", \"kind\": \""
+        << to_string(outcome.event.kind()) << "\", \"target\": \""
+        << json_escape(event_target(outcome.event)) << "\", \"applied\": "
+        << (outcome.applied ? "true" : "false");
+    if (!outcome.applied) {
+      out << ", \"reject_reason\": \"" << json_escape(outcome.reject_reason)
+          << "\"";
+    }
+    out << ", \"graph_rebuilt\": " << (outcome.graph_rebuilt ? "true" : "false")
+        << ", \"full_replace\": " << (outcome.full_replace ? "true" : "false")
+        << ", \"repaired_tasks\": " << outcome.repaired_tasks
+        << ", \"dirty_blocks\": " << outcome.dirty_blocks
+        << ", \"migrated_instances\": " << outcome.migrated_instances
+        << ", \"balance_moves\": " << outcome.balance_moves
+        << ", \"balance_gain\": " << outcome.balance_gain
+        << ", \"makespan\": " << outcome.makespan
+        << ", \"max_memory\": " << outcome.max_memory
+        << ", \"alive_tasks\": " << outcome.alive_tasks
+        << ", \"alive_procs\": " << outcome.alive_procs
+        << ", \"violations\": "
+        << (i < report.violations.size() ? report.violations[i] : -1);
+    if (include_timing) {
+      out << ", \"wall_seconds\": " << outcome.wall_seconds;
+    }
+    out << "}";
+    if (i + 1 < report.events.size()) out << ",";
+    out << "\n";
+  }
+  out << "  ],\n  \"summary\": {\"applied\": " << report.applied
+      << ", \"rejected\": " << report.rejected
+      << ", \"total_violations\": " << report.total_violations
+      << ", \"total_migrations\": " << report.total_migrations
+      << ", \"total_repaired\": " << report.total_repaired
+      << ", \"total_balance_moves\": " << report.total_balance_moves
+      << ", \"total_balance_gain\": " << report.total_balance_gain
+      << ", \"peak_max_memory\": " << report.peak_max_memory
+      << ", \"final_makespan\": " << report.final_makespan
+      << ", \"final_max_memory\": " << report.final_max_memory;
+  if (include_timing) {
+    out << ", \"total_wall_seconds\": " << report.total_wall_seconds
+        << ", \"max_wall_seconds\": " << report.max_wall_seconds;
+  }
+  out << "}\n}\n";
+  return out.str();
+}
+
+}  // namespace lbmem

@@ -1,0 +1,22 @@
+#pragma once
+/// \file online.hpp
+/// \brief Human-readable and JSON renderings of online replay reports.
+
+#include <string>
+
+#include "lbmem/online/runner.hpp"
+
+namespace lbmem {
+
+/// Per-event table (kind, target, outcome, migrations, makespan, memory)
+/// plus trajectory totals. Deterministic for a fixed trace: no wall-clock
+/// figures are included (they live in the JSON rendering only).
+std::string summarize_online(const OnlineReport& report);
+
+/// JSON object with an `events` array and a `summary` object. Set
+/// \p include_timing to false for byte-stable (golden/diff) output —
+/// wall_seconds fields are the only nondeterministic content.
+std::string online_report_to_json(const OnlineReport& report,
+                                  bool include_timing = true);
+
+}  // namespace lbmem

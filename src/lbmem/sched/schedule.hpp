@@ -46,6 +46,12 @@ class Schedule {
   /// Assign every instance of \p t to \p p (initial whole-task placement).
   void assign_all(TaskId t, ProcId p);
 
+  /// Recompute the per-processor memory/busy aggregates from the stored
+  /// placements. assign() accumulates them with the task shapes current at
+  /// assignment time, so a post-freeze TaskGraph::set_wcet leaves busy_on
+  /// stale; the online engine calls this once per WcetChange event. O(I).
+  void refresh_aggregates();
+
   // ---- timing queries (inline: the balancer's innermost reads) -----------
 
   /// True once every task has a start and every instance a processor. O(1).

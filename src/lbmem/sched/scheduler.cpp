@@ -20,6 +20,20 @@ Time precedence_lower_bound(const Schedule& sched, TaskId t, ProcId p) {
   return std::max<Time>(lb, 0);
 }
 
+void commit_whole_task(Schedule& sched, std::vector<ProcTimeline>& timelines,
+                       TaskId t, ProcId p, Time start) {
+  const TaskGraph& graph = sched.graph();
+  const Task& task = graph.task(t);
+  sched.set_first_start(t, start);
+  sched.assign_all(t, p);
+  const InstanceIdx n = graph.instance_count(t);
+  for (InstanceIdx k = 0; k < n; ++k) {
+    timelines[static_cast<std::size_t>(p)].add(
+        start + task.period * static_cast<Time>(k), task.wcet,
+        TaskInstance{t, k});
+  }
+}
+
 namespace {
 
 struct Candidate {
@@ -36,20 +50,6 @@ std::optional<Time> earliest_on(const Schedule& sched,
   const Time lb = precedence_lower_bound(sched, t, p);
   return timeline.earliest_fit(lb, task.period, task.wcet,
                                graph.instance_count(t));
-}
-
-void commit(Schedule& sched, std::vector<ProcTimeline>& timelines, TaskId t,
-            ProcId p, Time start) {
-  const TaskGraph& graph = sched.graph();
-  const Task& task = graph.task(t);
-  sched.set_first_start(t, start);
-  sched.assign_all(t, p);
-  const InstanceIdx n = graph.instance_count(t);
-  for (InstanceIdx k = 0; k < n; ++k) {
-    timelines[static_cast<std::size_t>(p)].add(
-        start + task.period * static_cast<Time>(k), task.wcet,
-        TaskInstance{t, k});
-  }
 }
 
 /// Round-robin processor per period class, in increasing period order
@@ -120,7 +120,7 @@ Schedule build_initial_schedule(const TaskGraph& graph,
           "unschedulable: no feasible strict-periodic start for task " +
           graph.task(t).name);
     }
-    commit(sched, timelines, t, chosen->proc, chosen->start);
+    commit_whole_task(sched, timelines, t, chosen->proc, chosen->start);
   }
   return sched;
 }
@@ -145,7 +145,7 @@ Schedule build_forced_schedule(const TaskGraph& graph,
       throw ScheduleError("forced assignment unschedulable at task " +
                           graph.task(t).name);
     }
-    commit(sched, timelines, t, p, *s);
+    commit_whole_task(sched, timelines, t, p, *s);
   }
   return sched;
 }

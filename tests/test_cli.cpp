@@ -170,6 +170,40 @@ TEST(CliBalance, InfeasibleCapacityExitsWithTwo) {
   EXPECT_NE(r.output.find("unschedulable"), std::string::npos) << r.output;
 }
 
+TEST(CliReplay, ReplaysATraceWithZeroViolations) {
+  const RunResult r = run_cli(std::string("replay --events=6 --event-seed=2 ") +
+                              kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("--- replay (6 events, seed 2, incremental mode)"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("violations: 0"), std::string::npos) << r.output;
+}
+
+TEST(CliReplay, FullModeFlagSelectsFullRebalance) {
+  const RunResult r = run_cli(
+      std::string("replay --events=4 --event-seed=2 --mode=full ") +
+      kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("full mode"), std::string::npos) << r.output;
+}
+
+TEST(CliReplay, UnknownModeFails) {
+  const RunResult r = run_cli("replay --mode=telepathic");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown mode: telepathic"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliReplay, OutputIsDeterministic) {
+  const std::string args =
+      std::string("replay --events=8 --event-seed=9 ") + kSmallWorkload;
+  const RunResult first = run_cli(args);
+  const RunResult second = run_cli(args);
+  EXPECT_EQ(first.exit_code, 0);
+  EXPECT_EQ(first.output, second.output);
+}
+
 TEST(CliExport, WritesAllArtifacts) {
   namespace fs = std::filesystem;
   // Per-process directory: concurrent runs from several build trees

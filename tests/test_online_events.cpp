@@ -1,0 +1,141 @@
+/// Tests for the online event model (online/event.hpp) and the seeded
+/// random trace generator (gen/event_trace.hpp): determinism, structural
+/// well-formedness, and the event-mix knobs.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "lbmem/gen/event_trace.hpp"
+#include "lbmem/gen/paper_example.hpp"
+#include "lbmem/gen/random_graph.hpp"
+
+namespace lbmem {
+namespace {
+
+TEST(EventModel, KindMatchesPayload) {
+  Event event;
+  event.payload = WcetChange{"a", 2};
+  EXPECT_EQ(event.kind(), EventKind::WcetChange);
+  event.payload = ProcessorFailure{1};
+  EXPECT_EQ(event.kind(), EventKind::ProcessorFailure);
+  event.payload = TaskRemoval{"a"};
+  EXPECT_EQ(event.kind(), EventKind::TaskRemoval);
+  event.payload = TaskArrival{};
+  EXPECT_EQ(event.kind(), EventKind::TaskArrival);
+}
+
+TEST(EventModel, ToStringIsReadable) {
+  Event event;
+  event.at = 7;
+  event.payload = WcetChange{"imu", 3};
+  EXPECT_EQ(to_string(event), "t=7 wcet imu -> E=3");
+  event.payload = ProcessorFailure{1};
+  EXPECT_EQ(to_string(event), "t=7 failure P2");
+  event.payload = TaskRemoval{"imu"};
+  EXPECT_EQ(to_string(event), "t=7 removal imu");
+  NewTaskSpec spec;
+  spec.name = "dyn0";
+  spec.period = 8;
+  spec.wcet = 2;
+  spec.memory = 5;
+  spec.producers.push_back(NewTaskSpec::Producer{"imu", 1});
+  event.payload = TaskArrival{spec};
+  EXPECT_EQ(to_string(event), "t=7 arrival dyn0 (T=8 E=2 m=5, 1 deps)");
+}
+
+TEST(EventTraceGenerator, DeterministicPerSeed) {
+  const TaskGraph graph = paper_example_graph();
+  const Architecture arch = paper_example_architecture();
+  EventTraceParams params;
+  params.events = 30;
+  const EventTrace a = random_event_trace(graph, arch, params, 42);
+  const EventTrace b = random_event_trace(graph, arch, params, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(to_string(a[i]), to_string(b[i])) << "event " << i;
+    EXPECT_EQ(a[i].at, b[i].at);
+  }
+  const EventTrace c = random_event_trace(graph, arch, params, 43);
+  bool differs = false;
+  for (std::size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    if (to_string(a[i]) != to_string(c[i])) differs = true;
+  }
+  EXPECT_TRUE(differs) << "different seeds should give different traces";
+}
+
+TEST(EventTraceGenerator, StructurallyWellFormed) {
+  RandomGraphParams graph_params;
+  graph_params.tasks = 20;
+  const TaskGraph graph = random_task_graph(graph_params, 5);
+  const Architecture arch(4);
+  EventTraceParams params;
+  params.events = 60;
+  params.max_failures = 2;
+  const EventTrace trace = random_event_trace(graph, arch, params, 9);
+  ASSERT_EQ(trace.size(), 60u);
+
+  // Simulate the alive set the generator promises to respect.
+  std::set<std::string> alive;
+  for (const Task& task : graph.tasks()) alive.insert(task.name);
+  int failures = 0;
+  Time last = 0;
+  for (const Event& event : trace) {
+    EXPECT_GT(event.at, last) << "timestamps must strictly increase";
+    last = event.at;
+    switch (event.kind()) {
+      case EventKind::TaskArrival: {
+        const NewTaskSpec& spec = std::get<TaskArrival>(event.payload).spec;
+        EXPECT_EQ(alive.count(spec.name), 0u) << spec.name;
+        EXPECT_GT(spec.period, 0);
+        EXPECT_GT(spec.wcet, 0);
+        EXPECT_LE(spec.wcet, spec.period);
+        for (const NewTaskSpec::Producer& producer : spec.producers) {
+          EXPECT_EQ(alive.count(producer.task), 1u) << producer.task;
+        }
+        alive.insert(spec.name);
+        break;
+      }
+      case EventKind::TaskRemoval: {
+        const std::string& name = std::get<TaskRemoval>(event.payload).task;
+        EXPECT_EQ(alive.count(name), 1u) << name;
+        alive.erase(name);
+        EXPECT_FALSE(alive.empty());
+        break;
+      }
+      case EventKind::WcetChange: {
+        const WcetChange& change = std::get<WcetChange>(event.payload);
+        EXPECT_EQ(alive.count(change.task), 1u) << change.task;
+        EXPECT_GT(change.wcet, 0);
+        break;
+      }
+      case EventKind::ProcessorFailure: {
+        const ProcId p = std::get<ProcessorFailure>(event.payload).proc;
+        EXPECT_GE(p, 0);
+        EXPECT_LT(p, arch.processor_count());
+        ++failures;
+        break;
+      }
+    }
+  }
+  EXPECT_LE(failures, 2);
+}
+
+TEST(EventTraceGenerator, WeightsSelectTheMix) {
+  const TaskGraph graph = paper_example_graph();
+  const Architecture arch = paper_example_architecture();
+  EventTraceParams params;
+  params.events = 25;
+  params.arrival_weight = 0;
+  params.removal_weight = 0;
+  params.failure_weight = 0;
+  params.wcet_weight = 1;
+  const EventTrace trace = random_event_trace(graph, arch, params, 3);
+  for (const Event& event : trace) {
+    EXPECT_EQ(event.kind(), EventKind::WcetChange);
+  }
+}
+
+}  // namespace
+}  // namespace lbmem

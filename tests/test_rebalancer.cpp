@@ -1,0 +1,322 @@
+/// Unit tests for the online rebalancing engine (src/lbmem/online/) on the
+/// paper's worked example: every event kind, rollback semantics, the
+/// migration-penalty knob, and the subset/warm-start rebalance entry point.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lbmem/gen/paper_example.hpp"
+#include "lbmem/lb/block_builder.hpp"
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/online/rebalancer.hpp"
+#include "lbmem/validate/validator.hpp"
+
+namespace lbmem {
+namespace {
+
+Event at(Time when,
+         std::variant<TaskArrival, TaskRemoval, WcetChange, ProcessorFailure>
+             payload) {
+  Event event;
+  event.at = when;
+  event.payload = std::move(payload);
+  return event;
+}
+
+/// The paper example, balanced, wrapped in a fresh engine.
+Rebalancer make_system(RebalancerOptions options = {}) {
+  const TaskGraph graph = paper_example_graph();
+  const Schedule before = paper_example_schedule(graph);
+  const BalanceResult balanced = LoadBalancer().balance(before);
+  return Rebalancer::adopt(graph, balanced.schedule, std::move(options));
+}
+
+TEST(Rebalancer, AdoptPreservesTheSchedule) {
+  const TaskGraph graph = paper_example_graph();
+  const Schedule before = paper_example_schedule(graph);
+  const BalanceResult balanced = LoadBalancer().balance(before);
+  const Rebalancer system = Rebalancer::adopt(graph, balanced.schedule);
+  EXPECT_EQ(system.schedule().makespan(), balanced.schedule.makespan());
+  EXPECT_EQ(system.schedule().max_memory(), balanced.schedule.max_memory());
+  EXPECT_TRUE(validate(system.schedule()).ok());
+  EXPECT_EQ(system.alive_processor_count(), 3);
+}
+
+TEST(Rebalancer, WcetIncreaseRepairsAndStaysValid) {
+  Rebalancer system = make_system();
+  const EventOutcome outcome = system.apply(at(1, WcetChange{"d", 2}));
+  EXPECT_TRUE(outcome.applied) << outcome.reject_reason;
+  EXPECT_EQ(system.graph().task(system.graph().find("d")).wcet, 2);
+  EXPECT_TRUE(validate(system.schedule()).ok())
+      << validate(system.schedule()).to_string();
+  EXPECT_GE(outcome.repaired_tasks, 1);
+}
+
+TEST(Rebalancer, WcetChangeOnUnknownTaskIsRejected) {
+  Rebalancer system = make_system();
+  const Time makespan = system.schedule().makespan();
+  const EventOutcome outcome = system.apply(at(1, WcetChange{"zz", 2}));
+  EXPECT_FALSE(outcome.applied);
+  EXPECT_FALSE(outcome.reject_reason.empty());
+  EXPECT_EQ(system.schedule().makespan(), makespan);
+  EXPECT_TRUE(validate(system.schedule()).ok());
+}
+
+TEST(Rebalancer, WcetAbovePeriodIsRejectedAndRolledBack) {
+  Rebalancer system = make_system();
+  const EventOutcome outcome = system.apply(at(1, WcetChange{"a", 7}));
+  EXPECT_FALSE(outcome.applied);
+  // The graph mutation must have been rolled back.
+  EXPECT_EQ(system.graph().task(system.graph().find("a")).wcet, 1);
+  EXPECT_TRUE(validate(system.schedule()).ok());
+}
+
+TEST(Rebalancer, ArrivalAdmitsANewTask) {
+  Rebalancer system = make_system();
+  NewTaskSpec spec;
+  spec.name = "f";
+  spec.period = 12;
+  spec.wcet = 1;
+  spec.memory = 3;
+  spec.producers.push_back(NewTaskSpec::Producer{"b", 2});
+  const EventOutcome outcome = system.apply(at(5, TaskArrival{spec}));
+  EXPECT_TRUE(outcome.applied) << outcome.reject_reason;
+  EXPECT_TRUE(outcome.graph_rebuilt);
+  EXPECT_EQ(system.graph().task_count(), 6u);
+  EXPECT_TRUE(validate(system.schedule()).ok())
+      << validate(system.schedule()).to_string();
+  // The new task is placed and data-ready.
+  const TaskId f = system.graph().find("f");
+  EXPECT_NE(system.schedule().proc(TaskInstance{f, 0}), kNoProc);
+}
+
+TEST(Rebalancer, ArrivalWithDuplicateNameIsRejected) {
+  Rebalancer system = make_system();
+  NewTaskSpec spec;
+  spec.name = "a";  // already alive
+  spec.period = 6;
+  spec.wcet = 1;
+  spec.memory = 1;
+  const EventOutcome outcome = system.apply(at(5, TaskArrival{spec}));
+  EXPECT_FALSE(outcome.applied);
+  EXPECT_EQ(system.graph().task_count(), 5u);
+  EXPECT_TRUE(validate(system.schedule()).ok());
+}
+
+TEST(Rebalancer, ArrivalWithUnknownProducerIsRejected) {
+  Rebalancer system = make_system();
+  NewTaskSpec spec;
+  spec.name = "f";
+  spec.period = 12;
+  spec.wcet = 1;
+  spec.memory = 1;
+  spec.producers.push_back(NewTaskSpec::Producer{"ghost", 1});
+  const EventOutcome outcome = system.apply(at(5, TaskArrival{spec}));
+  EXPECT_FALSE(outcome.applied);
+  EXPECT_EQ(system.graph().task_count(), 5u);
+}
+
+TEST(Rebalancer, ArrivalCanGrowTheHyperperiod) {
+  Rebalancer system = make_system();
+  NewTaskSpec spec;
+  spec.name = "slow";
+  spec.period = 24;  // lcm(12, 24) = 24: the hyper-period doubles
+  spec.wcet = 2;
+  spec.memory = 2;
+  const EventOutcome outcome = system.apply(at(5, TaskArrival{spec}));
+  EXPECT_TRUE(outcome.applied) << outcome.reject_reason;
+  EXPECT_EQ(system.graph().hyperperiod(), 24);
+  EXPECT_TRUE(validate(system.schedule()).ok())
+      << validate(system.schedule()).to_string();
+}
+
+TEST(Rebalancer, RemovalDropsTheTaskAndItsEdges) {
+  Rebalancer system = make_system();
+  const EventOutcome outcome = system.apply(at(3, TaskRemoval{"e"}));
+  EXPECT_TRUE(outcome.applied) << outcome.reject_reason;
+  EXPECT_TRUE(outcome.graph_rebuilt);
+  EXPECT_EQ(system.graph().task_count(), 4u);
+  EXPECT_EQ(system.graph().hyperperiod(), 12);  // d still has period 12
+  EXPECT_TRUE(validate(system.schedule()).ok())
+      << validate(system.schedule()).to_string();
+}
+
+TEST(Rebalancer, RemovalCanShrinkTheHyperperiodViaFullReplace) {
+  Rebalancer system = make_system();
+  ASSERT_TRUE(system.apply(at(3, TaskRemoval{"e"})).applied);
+  const EventOutcome outcome = system.apply(at(4, TaskRemoval{"d"}));
+  EXPECT_TRUE(outcome.applied) << outcome.reject_reason;
+  EXPECT_TRUE(outcome.full_replace);
+  EXPECT_EQ(system.graph().hyperperiod(), 6);  // periods {3, 6} remain
+  EXPECT_TRUE(validate(system.schedule()).ok())
+      << validate(system.schedule()).to_string();
+}
+
+TEST(Rebalancer, FailureEvacuatesTheProcessor) {
+  Rebalancer system = make_system();
+  const EventOutcome outcome = system.apply(at(9, ProcessorFailure{2}));
+  EXPECT_TRUE(outcome.applied) << outcome.reject_reason;
+  EXPECT_TRUE(system.schedule().instances_on(2).empty());
+  EXPECT_EQ(system.alive_processor_count(), 2);
+  EXPECT_TRUE(validate(system.schedule()).ok())
+      << validate(system.schedule()).to_string();
+  EXPECT_GT(outcome.migrated_instances, 0);
+}
+
+TEST(Rebalancer, FailuresStopAtTheLastProcessor) {
+  Rebalancer system = make_system();
+  ASSERT_TRUE(system.apply(at(1, ProcessorFailure{1})).applied);
+  ASSERT_TRUE(system.apply(at(2, ProcessorFailure{2})).applied);
+  // Everything now lives on P1 and the system is still valid.
+  EXPECT_TRUE(system.schedule().instances_on(1).empty());
+  EXPECT_TRUE(system.schedule().instances_on(2).empty());
+  EXPECT_TRUE(validate(system.schedule()).ok())
+      << validate(system.schedule()).to_string();
+  const EventOutcome last = system.apply(at(3, ProcessorFailure{0}));
+  EXPECT_FALSE(last.applied);
+  EXPECT_EQ(system.alive_processor_count(), 1);
+}
+
+TEST(Rebalancer, DoubleFailureOfTheSameProcessorIsRejected) {
+  Rebalancer system = make_system();
+  ASSERT_TRUE(system.apply(at(1, ProcessorFailure{2})).applied);
+  const EventOutcome outcome = system.apply(at(2, ProcessorFailure{2}));
+  EXPECT_FALSE(outcome.applied);
+}
+
+TEST(Rebalancer, FailedProcessorNeverReceivesLaterWork) {
+  Rebalancer system = make_system();
+  ASSERT_TRUE(system.apply(at(1, ProcessorFailure{2})).applied);
+  NewTaskSpec spec;
+  spec.name = "f";
+  spec.period = 12;
+  spec.wcet = 1;
+  spec.memory = 1;
+  ASSERT_TRUE(system.apply(at(2, TaskArrival{spec})).applied);
+  ASSERT_TRUE(system.apply(at(3, WcetChange{"f", 2})).applied);
+  EXPECT_TRUE(system.schedule().instances_on(2).empty());
+  EXPECT_TRUE(validate(system.schedule()).ok());
+}
+
+TEST(Rebalancer, IncrementalAndFullModesBothStayValid) {
+  RebalancerOptions full;
+  full.incremental = false;
+  Rebalancer inc = make_system();
+  Rebalancer ref = make_system(full);
+  const std::vector<Event> events = {
+      at(1, WcetChange{"d", 2}), at(2, TaskRemoval{"c"}),
+      at(3, ProcessorFailure{1}), at(4, WcetChange{"d", 1})};
+  for (const Event& event : events) {
+    const EventOutcome a = inc.apply(event);
+    const EventOutcome b = ref.apply(event);
+    EXPECT_EQ(a.applied, b.applied) << to_string(event);
+    EXPECT_TRUE(validate(inc.schedule()).ok()) << to_string(event);
+    EXPECT_TRUE(validate(ref.schedule()).ok()) << to_string(event);
+  }
+}
+
+TEST(MigrationPenalty, HugePenaltyKeepsEveryBlockHome) {
+  const TaskGraph graph = paper_example_graph();
+  const Schedule before = paper_example_schedule(graph);
+  BalanceOptions options;
+  options.migration_penalty = 1000;
+  const BalanceResult result = LoadBalancer(options).balance(before);
+  EXPECT_EQ(result.stats.moves_off_home, 0);
+  // No moves, no gains: the schedule is the input.
+  EXPECT_EQ(result.schedule.makespan(), 15);
+  EXPECT_TRUE(validate(result.schedule).ok());
+}
+
+TEST(MigrationPenalty, GainDisabledRunsAreExemptFromTheGate) {
+  // max_gain = 0 is the pure memory-spreading mode (and the shape of the
+  // balancer's validation-failure retry). There are no gains to price, so
+  // the penalty must not block the spreading moves (DESIGN.md F9).
+  const TaskGraph graph = paper_example_graph();
+  const Schedule before = paper_example_schedule(graph);
+  BalanceOptions spreading;
+  spreading.max_gain = 0;
+  const BalanceResult plain = LoadBalancer(spreading).balance(before);
+  ASSERT_GT(plain.stats.moves_off_home, 0);
+
+  BalanceOptions priced = spreading;
+  priced.migration_penalty = 1000;
+  const BalanceResult gated = LoadBalancer(priced).balance(before);
+  EXPECT_EQ(gated.stats.moves_off_home, plain.stats.moves_off_home);
+  for (const TaskInstance inst : before.all_instances()) {
+    EXPECT_EQ(gated.schedule.proc(inst), plain.schedule.proc(inst));
+  }
+}
+
+TEST(MigrationPenalty, ZeroPenaltyReproducesThePaperResult) {
+  const TaskGraph graph = paper_example_graph();
+  const Schedule before = paper_example_schedule(graph);
+  BalanceOptions options;
+  options.migration_penalty = 0;
+  const BalanceResult result = LoadBalancer(options).balance(before);
+  EXPECT_EQ(result.schedule.makespan(), 14);
+}
+
+TEST(RebalanceSubset, FullSeedSetReproducesBalance) {
+  const TaskGraph graph = paper_example_graph();
+  const Schedule before = paper_example_schedule(graph);
+
+  const BalanceResult full = LoadBalancer().balance(before);
+
+  std::vector<TaskId> all_tasks;
+  for (TaskId t = 0; t < static_cast<TaskId>(graph.task_count()); ++t) {
+    all_tasks.push_back(t);
+  }
+  const BlockDecomposition dec = build_blocks_around(before, all_tasks);
+  const BlockDecomposition reference = build_blocks(before);
+  ASSERT_EQ(dec.blocks.size(), reference.blocks.size());
+  for (std::size_t i = 0; i < dec.blocks.size(); ++i) {
+    EXPECT_EQ(dec.blocks[i].members, reference.blocks[i].members)
+        << "block " << i;
+    EXPECT_EQ(dec.blocks[i].home, reference.blocks[i].home);
+    EXPECT_EQ(dec.blocks[i].category, reference.blocks[i].category);
+  }
+
+  RebalanceScope scope;
+  scope.blocks = &dec;
+  const BalanceResult subset = LoadBalancer().rebalance(before, scope);
+  EXPECT_EQ(subset.schedule.makespan(), full.schedule.makespan());
+  for (const TaskInstance inst : before.all_instances()) {
+    EXPECT_EQ(subset.schedule.proc(inst), full.schedule.proc(inst));
+  }
+  for (TaskId t = 0; t < static_cast<TaskId>(graph.task_count()); ++t) {
+    EXPECT_EQ(subset.schedule.first_start(t), full.schedule.first_start(t));
+  }
+}
+
+TEST(RebalanceSubset, WarmOccupancyMatchesColdRebuild) {
+  const TaskGraph graph = paper_example_graph();
+  const Schedule before = paper_example_schedule(graph);
+  std::vector<ProcTimeline> warm(
+      3, ProcTimeline(graph.hyperperiod()));
+  for (const TaskInstance inst : before.all_instances()) {
+    warm[static_cast<std::size_t>(before.proc(inst))].add(
+        before.start(inst), graph.task(inst.task).wcet, inst);
+  }
+  std::vector<TaskId> all_tasks;
+  for (TaskId t = 0; t < static_cast<TaskId>(graph.task_count()); ++t) {
+    all_tasks.push_back(t);
+  }
+  const BlockDecomposition dec = build_blocks_around(before, all_tasks);
+  RebalanceScope cold_scope;
+  cold_scope.blocks = &dec;
+  RebalanceScope warm_scope;
+  warm_scope.blocks = &dec;
+  warm_scope.occupancy = &warm;
+  warm_scope.return_occupancy = true;
+  const BalanceResult cold = LoadBalancer().rebalance(before, cold_scope);
+  const BalanceResult warm_result =
+      LoadBalancer().rebalance(before, warm_scope);
+  for (const TaskInstance inst : before.all_instances()) {
+    EXPECT_EQ(cold.schedule.proc(inst), warm_result.schedule.proc(inst));
+  }
+  EXPECT_FALSE(warm_result.occupancy.empty());
+}
+
+}  // namespace
+}  // namespace lbmem

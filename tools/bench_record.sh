@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
 # Record the performance trajectory: build the Release bench preset, run
-# bench_complexity with JSON output, and write BENCH_complexity.json at the
-# repo root (override the destination with $1). Check the result in so the
-# perf history stays non-empty; see README.md, "Performance".
+# bench_complexity and bench_online with JSON output, and write
+# BENCH_complexity.json / BENCH_online.json at the repo root (override the
+# destinations with $1 / $2). Check the results in so the perf history
+# stays non-empty; see README.md, "Performance" and "Online rebalancing".
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-out="${1:-${repo}/BENCH_complexity.json}"
+complexity_out="${1:-${repo}/BENCH_complexity.json}"
+online_out="${2:-${repo}/BENCH_online.json}"
 
 cd "${repo}"
 cmake --preset bench
-cmake --build --preset bench -j "$(nproc)" --target bench_complexity
+cmake --build --preset bench -j "$(nproc)" --target bench_complexity bench_online
 
 "${repo}/build-bench/bench/bench_complexity" \
-  --benchmark_out="${out}" \
+  --benchmark_out="${complexity_out}" \
   --benchmark_out_format=json
+echo "wrote ${complexity_out}"
 
-echo "wrote ${out}"
+"${repo}/build-bench/bench/bench_online" \
+  --benchmark_out="${online_out}" \
+  --benchmark_out_format=json
+echo "wrote ${online_out}"

@@ -7,14 +7,18 @@
 ///   simulate [workload flags]       balance + discrete-event execution
 ///   bus      [workload flags]       balance + single-medium analysis
 ///   export   [workload flags]       emit DOT/JSON artifacts
+///   replay   [workload flags]       online: replay a random event trace
 ///
 /// Workload flags (all optional):
 ///   --tasks=N --procs=M --seed=S --comm=C --period-levels=L
 ///   --edge-prob=P --capacity=MEM --policy=lex|formula|literal|gain|memory
 ///   --placement=cluster|minstart --hyperperiods=K --out=PREFIX
 ///
+/// Replay flags (replay only):
+///   --events=N --event-seed=S --migration-penalty=P --mode=incremental|full
+///
 /// Exit code 0 on success, 1 on bad usage, 2 when the workload is
-/// unschedulable.
+/// unschedulable (for replay: when any post-event schedule is invalid).
 
 #include <cstdint>
 #include <fstream>
@@ -23,12 +27,15 @@
 #include <string>
 #include <vector>
 
+#include "lbmem/gen/event_trace.hpp"
 #include "lbmem/gen/paper_example.hpp"
 #include "lbmem/gen/random_graph.hpp"
 #include "lbmem/lb/block_builder.hpp"
 #include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/online/runner.hpp"
 #include "lbmem/report/export.hpp"
 #include "lbmem/report/gantt.hpp"
+#include "lbmem/report/online.hpp"
 #include "lbmem/report/summary.hpp"
 #include "lbmem/sched/scheduler.hpp"
 #include "lbmem/sim/bus.hpp"
@@ -52,16 +59,24 @@ struct CliOptions {
   PlacementPolicy placement = PlacementPolicy::PeriodCluster;
   int hyperperiods = 2;
   std::string out_prefix;
+  // replay subcommand:
+  int events = 16;
+  std::uint64_t event_seed = 1;
+  Time migration_penalty = 0;
+  bool incremental = true;
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
-      "usage: lbmem_cli <example|balance|simulate|bus|export> [flags]\n"
+      "usage: lbmem_cli <example|balance|simulate|bus|export|replay> "
+      "[flags]\n"
       "flags: --tasks=N --procs=M --seed=S --comm=C --period-levels=L\n"
       "       --edge-prob=P --capacity=MEM\n"
       "       --policy=lex|formula|literal|gain|memory\n"
-      "       --placement=cluster|minstart --hyperperiods=K --out=PREFIX\n";
+      "       --placement=cluster|minstart --hyperperiods=K --out=PREFIX\n"
+      "replay flags: --events=N --event-seed=S --migration-penalty=P\n"
+      "       --mode=incremental|full\n";
   std::exit(1);
 }
 
@@ -92,6 +107,16 @@ CliOptions parse_flags(int argc, char** argv, int first) {
         options.capacity = std::stoll(value);
       } else if (key == "hyperperiods") {
         options.hyperperiods = std::stoi(value);
+      } else if (key == "events") {
+        options.events = std::stoi(value);
+      } else if (key == "event-seed") {
+        options.event_seed = std::stoull(value);
+      } else if (key == "migration-penalty") {
+        options.migration_penalty = std::stoll(value);
+      } else if (key == "mode") {
+        if (value == "incremental") options.incremental = true;
+        else if (value == "full") options.incremental = false;
+        else usage("unknown mode: " + value);
       } else if (key == "out") {
         options.out_prefix = value;
       } else if (key == "policy") {
@@ -216,6 +241,45 @@ int cmd_bus(const CliOptions& options) {
   return 0;
 }
 
+int cmd_replay(const CliOptions& options) {
+  Prepared p = prepare(options);
+  // Same contract as `balance`: an invalid starting point (e.g. the
+  // balancer fell back on a workload that busts a finite capacity) is
+  // "unschedulable", not a baseline to replay events against.
+  validate_or_throw(p.result.schedule);
+  std::cout << "--- balanced starting point ---\n"
+            << summarize(p.result.stats) << "\n";
+
+  EventTraceParams trace_params;
+  trace_params.events = options.events;
+  const EventTrace trace =
+      random_event_trace(*p.graph, p.result.schedule.architecture(),
+                         trace_params, options.event_seed);
+
+  RebalancerOptions online_options;
+  online_options.balance.policy = options.policy;
+  online_options.balance.enforce_memory_capacity =
+      options.capacity != kUnlimitedMemory;
+  online_options.balance.migration_penalty = options.migration_penalty;
+  online_options.incremental = options.incremental;
+  Rebalancer system(std::move(p.graph), std::move(p.result.schedule),
+                    online_options);
+
+  const OnlineRunner runner;
+  const OnlineReport report = runner.replay(system, trace);
+  std::cout << "--- replay (" << options.events << " events, seed "
+            << options.event_seed << ", "
+            << (options.incremental ? "incremental" : "full")
+            << " mode) ---\n"
+            << summarize_online(report);
+
+  if (!options.out_prefix.empty()) {
+    write_file(options.out_prefix + "_online.json",
+               online_report_to_json(report));
+  }
+  return report.total_violations == 0 ? 0 : 2;
+}
+
 int cmd_export(const CliOptions& options) {
   const Prepared p = prepare(options);
   const std::string prefix =
@@ -241,6 +305,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(options);
     if (command == "bus") return cmd_bus(options);
     if (command == "export") return cmd_export(options);
+    if (command == "replay") return cmd_replay(options);
     usage("unknown command: " + command);
   } catch (const ScheduleError& e) {
     std::cerr << "unschedulable: " << e.what() << "\n";
