@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <map>
 #include <memory>
 
@@ -107,4 +109,4 @@ BENCHMARK(BM_BuildBlocks)
     ->Arg(4000)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+LBMEM_BENCHMARK_MAIN()

@@ -17,6 +17,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -193,4 +195,4 @@ BENCHMARK(BM_OnlineFailure)
     ->Args({4000, 8})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+LBMEM_BENCHMARK_MAIN()

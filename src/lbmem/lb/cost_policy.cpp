@@ -16,60 +16,4 @@ std::string to_string(CostPolicy policy) {
   return "?";
 }
 
-Lambda lambda_value(CostPolicy policy, Time gain, Mem moved_mem) {
-  LBMEM_REQUIRE(gain >= 0 && moved_mem >= 0, "bad lambda inputs");
-  switch (policy) {
-    case CostPolicy::PaperLiteral:
-      if (moved_mem == 0) {
-        return Lambda{gain, 1};  // Eq. (5), first case
-      }
-      return Lambda{gain + 1, moved_mem};
-    case CostPolicy::Lexicographic:
-    case CostPolicy::PaperFormula:
-    case CostPolicy::GainOnly:
-    case CostPolicy::MemoryOnly:
-      return Lambda{gain + 1, moved_mem > 0 ? moved_mem : 1};
-  }
-  return Lambda{};
-}
-
-namespace {
-
-/// Tie-break shared by all policies: prefer staying home, then low index.
-bool tie_break(const DestinationScore& a, const DestinationScore& b) {
-  if (a.is_home != b.is_home) return a.is_home;
-  return a.proc < b.proc;
-}
-
-}  // namespace
-
-bool better_candidate(CostPolicy policy, const DestinationScore& a,
-                      const DestinationScore& b) {
-  LBMEM_REQUIRE(a.feasible && b.feasible,
-                "better_candidate compares feasible candidates only");
-  switch (policy) {
-    case CostPolicy::Lexicographic: {
-      if (a.gain != b.gain) return a.gain > b.gain;
-      if (a.moved_mem != b.moved_mem) return a.moved_mem < b.moved_mem;
-      return tie_break(a, b);
-    }
-    case CostPolicy::GainOnly: {
-      if (a.gain != b.gain) return a.gain > b.gain;
-      return tie_break(a, b);
-    }
-    case CostPolicy::MemoryOnly: {
-      if (a.moved_mem != b.moved_mem) return a.moved_mem < b.moved_mem;
-      return tie_break(a, b);
-    }
-    case CostPolicy::PaperFormula:
-    case CostPolicy::PaperLiteral: {
-      const int cmp = compare_fractions(a.lambda.num, a.lambda.den,
-                                        b.lambda.num, b.lambda.den);
-      if (cmp != 0) return cmp > 0;
-      return tie_break(a, b);
-    }
-  }
-  return false;
-}
-
 }  // namespace lbmem

@@ -24,6 +24,8 @@
 #include <string>
 
 #include "lbmem/model/types.hpp"
+#include "lbmem/util/check.hpp"
+#include "lbmem/util/math.hpp"
 
 namespace lbmem {
 
@@ -49,7 +51,42 @@ struct Lambda {
 /// the total memory \p moved_mem of blocks already moved to the processor.
 /// (For Lexicographic/GainOnly/MemoryOnly the fraction is informational;
 /// selection uses their own orderings.)
-Lambda lambda_value(CostPolicy policy, Time gain, Mem moved_mem);
+inline Lambda lambda_value(CostPolicy policy, Time gain, Mem moved_mem) {
+  LBMEM_REQUIRE(gain >= 0 && moved_mem >= 0, "bad lambda inputs");
+  switch (policy) {
+    case CostPolicy::PaperLiteral:
+      if (moved_mem == 0) {
+        return Lambda{gain, 1};  // Eq. (5), first case
+      }
+      return Lambda{gain + 1, moved_mem};
+    case CostPolicy::Lexicographic:
+    case CostPolicy::PaperFormula:
+    case CostPolicy::GainOnly:
+    case CostPolicy::MemoryOnly:
+      return Lambda{gain + 1, moved_mem > 0 ? moved_mem : 1};
+  }
+  return Lambda{};
+}
+
+/// λ of the *best score a destination could possibly achieve* when its
+/// gain is bounded above by \p gain_upper_bound and its moved memory is
+/// known exactly. Admissibility rests on a dominance property every policy
+/// satisfies: with the moved memory, home flag and processor index fixed,
+/// the candidate ordering is monotone non-decreasing in the gain
+/// (Lexicographic/GainOnly order by the gain itself, MemoryOnly ignores
+/// it, and both paper fractions — (G+1)/max(Σm,1) and the literal first
+/// case λ=G — grow with G). A bound score built from this λ therefore
+/// dominates every candidate whose true gain is at most the bound: if the
+/// bound score cannot beat an incumbent under better_candidate, the exact
+/// score cannot either, so the destination can be skipped without being
+/// evaluated. Any future policy must preserve this monotonicity (or stop
+/// using bound-based pruning).
+inline Lambda upper_bound_lambda(CostPolicy policy, Time gain_upper_bound,
+                                 Mem moved_mem) {
+  // The bound λ is the exact λ evaluated at the gain ceiling; the
+  // admissibility argument (monotonicity in the gain) is above.
+  return lambda_value(policy, gain_upper_bound, moved_mem);
+}
 
 /// One evaluated destination.
 struct DestinationScore {
@@ -59,15 +96,58 @@ struct DestinationScore {
   Mem moved_mem = 0;   ///< Σ memory of blocks already moved to proc
   bool is_home = false;
   Lambda lambda;       ///< filled for feasible candidates
+  /// Set (with !feasible) when the evaluation was cut short because the
+  /// remaining achievable gain could no longer beat the incumbent — the
+  /// destination may or may not have been feasible, but it cannot win.
+  bool cut_by_incumbent = false;
   /// Set when !feasible. Always a string literal (static storage) so that
   /// evaluating a candidate never allocates on the balancer hot path.
   const char* reject_reason = "";
 };
 
+namespace detail {
+
+/// Tie-break shared by all policies: prefer staying home, then low index.
+inline bool candidate_tie_break(const DestinationScore& a,
+                                const DestinationScore& b) {
+  if (a.is_home != b.is_home) return a.is_home;
+  return a.proc < b.proc;
+}
+
+}  // namespace detail
+
 /// Is candidate \p a strictly better than \p b under \p policy?
 /// Pre: both feasible. Deterministic total order (ties broken by
-/// home-processor preference, then lower processor index).
-bool better_candidate(CostPolicy policy, const DestinationScore& a,
-                      const DestinationScore& b);
+/// home-processor preference, then lower processor index). Inline: the
+/// bound-and-prune selection loop compares up to M bounds per block pop,
+/// so the comparison must not cost a function call.
+inline bool better_candidate(CostPolicy policy, const DestinationScore& a,
+                             const DestinationScore& b) {
+  LBMEM_REQUIRE(a.feasible && b.feasible,
+                "better_candidate compares feasible candidates only");
+  switch (policy) {
+    case CostPolicy::Lexicographic: {
+      if (a.gain != b.gain) return a.gain > b.gain;
+      if (a.moved_mem != b.moved_mem) return a.moved_mem < b.moved_mem;
+      return detail::candidate_tie_break(a, b);
+    }
+    case CostPolicy::GainOnly: {
+      if (a.gain != b.gain) return a.gain > b.gain;
+      return detail::candidate_tie_break(a, b);
+    }
+    case CostPolicy::MemoryOnly: {
+      if (a.moved_mem != b.moved_mem) return a.moved_mem < b.moved_mem;
+      return detail::candidate_tie_break(a, b);
+    }
+    case CostPolicy::PaperFormula:
+    case CostPolicy::PaperLiteral: {
+      const int cmp = compare_fractions(a.lambda.num, a.lambda.den,
+                                        b.lambda.num, b.lambda.den);
+      if (cmp != 0) return cmp > 0;
+      return detail::candidate_tie_break(a, b);
+    }
+  }
+  return false;
+}
 
 }  // namespace lbmem

@@ -45,7 +45,6 @@ class Attempt {
         dec_(dec),
         h_(input.graph().hyperperiod()),
         procs_(input.architecture().processor_count()),
-        occupancy_(static_cast<std::size_t>(procs_), ProcTimeline(h_)),
         all_occ_(static_cast<std::size_t>(procs_), ProcTimeline(h_)),
         moved_mem_(static_cast<std::size_t>(procs_), Mem{0}),
         last_moved_end_(static_cast<std::size_t>(procs_), Time{0}),
@@ -58,19 +57,25 @@ class Attempt {
     const std::size_t total = input.graph().total_instances();
     instance_processed_.assign(total, 0);
     affected_epoch_.assign(total, 0);
+    if (opts_.overlap_rule == OverlapRule::MovedOnly) {
+      // The moved-prefix timelines exist only under MovedOnly; see commit().
+      occupancy_.assign(static_cast<std::size_t>(procs_), ProcTimeline(h_));
+    }
     if (opts_.overlap_rule == OverlapRule::AllInstances) {
       if (warm_all_occ != nullptr) {
         // Warm start: the caller hands over an occupancy that already
-        // mirrors the input schedule — a flat copy instead of re-adding
-        // every instance (DESIGN.md F12).
+        // mirrors the input schedule — copied wholesale instead of
+        // re-adding every instance (DESIGN.md F12).
         LBMEM_REQUIRE(warm_all_occ->size() == all_occ_.size() &&
                           (warm_all_occ->empty() ||
                            warm_all_occ->front().hyperperiod() == h_),
                       "warm occupancy does not match the input schedule");
         all_occ_ = *warm_all_occ;
       } else {
+        // The input schedule is valid by contract, so its footprints are
+        // disjoint; debug builds still verify each insertion.
         for (const TaskInstance inst : input.all_instances()) {
-          all_occ_[static_cast<std::size_t>(input.proc(inst))].add(
+          all_occ_[static_cast<std::size_t>(input.proc(inst))].add_unchecked(
               input.start(inst), input.graph().task(inst.task).wcet, inst);
         }
       }
@@ -95,6 +100,8 @@ class Attempt {
       return block > other.block;
     }
   };
+  using RequeueQueue =
+      std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
 
   /// One instance a tentative move relocates, frozen at pop time: members
   /// land on the candidate destination; for a positive category-1 gain the
@@ -130,7 +137,15 @@ class Attempt {
 
   void prepare_block(const Block& block);
   Time member_ready(std::size_t member_idx, ProcId dest) const;
-  DestinationScore evaluate(const Block& block, ProcId dest) const;
+  Time gain_upper_bound(const Block& block, ProcId dest) const;
+  DestinationScore make_bound(const Block& block, ProcId dest) const;
+  DestinationScore evaluate(const Block& block, ProcId dest,
+                            const DestinationScore* incumbent) const;
+  /// Select and commit the destination of one popped block. \p requeue
+  /// receives the blocks a positive gain shifted (null on the queue-free
+  /// gain-disabled path, where gains cannot occur).
+  void decide_block(BlockId id, std::vector<StepRecord>* trace,
+                    BalanceStats& stats, RequeueQueue* requeue);
   void commit(const Block& block, ProcId dest, Time gain, bool forced,
               BalanceStats& stats);
 
@@ -201,7 +216,8 @@ class Attempt {
       // if one ever does not, drop the footprint rather than throw: the
       // schedule itself then carries the overlap, the end-of-run validation
       // rejects it, and the gain-disabled retry takes over gracefully.
-      if (occ.fits(start, wcet)) occ.add(start, wcet, inst);
+      // The fits() probe doubles as add_unchecked's safety proof.
+      if (occ.fits(start, wcet)) occ.add_unchecked(start, wcet, inst);
     }
   }
 
@@ -244,7 +260,13 @@ class Attempt {
   std::vector<MemberReady> member_ready_;  // parallel to block.members
   std::vector<std::pair<ProcId, Time>> local_arrivals_;  // B terms, sliced
   Time pinned_cap_ = 0;  // gain cap from pinned later instances
+  // Destination-invariant gain cap from member data-readiness: for every
+  // member, base_start minus the smallest arrival any destination could
+  // see (DESIGN.md F15). Combined with the per-destination O(1) terms this
+  // yields the admissible upper bound gain_upper_bound() screens with.
+  Time member_cap_ = 0;
   Time block_start_ = 0;
+  std::vector<DestinationScore> bounds_;  // per-pop candidate bounds
 };
 
 void Attempt::prepare_block(const Block& block) {
@@ -253,6 +275,7 @@ void Attempt::prepare_block(const Block& block) {
   member_ready_.clear();
   local_arrivals_.clear();
   pinned_cap_ = std::numeric_limits<Time>::max();
+  member_cap_ = std::numeric_limits<Time>::max();
   block_start_ = block.start(sched_);
   ++epoch_;
 
@@ -322,6 +345,25 @@ void Attempt::prepare_block(const Block& block) {
     }
     mr.local_end = static_cast<std::uint32_t>(local_arrivals_.size());
     member_ready_.push_back(mr);
+
+    // Best-case arrival over *all* destinations: hosting the top remote
+    // producer converts its arrival into the colocated term, so the
+    // smallest achievable readiness is min(max(remote_top2, colocated term
+    // of the top producer's processor), remote_top1) — a lower bound on
+    // member_ready(m, dest) for every dest, hence an admissible cap.
+    if (block.category == 1) {
+      Time local_at_top1 = 0;
+      for (std::uint32_t j = mr.local_begin; j < mr.local_end; ++j) {
+        if (local_arrivals_[j].first == mr.remote_top1_proc) {
+          local_at_top1 = local_arrivals_[j].second;
+          break;
+        }
+      }
+      const Time min_ready =
+          std::min(std::max(mr.remote_top2, local_at_top1), mr.remote_top1);
+      member_cap_ = std::min(
+          member_cap_, layout_[member_ready_.size() - 1].base_start - min_ready);
+    }
   }
 
   // Gain cap from the pinned later instances of the block's tasks
@@ -367,7 +409,49 @@ Time Attempt::member_ready(std::size_t member_idx, ProcId dest) const {
   return ready;
 }
 
-DestinationScore Attempt::evaluate(const Block& block, ProcId dest) const {
+/// Admissible O(1) screen (DESIGN.md F15): the largest gain evaluate()
+/// could possibly return for \p dest, or -1 when the destination is
+/// certainly infeasible. Mirrors evaluate()'s clamp sequence with the
+/// destination-dependent data term replaced by its invariant lower bound
+/// (member_cap_); everything evaluate() does beyond this point — exact
+/// data arrivals, conflict-driven reduction, the Block Condition — only
+/// lowers the gain or rejects, never raises it.
+Time Attempt::gain_upper_bound(const Block& block, ProcId dest) const {
+  const Time avail = last_moved_end_[static_cast<std::size_t>(dest)];
+  if (avail > block_start_) return -1;  // ineligible, exactly as evaluate()
+  if (opts_.enforce_memory_capacity &&
+      sched_.architecture().has_memory_limit() && dest != block.home &&
+      resident_mem_[static_cast<std::size_t>(dest)] + block.mem_sum >
+          sched_.architecture().memory_capacity()) {
+    return -1;  // capacity screen, exactly as evaluate()
+  }
+  if (block.category != 1) return 0;  // pinned blocks never gain
+  Time gain = std::min(block_start_ - avail, member_cap_);
+  if (gain < 0) return -1;  // no destination can receive the data in time
+  gain = std::min(gain, pinned_cap_);
+  gain = std::max<Time>(gain, 0);
+  if (max_gain_ >= 0) gain = std::min(gain, max_gain_);
+  return gain;
+}
+
+/// The best score \p dest could possibly achieve: exact O(1) fields
+/// (moved memory, home flag, processor) plus the gain upper bound. A
+/// feasible==false bound marks a destination the screen already rejects.
+DestinationScore Attempt::make_bound(const Block& block, ProcId dest) const {
+  DestinationScore bound;
+  bound.proc = dest;
+  bound.is_home = (dest == block.home);
+  bound.moved_mem = moved_mem_[static_cast<std::size_t>(dest)];
+  const Time ub = gain_upper_bound(block, dest);
+  if (ub < 0) return bound;
+  bound.feasible = true;
+  bound.gain = ub;
+  bound.lambda = upper_bound_lambda(opts_.policy, ub, bound.moved_mem);
+  return bound;
+}
+
+DestinationScore Attempt::evaluate(const Block& block, ProcId dest,
+                                   const DestinationScore* incumbent) const {
   DestinationScore score;
   score.proc = dest;
   score.is_home = (dest == block.home);
@@ -427,6 +511,29 @@ DestinationScore Attempt::evaluate(const Block& block, ProcId dest) const {
     gain = std::max<Time>(gain, 0);
     if (max_gain_ >= 0) gain = std::min(gain, max_gain_);
 
+    // Incumbent cutoff (DESIGN.md F15): the conflict-reduction scan below
+    // only ever lowers the gain, and with the moved memory and tie-break
+    // fields fixed every policy's ordering is monotone in the gain — so
+    // the moment the current gain cannot beat the incumbent, no outcome of
+    // the scan can, and the evaluation may abort. Cut candidates report
+    // infeasible; they could not have been selected either way.
+    const auto cannot_beat = [&](Time g) {
+      if (incumbent == nullptr) return false;
+      DestinationScore hypo;
+      hypo.feasible = true;
+      hypo.proc = dest;
+      hypo.is_home = score.is_home;
+      hypo.moved_mem = score.moved_mem;
+      hypo.gain = g;
+      hypo.lambda = lambda_value(opts_.policy, g, score.moved_mem);
+      return !better_candidate(opts_.policy, hypo, *incumbent);
+    };
+    if (cannot_beat(gain)) {
+      score.cut_by_incumbent = true;
+      score.reject_reason = "cut off: cannot beat the incumbent";
+      return score;
+    }
+
     // Conflict-driven reduction against the moved prefix: every affected
     // instance must avoid the committed occupation on its target processor.
     // Reducing the gain slides positions later; each step clears the
@@ -462,6 +569,11 @@ DestinationScore Attempt::evaluate(const Block& block, ProcId dest) const {
           gain -= delta;
           if (gain < 0) {
             score.reject_reason = "overlap with moved blocks";
+            return score;
+          }
+          if (cannot_beat(gain)) {
+            score.cut_by_incumbent = true;
+            score.reject_reason = "cut off: cannot beat the incumbent";
             return score;
           }
           cleared = 0;
@@ -524,13 +636,19 @@ void Attempt::commit(const Block& block, ProcId dest, Time gain, bool forced,
 
   for (const TaskInstance& inst : block.members) {
     sched_.assign(inst, dest);
-    const Time wcet = graph().task(inst.task).wcet;
-    const Time start = sched_.start(inst);
-    if (occupancy(dest).fits(start, wcet)) {
-      occupancy(dest).add(start, wcet, inst);
-    } else {
-      // Only reachable on a forced stay; the final validation reports it.
-      LBMEM_REQUIRE(forced, "unexpected occupancy conflict on commit");
+    // The moved-prefix occupancy is only ever read under MovedOnly
+    // (blocking_occ); under AllInstances every committed footprint already
+    // lands in all_occ_ via update_all_occ, so maintaining a second,
+    // write-only timeline per processor would be pure overhead.
+    if (opts_.overlap_rule == OverlapRule::MovedOnly) {
+      const Time wcet = graph().task(inst.task).wcet;
+      const Time start = sched_.start(inst);
+      if (occupancy(dest).fits(start, wcet)) {
+        occupancy(dest).add_unchecked(start, wcet, inst);
+      } else {
+        // Only reachable on a forced stay; the final validation reports it.
+        LBMEM_REQUIRE(forced, "unexpected occupancy conflict on commit");
+      }
     }
     instance_processed_[dense(inst)] = 1;
   }
@@ -555,8 +673,25 @@ bool Attempt::run(std::vector<StepRecord>* trace, BalanceStats& stats) {
       std::count_if(dec_.blocks.begin(), dec_.blocks.end(),
                     [](const Block& b) { return b.category == 1; }));
 
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
-      queue;
+  if (max_gain_ == 0) {
+    // Gains disabled: no commit ever shifts a start, so the pop order is
+    // fully known up front — one sort replaces the priority queue, its
+    // re-queues and its stale-entry filtering. The order is identical to
+    // the queue's pop order (ascending start, then block id).
+    std::vector<QueueEntry> order;
+    order.reserve(dec_.blocks.size());
+    for (const Block& b : dec_.blocks) {
+      order.push_back(QueueEntry{b.start(sched_), b.id});
+    }
+    std::sort(order.begin(), order.end(),
+              [](const QueueEntry& a, const QueueEntry& b) { return b > a; });
+    for (const QueueEntry& entry : order) {
+      decide_block(entry.block, trace, stats, nullptr);
+    }
+    return is_valid(sched_);
+  }
+
+  RequeueQueue queue;
   for (const Block& b : dec_.blocks) {
     queue.push(QueueEntry{b.start(sched_), b.id});
   }
@@ -569,37 +704,51 @@ bool Attempt::run(std::vector<StepRecord>* trace, BalanceStats& stats) {
     if (block.start(sched_) != entry.start) {
       continue;  // stale key; the shifted re-queue entry will handle it
     }
-    LBMEM_REQUIRE(!closed(block.home),
-                  "blocks homed on a closed processor must be evacuated "
-                  "before balancing");
+    decide_block(entry.block, trace, stats, &queue);
+  }
 
-    // Freeze this block's layout, data-readiness split and gain cap for
-    // the M evaluations below. Overlap checks ignore the affected set (its
-    // footprints must not block their own relocation), so nothing is
-    // detached from the occupancy here.
-    prepare_block(block);
+  // Verdict-only validation: the retry gate needs no diagnostics, and the
+  // failing first attempt would otherwise pay for a full violation report
+  // it immediately discards.
+  return is_valid(sched_);
+}
 
-    StepRecord record;
-    record.block = block.id;
-    record.start_before = block_start_;
-    if (trace) record.candidates.reserve(static_cast<std::size_t>(procs_));
+void Attempt::decide_block(BlockId id, std::vector<StepRecord>* trace,
+                           BalanceStats& stats, RequeueQueue* requeue) {
+  const Block& block = dec_.blocks[static_cast<std::size_t>(id)];
+  LBMEM_REQUIRE(!closed(block.home),
+                "blocks homed on a closed processor must be evacuated "
+                "before balancing");
 
-    DestinationScore best;
-    bool have_best = false;
-    DestinationScore home_score;
-    bool home_feasible = false;
+  // Freeze this block's layout, data-readiness split and gain cap for
+  // the M evaluations below. Overlap checks ignore the affected set (its
+  // footprints must not block their own relocation), so nothing is
+  // detached from the occupancy here.
+  prepare_block(block);
+
+  StepRecord record;
+  record.block = block.id;
+  record.start_before = block_start_;
+  if (trace) record.candidates.reserve(static_cast<std::size_t>(procs_));
+
+  DestinationScore best;
+  bool have_best = false;
+  DestinationScore home_score;
+  bool home_feasible = false;
+  if (trace != nullptr) {
+    // Exhaustive evaluation in processor order: the trace is the full
+    // decision record, one candidate entry per processor.
     for (ProcId p = 0; p < procs_; ++p) {
       if (closed(p)) {
-        if (trace) {
-          DestinationScore cand;
-          cand.proc = p;
-          cand.reject_reason = "processor closed";
-          record.candidates.push_back(cand);
-        }
+        DestinationScore cand;
+        cand.proc = p;
+        cand.reject_reason = "processor closed";
+        record.candidates.push_back(cand);
         continue;
       }
-      const DestinationScore cand = evaluate(block, p);
-      if (trace) record.candidates.push_back(cand);
+      const DestinationScore cand = evaluate(block, p, nullptr);
+      ++stats.dest_evaluated;
+      record.candidates.push_back(cand);
       if (cand.feasible && cand.is_home) {
         home_score = cand;
         home_feasible = true;
@@ -610,45 +759,109 @@ bool Attempt::run(std::vector<StepRecord>* trace, BalanceStats& stats) {
         have_best = true;
       }
     }
-    if (have_best) {
-      best = apply_migration_gate(best, home_score, home_feasible);
+  } else {
+    // Bound-and-prune selection (DESIGN.md F15). The selected maximum of
+    // a strict total order does not depend on visit order, so candidates
+    // are visited best-bound-first and the loop stops as soon as the
+    // remaining bounds cannot beat the incumbent. The home destination
+    // is always evaluated first: it seeds the incumbent with the
+    // tie-break favorite and the migration gate needs its exact score.
+    if (!closed(block.home)) {
+      const DestinationScore cand = evaluate(block, block.home, nullptr);
+      ++stats.dest_evaluated;
+      if (cand.feasible) {
+        home_score = cand;
+        home_feasible = true;
+        best = cand;
+        have_best = true;
+      }
     }
+    // Screen every destination with the admissible O(1) bound; keep only
+    // bounds that survive. The screen itself is exact (an infeasible
+    // bound proves the destination infeasible), so screened-out
+    // destinations count as skipped without being evaluated.
+    bounds_.clear();
+    std::size_t strongest = 0;
+    for (ProcId p = 0; p < procs_; ++p) {
+      if (p == block.home || closed(p)) continue;
+      DestinationScore bound = make_bound(block, p);
+      if (!bound.feasible) {
+        ++stats.dest_skipped_by_bound;
+        continue;
+      }
+      if (!bounds_.empty() &&
+          better_candidate(opts_.policy, bound, bounds_[strongest])) {
+        strongest = bounds_.size();
+      }
+      bounds_.push_back(bound);
+    }
+    // Visit the strongest bound first: it is the likeliest winner, and
+    // evaluating it early gives the incumbent maximum pruning power over
+    // the single pass below. The selected maximum of the strict total
+    // order does not depend on visit order, so the remaining candidates
+    // can then be taken in processor order, each behind an exact
+    // bound-vs-incumbent test (a skipped candidate's exact score is
+    // dominated by its bound, which already failed to beat the
+    // incumbent).
+    for (std::size_t n = 0; n < bounds_.size(); ++n) {
+      const std::size_t i = (n == 0) ? strongest
+                            : (n <= strongest ? n - 1 : n);
+      const DestinationScore& bound = bounds_[i];
+      if (have_best && !better_candidate(opts_.policy, bound, best)) {
+        ++stats.dest_skipped_by_bound;
+        continue;
+      }
+      const DestinationScore cand =
+          evaluate(block, bound.proc, have_best ? &best : nullptr);
+      ++stats.dest_evaluated;
+      if (cand.cut_by_incumbent) ++stats.dest_cut_by_incumbent;
+      if (cand.feasible &&
+          (!have_best || better_candidate(opts_.policy, cand, best))) {
+        best = cand;
+        have_best = true;
+      }
+    }
+  }
+  if (have_best) {
+    best = apply_migration_gate(best, home_score, home_feasible);
+  }
 
-    if (have_best) {
-      record.chosen = best.proc;
-      record.applied_gain = best.gain;
-      commit(block, best.proc, best.gain, /*forced=*/false, stats);
-      update_all_occ(best.proc, block.home, best.gain);
-      if (best.gain > 0) {
-        // Re-queue the blocks whose pinned instances shifted along.
-        for (const TaskId t : block.tasks) {
-          const InstanceIdx n = graph().instance_count(t);
-          for (InstanceIdx k = 1; k < n; ++k) {
-            const BlockId other = dec_.block_of[static_cast<std::size_t>(t)]
-                                               [static_cast<std::size_t>(k)];
-            // Partial decompositions leave undiscovered instances at -1;
-            // their blocks are out of scope and never popped, so there is
-            // nothing to re-queue (the shifted footprints are already
-            // maintained by update_all_occ).
-            if (other < 0) continue;
-            if (!processed_[static_cast<std::size_t>(other)]) {
-              const Block& ob = dec_.blocks[static_cast<std::size_t>(other)];
-              queue.push(QueueEntry{ob.start(sched_), other});
-            }
+  if (have_best) {
+    record.chosen = best.proc;
+    record.applied_gain = best.gain;
+    commit(block, best.proc, best.gain, /*forced=*/false, stats);
+    update_all_occ(best.proc, block.home, best.gain);
+    if (best.gain > 0) {
+      // Re-queue the blocks whose pinned instances shifted along. A
+      // positive gain is impossible on the queue-free max_gain_ == 0
+      // path, so the requeue sink is always present here.
+      LBMEM_REQUIRE(requeue != nullptr,
+                    "positive gain committed without a re-queue sink");
+      for (const TaskId t : block.tasks) {
+        const InstanceIdx n = graph().instance_count(t);
+        for (InstanceIdx k = 1; k < n; ++k) {
+          const BlockId other = dec_.block_of[static_cast<std::size_t>(t)]
+                                             [static_cast<std::size_t>(k)];
+          // Partial decompositions leave undiscovered instances at -1;
+          // their blocks are out of scope and never popped, so there is
+          // nothing to re-queue (the shifted footprints are already
+          // maintained by update_all_occ).
+          if (other < 0) continue;
+          if (!processed_[static_cast<std::size_t>(other)]) {
+            const Block& ob = dec_.blocks[static_cast<std::size_t>(other)];
+            requeue->push(QueueEntry{ob.start(sched_), other});
           }
         }
       }
-    } else {
-      record.forced_stay = true;
-      record.chosen = block.home;
-      ++stats.forced_stays;
-      commit(block, block.home, 0, /*forced=*/true, stats);
-      // Forced stay: nothing moved, the occupancy already matches.
     }
-    if (trace) trace->push_back(std::move(record));
+  } else {
+    record.forced_stay = true;
+    record.chosen = block.home;
+    ++stats.forced_stays;
+    commit(block, block.home, 0, /*forced=*/true, stats);
+    // Forced stay: nothing moved, the occupancy already matches.
   }
-
-  return validate(sched_).ok();
+  if (trace) trace->push_back(std::move(record));
 }
 
 }  // namespace
@@ -686,6 +899,22 @@ BalanceResult LoadBalancer::run_attempts(
   base.max_memory_before = input.max_memory();
   for (ProcId p = 0; p < input.architecture().processor_count(); ++p) {
     base.memory_before.push_back(input.memory_on(p));
+  }
+
+  // Build the all-instances occupancy once per balance() and hand it to
+  // every attempt as warm state: the Attempt constructor then copies the
+  // built structures instead of re-inserting every instance per attempt.
+  std::vector<ProcTimeline> pristine;
+  if (warm_occupancy == nullptr &&
+      options_.overlap_rule == OverlapRule::AllInstances) {
+    pristine.assign(
+        static_cast<std::size_t>(input.architecture().processor_count()),
+        ProcTimeline(input.graph().hyperperiod()));
+    for (const TaskInstance inst : input.all_instances()) {
+      pristine[static_cast<std::size_t>(input.proc(inst))].add_unchecked(
+          input.start(inst), input.graph().task(inst.task).wcet, inst);
+    }
+    warm_occupancy = &pristine;
   }
 
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {

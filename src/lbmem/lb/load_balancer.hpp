@@ -63,7 +63,11 @@ struct BalanceOptions {
   /// Validation-failure retries before falling back to the input schedule.
   int max_attempts = 3;
   /// Record a per-block decision trace (costs memory; used by tests and
-  /// the example bench).
+  /// the example bench). A trace is the *full* decision record — one
+  /// candidate entry per processor — so tracing runs evaluate every
+  /// destination exhaustively instead of using bound-and-prune selection.
+  /// Decisions are identical either way (the pruning is exact; enforced by
+  /// tests/test_prune_equivalence.cpp), tracing just pays for the evidence.
   bool record_trace = false;
   /// Price of moving a block off its current processor (DESIGN.md F9).
   /// When positive, the policy first picks its preferred destination as
@@ -131,6 +135,15 @@ struct BalanceStats {
   int forced_stays = 0;
   int attempts_used = 0;
   bool fell_back = false;   ///< returned the input schedule unchanged
+  // Bound-and-prune observability (DESIGN.md F15). Destination selection
+  // screens every candidate with an admissible O(1) upper bound before
+  // paying for the exact evaluation; per open destination per block exactly
+  // one of the first two counters increments, so their sum equals
+  // blocks * open processors. Trace-recording runs evaluate exhaustively
+  // (the trace is the full decision record), leaving both prune counters 0.
+  std::int64_t dest_evaluated = 0;        ///< exact evaluations started
+  std::int64_t dest_skipped_by_bound = 0; ///< skipped: bound cannot win
+  std::int64_t dest_cut_by_incumbent = 0; ///< evaluations aborted mid-scan
   double wall_seconds = 0.0;
 };
 

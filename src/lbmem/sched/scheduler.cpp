@@ -27,8 +27,11 @@ void commit_whole_task(Schedule& sched, std::vector<ProcTimeline>& timelines,
   sched.set_first_start(t, start);
   sched.assign_all(t, p);
   const InstanceIdx n = graph.instance_count(t);
+  // Every caller commits a start that earliest_fit() just proved free, so
+  // the conflict re-query inside a checked add would be pure overhead on
+  // the scheduler and online-repair hot paths; debug builds still verify.
   for (InstanceIdx k = 0; k < n; ++k) {
-    timelines[static_cast<std::size_t>(p)].add(
+    timelines[static_cast<std::size_t>(p)].add_unchecked(
         start + task.period * static_cast<Time>(k), task.wcet,
         TaskInstance{t, k});
   }

@@ -9,6 +9,10 @@ namespace lbmem {
 
 ProcTimeline::ProcTimeline(Time hyperperiod) : h_(hyperperiod) {
   LBMEM_REQUIRE(hyperperiod > 0, "hyper-period must be positive");
+  // Power-of-two bucket width so bucket lookup is a shift: the smallest
+  // width that keeps the bucket count at or below kMaxBuckets.
+  while (((h_ - 1) >> bucket_shift_) >= kMaxBuckets) ++bucket_shift_;
+  buckets_.resize(static_cast<std::size_t>(((h_ - 1) >> bucket_shift_) + 1));
 }
 
 std::optional<TaskInstance> ProcTimeline::conflicting_owner(Time start,
@@ -21,10 +25,14 @@ bool ProcTimeline::fits(Time start, Time len) const {
 }
 
 void ProcTimeline::insert_piece(Piece piece) {
+  const std::size_t b = bucket_of(piece.start);
+  std::vector<Piece>& v = buckets_[b];
   auto it = std::lower_bound(
-      pieces_.begin(), pieces_.end(), piece.start,
+      v.begin(), v.end(), piece.start,
       [](const Piece& p, Time value) { return p.start < value; });
-  pieces_.insert(it, piece);
+  v.insert(it, piece);
+  nonempty_[b >> 6] |= std::uint64_t{1} << (b & 63);
+  ++piece_count_;
 }
 
 ProcTimeline::OwnerPieces* ProcTimeline::OwnerIndex::find(TaskInstance key) {
@@ -92,6 +100,19 @@ void ProcTimeline::OwnerIndex::grow() {
 
 void ProcTimeline::add(Time start, Time len, TaskInstance owner) {
   LBMEM_REQUIRE(fits(start, len), "ProcTimeline::add would overlap");
+  add_impl(start, len, owner);
+}
+
+void ProcTimeline::add_unchecked(Time start, Time len, TaskInstance owner) {
+#if LBMEM_TIMELINE_VERIFY
+  LBMEM_REQUIRE(fits(start, len), "ProcTimeline::add_unchecked would overlap");
+#else
+  LBMEM_REQUIRE(len > 0 && len <= h_, "interval length must be in (0, H]");
+#endif
+  add_impl(start, len, owner);
+}
+
+void ProcTimeline::add_impl(Time start, Time len, TaskInstance owner) {
   const Time s = mod_floor(start, h_);
   const bool wraps = s + len > h_;
   OwnerPieces& slots = owner_index_.insert(owner);
@@ -118,13 +139,16 @@ void ProcTimeline::add(Time start, Time len, TaskInstance owner) {
 
 void ProcTimeline::erase_piece_at(Time start, TaskInstance owner) {
   // Pieces are disjoint with positive length, so starts are unique keys.
+  const std::size_t b = bucket_of(start);
+  std::vector<Piece>& v = buckets_[b];
   auto it = std::lower_bound(
-      pieces_.begin(), pieces_.end(), start,
+      v.begin(), v.end(), start,
       [](const Piece& p, Time value) { return p.start < value; });
-  LBMEM_REQUIRE(it != pieces_.end() && it->start == start &&
-                    it->owner == owner,
+  LBMEM_REQUIRE(it != v.end() && it->start == start && it->owner == owner,
                 "ProcTimeline owner index out of sync");
-  pieces_.erase(it);
+  v.erase(it);
+  if (v.empty()) nonempty_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+  --piece_count_;
 }
 
 void ProcTimeline::remove(TaskInstance owner) {
@@ -169,8 +193,33 @@ std::optional<Time> ProcTimeline::earliest_fit(Time lb, Time period, Time wcet,
 
 Time ProcTimeline::busy_time() const {
   Time total = 0;
-  for (const Piece& p : pieces_) total += p.len;
+  for (const std::vector<Piece>& v : buckets_) {
+    for (const Piece& p : v) total += p.len;
+  }
   return total;
+}
+
+bool ProcTimeline::check_index_integrity() const {
+  const auto expected_buckets =
+      static_cast<std::size_t>(((h_ - 1) >> bucket_shift_) + 1);
+  if (buckets_.size() != expected_buckets) return false;
+  std::size_t count = 0;
+  const Piece* prev = nullptr;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const std::vector<Piece>& v = buckets_[b];
+    const bool bit =
+        (nonempty_[b >> 6] >> (b & 63)) & 1;
+    if (bit != !v.empty()) return false;
+    for (const Piece& p : v) {
+      // Inside [0, H), in the right bucket, disjoint from its predecessor.
+      if (p.start < 0 || p.len <= 0 || p.start + p.len > h_) return false;
+      if (bucket_of(p.start) != b) return false;
+      if (prev != nullptr && prev->start + prev->len > p.start) return false;
+      prev = &p;
+      ++count;
+    }
+  }
+  return count == piece_count_;
 }
 
 }  // namespace lbmem

@@ -16,19 +16,38 @@
 /// earliest-fit search only ever scans [lb, lb+T).
 ///
 /// The balancer churns add/remove heavily (it re-attaches the instances of
-/// every block it relocates), so removal is indexed: an owner -> piece-start
-/// index locates an owner's pieces in O(1) and each is erased after an
-/// O(log n) binary search, instead of a full predicate scan over all
-/// pieces. The index is a small open-addressing hash table backed by one
-/// flat array, so steady-state churn performs no per-node heap allocation.
+/// every block it relocates), so the storage is organised for cheap
+/// mutation (DESIGN.md F16): [0, H) is divided into at most kMaxBuckets
+/// coarse time buckets of power-of-two width, and each bucket holds the
+/// (sorted) pieces starting inside it. An add or remove then shifts only
+/// one bucket's few pieces instead of memmoving a processor-wide sorted
+/// array, and a conflict probe touches one bucket plus the global
+/// predecessor. Pieces are pairwise disjoint, so only the immediate
+/// predecessor of a query point can reach into it; a bitmap of non-empty
+/// buckets finds that predecessor (and skips empty regions of sparse
+/// timelines) with a couple of word scans. Removal stays indexed: an
+/// owner -> piece-start table (open addressing, one flat backing array)
+/// locates an owner's pieces in O(1) without a predicate scan.
 
 #include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "lbmem/model/types.hpp"
 #include "lbmem/util/check.hpp"
 #include "lbmem/util/math.hpp"
+
+/// When 1, add_unchecked() still performs the full fits() verification.
+/// Defaults to on for debug/sanitizer builds and off for optimized builds;
+/// override with -DLBMEM_TIMELINE_VERIFY=0/1.
+#ifndef LBMEM_TIMELINE_VERIFY
+#ifdef NDEBUG
+#define LBMEM_TIMELINE_VERIFY 0
+#else
+#define LBMEM_TIMELINE_VERIFY 1
+#endif
+#endif
 
 namespace lbmem {
 
@@ -45,6 +64,14 @@ class ProcTimeline {
   /// does not fit. An owner may hold at most two pieces (one wrapping
   /// interval, or two separate adds).
   void add(Time start, Time len, TaskInstance owner);
+
+  /// add() without the redundant conflict query, for callers that have
+  /// already proven the interval free (a successful fits()/earliest_fit()
+  /// probe, or insertion from a validated schedule). The contract is the
+  /// caller's to uphold: adding an overlapping interval through this path
+  /// corrupts the timeline in optimized builds. Under LBMEM_TIMELINE_VERIFY
+  /// (debug/sanitizer builds) the full fits() check still runs and throws.
+  void add_unchecked(Time start, Time len, TaskInstance owner);
 
   /// Release all intervals owned by \p owner (no-op if absent).
   void remove(TaskInstance owner);
@@ -80,7 +107,12 @@ class ProcTimeline {
 
   /// Number of stored (possibly split) interval pieces. Always equals the
   /// number of starts recorded in the owner index.
-  std::size_t piece_count() const { return pieces_.size(); }
+  std::size_t piece_count() const { return piece_count_; }
+
+  /// Exhaustive structural audit for tests: every piece inside [0, H) and
+  /// in its start's bucket, buckets sorted and globally disjoint, the
+  /// non-empty bitmap and the piece counter consistent.
+  bool check_index_integrity() const;
 
  private:
   struct Piece {
@@ -133,21 +165,89 @@ class ProcTimeline {
     bool operator()(TaskInstance) const { return false; }
   };
 
+  /// Bucket-count ceiling: wide enough to keep per-bucket populations
+  /// small for realistic timelines, small enough that the bitmap stays in
+  /// four words and per-timeline overhead stays a few KB.
+  static constexpr Time kMaxBuckets = 256;
+
+  std::size_t bucket_of(Time t) const {
+    return static_cast<std::size_t>(t >> bucket_shift_);
+  }
+
+  /// Index of the last non-empty bucket <= \p b, or npos. One masked word
+  /// scan per bitmap word, most-significant bit first.
+  std::size_t prev_nonempty(std::size_t b) const {
+    std::size_t word = b >> 6;
+    std::uint64_t bits =
+        nonempty_[word] & (~std::uint64_t{0} >> (63 - (b & 63)));
+    while (true) {
+      if (bits != 0) {
+        return (word << 6) + 63 -
+               static_cast<std::size_t>(__builtin_clzll(bits));
+      }
+      if (word == 0) return npos;
+      bits = nonempty_[--word];
+    }
+  }
+
+  /// Index of the first non-empty bucket >= \p b, or npos.
+  std::size_t next_nonempty(std::size_t b) const {
+    if (b >= buckets_.size()) return npos;
+    std::size_t word = b >> 6;
+    std::uint64_t bits = nonempty_[word] & (~std::uint64_t{0} << (b & 63));
+    while (true) {
+      if (bits != 0) {
+        return (word << 6) +
+               static_cast<std::size_t>(__builtin_ctzll(bits));
+      }
+      if (++word >= kWords) return npos;
+      bits = nonempty_[word];
+    }
+  }
+
+  /// The piece preceding position \p a (largest start < a), or nullptr.
+  /// Pieces are disjoint, so it is the only piece that can reach past a.
+  const Piece* predecessor(Time a) const {
+    const std::size_t ba = bucket_of(a);
+    const std::vector<Piece>& v = buckets_[ba];
+    // Last piece in a's own bucket with start < a …
+    auto it = std::lower_bound(
+        v.begin(), v.end(), a,
+        [](const Piece& p, Time value) { return p.start < value; });
+    if (it != v.begin()) return &*(it - 1);
+    if (ba == 0) return nullptr;
+    // … else the last piece of the previous non-empty bucket.
+    const std::size_t bp = prev_nonempty(ba - 1);
+    if (bp == npos) return nullptr;
+    return &buckets_[bp].back();
+  }
+
   /// First piece intersecting the non-wrapping range [a, b) whose owner is
   /// not skipped by \p ignore — the single overlap scan every query shares.
+  /// Priority order matches the historic flat-array scan: the predecessor
+  /// reaching past a first, then pieces starting in [a, b) by start.
   template <typename Ignore = NoIgnore>
   const Piece* find_conflict(Time a, Time b, Ignore&& ignore = {}) const {
-    if (a >= b) return nullptr;
-    // First piece with start >= a; the predecessor may still reach past a.
-    auto it = std::lower_bound(
-        pieces_.begin(), pieces_.end(), a,
-        [](const Piece& p, Time value) { return p.start < value; });
-    if (it != pieces_.begin()) {
-      const Piece& prev = *(it - 1);
-      if (prev.start + prev.len > a && !ignore(prev.owner)) return &prev;
+    if (a >= b || piece_count_ == 0) return nullptr;
+    if (const Piece* prev = predecessor(a)) {
+      if (prev->start + prev->len > a && !ignore(prev->owner)) return prev;
     }
-    for (; it != pieces_.end() && it->start < b; ++it) {
-      if (!ignore(it->owner)) return &*it;
+    const std::size_t last = bucket_of(b - 1);
+    for (std::size_t bi = next_nonempty(bucket_of(a));
+         bi != npos && bi <= last; bi = next_nonempty(bi + 1)) {
+      const std::vector<Piece>& v = buckets_[bi];
+      std::size_t i = 0;
+      if (bi == bucket_of(a)) {
+        i = static_cast<std::size_t>(
+            std::lower_bound(v.begin(), v.end(), a,
+                             [](const Piece& p, Time value) {
+                               return p.start < value;
+                             }) -
+            v.begin());
+      }
+      for (; i < v.size() && v[i].start < b; ++i) {
+        if (!ignore(v[i].owner)) return &v[i];
+      }
     }
     return nullptr;
   }
@@ -163,11 +263,21 @@ class ProcTimeline {
     return find_conflict(0, pos + len - h_, ignore);
   }
 
+  void add_impl(Time start, Time len, TaskInstance owner);
   void insert_piece(Piece piece);
   void erase_piece_at(Time start, TaskInstance owner);
 
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kWords =
+      static_cast<std::size_t>(kMaxBuckets) / 64;
+
   Time h_;
-  std::vector<Piece> pieces_;  // sorted by start, pairwise disjoint
+  int bucket_shift_ = 0;  // bucket width 2^bucket_shift_
+  // Pieces starting inside each bucket, sorted by start; globally pairwise
+  // disjoint across buckets.
+  std::vector<std::vector<Piece>> buckets_;
+  std::uint64_t nonempty_[kWords] = {};  // bitmap of non-empty buckets
+  std::size_t piece_count_ = 0;
   // Records the start(s) of each owner's pieces for indexed removal.
   OwnerIndex owner_index_;
 };

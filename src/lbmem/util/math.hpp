@@ -43,8 +43,20 @@ inline std::int64_t mod_floor(std::int64_t a, std::int64_t m) {
 }
 
 /// Exact comparison of rationals a/b vs c/d with positive denominators,
-/// without floating point. Returns -1, 0 or +1.
-int compare_fractions(std::int64_t a, std::int64_t b, std::int64_t c,
-                      std::int64_t d);
+/// without floating point. Returns -1, 0 or +1. Inline: the fraction
+/// policies compare candidate bounds with it on the balancer hot path.
+inline int compare_fractions(std::int64_t a, std::int64_t b, std::int64_t c,
+                             std::int64_t d) {
+  LBMEM_REQUIRE(b > 0 && d > 0,
+                "compare_fractions expects positive denominators");
+  // 128-bit cross-multiplication avoids overflow; __int128 is a GCC/Clang
+  // extension (hence __extension__ for -Wpedantic).
+  __extension__ using Wide = __int128;
+  const Wide lhs = static_cast<Wide>(a) * d;
+  const Wide rhs = static_cast<Wide>(c) * b;
+  if (lhs < rhs) return -1;
+  if (lhs > rhs) return 1;
+  return 0;
+}
 
 }  // namespace lbmem

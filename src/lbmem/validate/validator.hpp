@@ -52,6 +52,12 @@ struct ValidationReport {
 /// are collected in the report.
 ValidationReport validate(const Schedule& sched);
 
+/// validate(sched).ok() without the diagnostics: stops at the first
+/// violation and builds no report strings. The balancer's attempt gate sits
+/// on the hot path and only needs the verdict; tests assert agreement with
+/// validate() so the two can never drift silently.
+bool is_valid(const Schedule& sched);
+
 /// Convenience: throw ScheduleError with the full report when invalid.
 void validate_or_throw(const Schedule& sched);
 

@@ -107,6 +107,42 @@ TEST(CliUsage, UnknownPlacementFails) {
       << r.output;
 }
 
+TEST(CliUsage, UnknownTraceModeFails) {
+  const RunResult r = run_cli("balance --trace=sometimes");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown trace mode: sometimes"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliBalance, TraceOffRunsPrunedPathWithIdenticalDecisions) {
+  // --trace=off enables bound-and-prune destination selection; the
+  // decisions (and thus the rendered schedules) must be bit-identical, the
+  // only permitted difference being the extra pruning-counter summary line.
+  const std::string workload = "--tasks=24 --procs=4 --seed=7";
+  const RunResult traced = run_cli("balance " + workload + " --trace=on");
+  const RunResult pruned = run_cli("balance " + workload + " --trace=off");
+  EXPECT_EQ(traced.exit_code, 0);
+  EXPECT_EQ(pruned.exit_code, 0);
+  std::string stripped;
+  std::size_t pos = 0;
+  bool saw_counters = false;
+  while (pos < pruned.output.size()) {
+    std::size_t end = pruned.output.find('\n', pos);
+    if (end == std::string::npos) end = pruned.output.size() - 1;
+    const std::string line = pruned.output.substr(pos, end - pos + 1);
+    if (line.rfind("destinations: ", 0) == 0) {
+      saw_counters = true;
+      EXPECT_NE(line.find("skipped by bound"), std::string::npos) << line;
+    } else {
+      stripped += line;
+    }
+    pos = end + 1;
+  }
+  EXPECT_EQ(traced.output, stripped);
+  EXPECT_TRUE(saw_counters)
+      << "pruned run reported no skipped destinations:\n" << pruned.output;
+}
+
 TEST(CliExample, ReproducesPaperFigures) {
   const RunResult r = run_cli("example");
   EXPECT_EQ(r.exit_code, 0);

@@ -1,0 +1,172 @@
+/// A/B property test for bound-and-prune destination selection
+/// (DESIGN.md F15): the pruned hot path and the exhaustive (trace-
+/// recording) path must pick bit-identical destinations and gains — the
+/// pruning is an admissible-bound accelerator, never a heuristic.
+///
+/// Each case runs LoadBalancer twice on the same input, once with
+/// record_trace=true (exhaustive, one candidate per processor) and once
+/// with the default pruned selection, then asserts the resulting schedules
+/// and decision stats are equal. The pruning counters are additionally
+/// checked against their structural invariant: every open destination of
+/// every block is either evaluated or skipped by the bound, never both.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lbmem/gen/suites.hpp"
+#include "lbmem/lb/block_builder.hpp"
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/validate/validator.hpp"
+
+namespace lbmem {
+namespace {
+
+std::vector<SuiteInstance> suite(int tasks, int procs, std::uint64_t seed,
+                                 Mem capacity = kUnlimitedMemory) {
+  SuiteSpec spec;
+  spec.params.tasks = tasks;
+  spec.params.period_levels = 3;
+  spec.params.edge_probability = 0.2;
+  spec.processors = procs;
+  spec.comm_cost = 2;
+  spec.memory_capacity = capacity;
+  spec.count = 3;
+  spec.base_seed = seed;
+  return make_suite(spec);
+}
+
+void expect_equal_schedules(const Schedule& a, const Schedule& b) {
+  for (const TaskInstance inst : a.all_instances()) {
+    ASSERT_EQ(a.proc(inst), b.proc(inst))
+        << "processor diverged for task " << inst.task << " k=" << inst.k;
+    ASSERT_EQ(a.start(inst), b.start(inst))
+        << "start diverged for task " << inst.task << " k=" << inst.k;
+  }
+}
+
+void expect_equivalent(const Schedule& input, BalanceOptions options) {
+  options.record_trace = true;
+  const BalanceResult exhaustive = LoadBalancer(options).balance(input);
+  options.record_trace = false;
+  const BalanceResult pruned = LoadBalancer(options).balance(input);
+
+  expect_equal_schedules(exhaustive.schedule, pruned.schedule);
+  EXPECT_EQ(exhaustive.stats.makespan_after, pruned.stats.makespan_after);
+  EXPECT_EQ(exhaustive.stats.gain_total, pruned.stats.gain_total);
+  EXPECT_EQ(exhaustive.stats.max_memory_after, pruned.stats.max_memory_after);
+  EXPECT_EQ(exhaustive.stats.moves_off_home, pruned.stats.moves_off_home);
+  EXPECT_EQ(exhaustive.stats.gains_applied, pruned.stats.gains_applied);
+  EXPECT_EQ(exhaustive.stats.forced_stays, pruned.stats.forced_stays);
+  EXPECT_EQ(exhaustive.stats.attempts_used, pruned.stats.attempts_used);
+  EXPECT_EQ(exhaustive.stats.fell_back, pruned.stats.fell_back);
+
+  // Structural counter invariant: per popped block every open destination
+  // is either evaluated or skipped (exhaustive mode never skips). Closed
+  // processors are excluded from both counters.
+  const int open =
+      input.architecture().processor_count() -
+      static_cast<int>(std::count(options.closed_procs.begin(),
+                                  options.closed_procs.end(), 1));
+  const auto per_block = static_cast<std::int64_t>(open);
+  EXPECT_EQ(exhaustive.stats.dest_evaluated,
+            per_block * exhaustive.stats.blocks_total);
+  EXPECT_EQ(exhaustive.stats.dest_skipped_by_bound, 0);
+  EXPECT_EQ(exhaustive.stats.dest_cut_by_incumbent, 0);
+  EXPECT_EQ(pruned.stats.dest_evaluated + pruned.stats.dest_skipped_by_bound,
+            per_block * pruned.stats.blocks_total);
+  EXPECT_LE(pruned.stats.dest_evaluated, exhaustive.stats.dest_evaluated);
+}
+
+TEST(PruneEquivalence, AllPoliciesOnRandomSuites) {
+  const CostPolicy policies[] = {
+      CostPolicy::Lexicographic, CostPolicy::PaperFormula,
+      CostPolicy::PaperLiteral, CostPolicy::GainOnly, CostPolicy::MemoryOnly};
+  for (const auto& instance : suite(40, 4, 1000)) {
+    for (const CostPolicy policy : policies) {
+      BalanceOptions options;
+      options.policy = policy;
+      expect_equivalent(instance.schedule, options);
+    }
+  }
+}
+
+TEST(PruneEquivalence, WiderArchitectures) {
+  for (const auto& instance : suite(80, 8, 2000)) {
+    BalanceOptions options;
+    expect_equivalent(instance.schedule, options);
+  }
+}
+
+TEST(PruneEquivalence, MemoryCapacityScreen) {
+  // A finite capacity makes the O(1) capacity screen part of the bound;
+  // the pruned and exhaustive paths must still agree move for move.
+  for (const auto& instance : suite(40, 4, 3000, /*capacity=*/400)) {
+    BalanceOptions options;
+    options.enforce_memory_capacity = true;
+    expect_equivalent(instance.schedule, options);
+  }
+}
+
+TEST(PruneEquivalence, MigrationPenaltyGate) {
+  // The gate consumes the home candidate's exact score; the pruned path
+  // must evaluate home unconditionally so the gate sees identical inputs.
+  for (const auto& instance : suite(40, 4, 4000)) {
+    BalanceOptions options;
+    options.migration_penalty = 3;
+    expect_equivalent(instance.schedule, options);
+  }
+}
+
+TEST(PruneEquivalence, MaxGainClamp) {
+  for (const auto& instance : suite(40, 4, 5000)) {
+    BalanceOptions options;
+    options.max_gain = 1;
+    expect_equivalent(instance.schedule, options);
+    options.max_gain = 0;  // pure memory spreading
+    expect_equivalent(instance.schedule, options);
+  }
+}
+
+TEST(PruneEquivalence, ScopedRebalance) {
+  // The warm-start rebalance path runs the same selection machinery over a
+  // partial decomposition; pruned and exhaustive must agree there too.
+  for (const auto& instance : suite(40, 4, 6000)) {
+    const BlockDecomposition dec = build_blocks(instance.schedule);
+    RebalanceScope scope;
+    scope.blocks = &dec;
+
+    BalanceOptions options;
+    options.record_trace = true;
+    const BalanceResult exhaustive =
+        LoadBalancer(options).rebalance(instance.schedule, scope);
+    options.record_trace = false;
+    const BalanceResult pruned =
+        LoadBalancer(options).rebalance(instance.schedule, scope);
+    expect_equal_schedules(exhaustive.schedule, pruned.schedule);
+    EXPECT_EQ(exhaustive.stats.moves_off_home, pruned.stats.moves_off_home);
+    EXPECT_EQ(exhaustive.stats.gain_total, pruned.stats.gain_total);
+  }
+}
+
+TEST(PruneEquivalence, FastValidatorAgreesWithReferee) {
+  // is_valid() gates the balancer's retry loop; it must never disagree
+  // with the full validate() referee — on valid and invalid schedules.
+  for (const auto& instance : suite(40, 4, 7000)) {
+    EXPECT_EQ(validate(instance.schedule).ok(), is_valid(instance.schedule));
+    const BalanceResult result = LoadBalancer().balance(instance.schedule);
+    EXPECT_EQ(validate(result.schedule).ok(), is_valid(result.schedule));
+    EXPECT_TRUE(is_valid(result.schedule));
+
+    // Force an exclusivity violation: two first instances at the same
+    // start on the same processor overlap for any positive WCET.
+    Schedule bad = instance.schedule;
+    bad.set_first_start(0, bad.first_start(1));
+    bad.assign(TaskInstance{0, 0}, bad.proc(TaskInstance{1, 0}));
+    EXPECT_FALSE(is_valid(bad));
+    EXPECT_EQ(validate(bad).ok(), is_valid(bad));
+  }
+}
+
+}  // namespace
+}  // namespace lbmem

@@ -4,6 +4,15 @@
 # BENCH_complexity.json / BENCH_online.json at the repo root (override the
 # destinations with $1 / $2). Check the results in so the perf history
 # stays non-empty; see README.md, "Performance" and "Online rebalancing".
+#
+# The recorded context must describe a release-built harness: benchmarks
+# measure header-inline hot paths compiled into the bench binary, and a
+# Debug recording is a meaningless data point in the perf history. The
+# benches stamp "library_build_type" from their own build (bench_json.hpp);
+# this script refuses to overwrite the checked-in JSONs when a recording
+# still says "debug" — e.g. when someone points it at a Debug build tree.
+# Optionally set LBMEM_BENCHMARK_SOURCE_DIR to a google-benchmark checkout
+# to also build the benchmark library itself in Release (CI does this).
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -11,15 +20,33 @@ complexity_out="${1:-${repo}/BENCH_complexity.json}"
 online_out="${2:-${repo}/BENCH_online.json}"
 
 cd "${repo}"
-cmake --preset bench
+config_args=()
+if [[ -n "${LBMEM_BENCHMARK_SOURCE_DIR:-}" ]]; then
+  config_args+=("-DLBMEM_BENCHMARK_SOURCE_DIR=${LBMEM_BENCHMARK_SOURCE_DIR}")
+fi
+cmake --preset bench "${config_args[@]}"
 cmake --build --preset bench -j "$(nproc)" --target bench_complexity bench_online
+
+# Fail loudly if a recording claims a debug-built harness; never leave a
+# debug recording at the destination path.
+check_release() {
+  local json="$1"
+  if ! grep -q '"library_build_type": "release"' "${json}"; then
+    echo "error: ${json} does not report a release-built benchmark harness" >&2
+    grep '"library_build_type"' "${json}" >&2 || true
+    rm -f "${json}"
+    exit 1
+  fi
+}
 
 "${repo}/build-bench/bench/bench_complexity" \
   --benchmark_out="${complexity_out}" \
   --benchmark_out_format=json
+check_release "${complexity_out}"
 echo "wrote ${complexity_out}"
 
 "${repo}/build-bench/bench/bench_online" \
   --benchmark_out="${online_out}" \
   --benchmark_out_format=json
+check_release "${online_out}"
 echo "wrote ${online_out}"

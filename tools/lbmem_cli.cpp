@@ -13,6 +13,7 @@
 ///   --tasks=N --procs=M --seed=S --comm=C --period-levels=L
 ///   --edge-prob=P --capacity=MEM --policy=lex|formula|literal|gain|memory
 ///   --placement=cluster|minstart --hyperperiods=K --out=PREFIX
+///   --trace=on|off (off = pruned hot path; summary shows prune counters)
 ///
 /// Replay flags (replay only):
 ///   --events=N --event-seed=S --migration-penalty=P --mode=incremental|full
@@ -64,6 +65,11 @@ struct CliOptions {
   std::uint64_t event_seed = 1;
   Time migration_penalty = 0;
   bool incremental = true;
+  /// --trace=on (default) records the full per-block decision trace, which
+  /// evaluates every destination exhaustively; --trace=off runs the pruned
+  /// production path (bound-and-prune selection) — decisions are identical,
+  /// and the summary then reports the pruning counters.
+  bool trace = true;
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -75,6 +81,8 @@ struct CliOptions {
       "       --edge-prob=P --capacity=MEM\n"
       "       --policy=lex|formula|literal|gain|memory\n"
       "       --placement=cluster|minstart --hyperperiods=K --out=PREFIX\n"
+      "       --trace=on|off (off runs the pruned hot path; the summary\n"
+      "       then reports destinations evaluated/skipped by bound)\n"
       "replay flags: --events=N --event-seed=S --migration-penalty=P\n"
       "       --mode=incremental|full\n";
   std::exit(1);
@@ -117,6 +125,10 @@ CliOptions parse_flags(int argc, char** argv, int first) {
         if (value == "incremental") options.incremental = true;
         else if (value == "full") options.incremental = false;
         else usage("unknown mode: " + value);
+      } else if (key == "trace") {
+        if (value == "on") options.trace = true;
+        else if (value == "off") options.trace = false;
+        else usage("unknown trace mode: " + value);
       } else if (key == "out") {
         options.out_prefix = value;
       } else if (key == "policy") {
@@ -181,7 +193,7 @@ Prepared prepare(const CliOptions& options) {
   balance_options.policy = options.policy;
   balance_options.enforce_memory_capacity =
       options.capacity != kUnlimitedMemory;
-  balance_options.record_trace = true;
+  balance_options.record_trace = options.trace;
   BalanceResult result = LoadBalancer(balance_options).balance(before);
   return Prepared{std::move(graph), std::move(before), std::move(result)};
 }
