@@ -1,119 +1,47 @@
 /// \file bench_baselines.cpp
-/// \brief E9 — the paper's heuristic against the related-work baselines:
-/// no balancing, round-robin, memory-greedy task assignment (refs
-/// [10-12]'s memory balancing), a genetic algorithm (ref [9]), and the
-/// paper's block heuristic. Reports makespan, max per-processor memory and
-/// wall time per system.
+/// \brief E9 — the paper's heuristic against the related-work baselines,
+/// driven entirely through the solver facade: a custom registry (the
+/// built-ins plus a bench-sized GA) swept over a generated suite by
+/// ScenarioRunner, rendered by the same summarize_scenario that backs
+/// `lbmem_cli compare` — one aggregation path, no drift.
 
 #include <iostream>
-#include <optional>
+#include <memory>
 
-#include "lbmem/baseline/ga_balancer.hpp"
-#include "lbmem/baseline/simple_balancers.hpp"
-#include "lbmem/gen/suites.hpp"
-#include "lbmem/lb/load_balancer.hpp"
-#include "lbmem/util/stopwatch.hpp"
-#include "lbmem/util/table.hpp"
-
-namespace {
-
-using namespace lbmem;
-
-struct Row {
-  double makespan = 0;
-  double max_mem = 0;
-  double seconds = 0;
-  int solved = 0;
-};
-
-}  // namespace
+#include "lbmem/api/scenario.hpp"
+#include "lbmem/api/solvers.hpp"
+#include "lbmem/report/solve.hpp"
 
 int main() {
+  using namespace lbmem;
+
   std::cout << "=== E9: heuristic vs baselines (M=4, C=2) ===\n\n";
 
-  SuiteSpec spec;
-  spec.params.tasks = 40;
-  spec.params.edge_probability = 0.3;
-  spec.processors = 4;
-  spec.comm_cost = 2;
-  spec.count = 15;
-  spec.base_seed = 60'000;
-  const auto suite = make_suite(spec);
-  std::cout << "suite: " << suite.size() << " systems of "
-            << spec.params.tasks << " tasks\n\n";
-
-  Row none, block_lb, rrobin, memgreedy, ga;
-  const LoadBalancer balancer;
+  // The comparison set: registry solvers plus a bench-sized GA (the
+  // registry default is a quality setting; this keeps E9 quick).
+  SolverRegistry registry;
+  const SolverRegistry& builtin = SolverRegistry::builtin();
+  for (const char* name :
+       {"initial", "heuristic-lex", "round-robin", "memory-greedy"}) {
+    registry.add(builtin.require(name));
+  }
   GaOptions ga_options;
   ga_options.population = 24;
   ga_options.generations = 25;
+  registry.add(std::make_shared<GaSolver>("ga (24x25)", ga_options));
 
-  for (const SuiteInstance& instance : suite) {
-    const TaskGraph& graph = *instance.graph;
-    const Architecture arch(spec.processors);
-    const CommModel comm = CommModel::flat(spec.comm_cost);
+  ScenarioSpec spec;
+  spec.suite.params.tasks = 40;
+  spec.suite.params.edge_probability = 0.3;
+  spec.suite.processors = 4;
+  spec.suite.comm_cost = 2;
+  spec.suite.count = 15;
+  spec.suite.base_seed = 60'000;
 
-    // No balancing: the initial schedule itself.
-    none.makespan += static_cast<double>(instance.schedule.makespan());
-    none.max_mem += static_cast<double>(instance.schedule.max_memory());
-    ++none.solved;
-
-    {  // The paper's block heuristic.
-      Stopwatch watch;
-      const BalanceResult r = balancer.balance(instance.schedule);
-      block_lb.seconds += watch.seconds();
-      block_lb.makespan += static_cast<double>(r.schedule.makespan());
-      block_lb.max_mem += static_cast<double>(r.schedule.max_memory());
-      ++block_lb.solved;
-    }
-    {  // Round-robin whole-task assignment.
-      Stopwatch watch;
-      const auto s = round_robin_schedule(graph, arch, comm);
-      rrobin.seconds += watch.seconds();
-      if (s) {
-        rrobin.makespan += static_cast<double>(s->makespan());
-        rrobin.max_mem += static_cast<double>(s->max_memory());
-        ++rrobin.solved;
-      }
-    }
-    {  // Memory-greedy whole-task assignment (memory balancing only).
-      Stopwatch watch;
-      const auto s = memory_greedy_schedule(graph, arch, comm);
-      memgreedy.seconds += watch.seconds();
-      if (s) {
-        memgreedy.makespan += static_cast<double>(s->makespan());
-        memgreedy.max_mem += static_cast<double>(s->max_memory());
-        ++memgreedy.solved;
-      }
-    }
-    {  // Genetic algorithm (Greene-style).
-      Stopwatch watch;
-      const auto r = ga_balance(graph, arch, comm, ga_options);
-      ga.seconds += watch.seconds();
-      if (r) {
-        ga.makespan += static_cast<double>(r->schedule.makespan());
-        ga.max_mem += static_cast<double>(r->schedule.max_memory());
-        ++ga.solved;
-      }
-    }
-  }
-
-  Table table({"method", "solved", "mean makespan", "mean max-mem",
-               "mean wall (ms)"});
-  auto emit = [&table](const std::string& name, const Row& row) {
-    const double n = row.solved ? row.solved : 1;
-    table.add_row({name, std::to_string(row.solved),
-                   format_double(row.makespan / n, 1),
-                   format_double(row.max_mem / n, 1),
-                   format_double(1e3 * row.seconds / n, 3)});
-  };
-  emit("initial schedule (no balancing)", none);
-  emit("paper heuristic (blocks)", block_lb);
-  emit("round-robin tasks", rrobin);
-  emit("memory-greedy tasks (refs 10-12)", memgreedy);
-  emit("genetic algorithm (ref 9)", ga);
-
-  std::cout << table.to_string()
+  const ScenarioReport report = ScenarioRunner(registry).run(spec);
+  std::cout << "suite: " << report.instances << " systems of "
+            << spec.suite.params.tasks << " tasks\n\n"
+            << summarize_scenario(report)
             << "\nreading: the block heuristic matches or improves the "
                "initial makespan by construction and balances memory at "
                "orders-of-magnitude lower cost than the GA; whole-task "

@@ -33,17 +33,11 @@
 #include <string>
 #include <string_view>
 
+#include "lbmem/util/json.hpp"
+
 namespace lbmem_bench {
 
-inline std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
+using lbmem::json_escape;
 
 inline std::string local_date() {
   const std::time_t now = std::time(nullptr);

@@ -1,0 +1,104 @@
+/// \file bench_solvers.cpp
+/// \brief Head-to-head solver latency through the facade: every registered
+/// (or bench-configured) Solver on the same N=1000 / M=8 workload, timed
+/// as the user would call it — Problem in, validated Outcome out. The
+/// per-iteration cost therefore includes the independent validation every
+/// adapter runs (identical across solvers, so rankings are unaffected).
+///
+/// Search-based solvers run with bench-sized budgets (the registry
+/// defaults target `compare` responsiveness, not benchmarking): the GA is
+/// registered here as "ga-small" so the recorded name states the budget.
+/// Recorded into BENCH_solvers.json by tools/bench_record.sh.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_json.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "lbmem/api/problem.hpp"
+#include "lbmem/api/registry.hpp"
+#include "lbmem/api/solvers.hpp"
+#include "lbmem/gen/suites.hpp"
+
+namespace {
+
+using namespace lbmem;
+
+constexpr int kTasks = 1000;
+constexpr int kProcs = 8;
+
+const Problem& bench_problem() {
+  static const Problem problem = [] {
+    SuiteSpec spec;
+    spec.params.tasks = kTasks;
+    spec.params.period_levels = 3;
+    spec.params.edge_probability = 0.15;
+    spec.params.max_in_degree = 2;
+    spec.processors = kProcs;
+    spec.comm_cost = 2;
+    spec.count = 1;
+    spec.base_seed = 99'000 + static_cast<std::uint64_t>(kTasks) * 31 +
+                     static_cast<std::uint64_t>(kProcs);
+    spec.max_seed_attempts = 400;
+    auto suite = make_suite(spec);
+    if (suite.empty()) {
+      throw std::runtime_error("no schedulable N=1000/M=8 instance");
+    }
+    return Problem(suite.front().graph, std::move(suite.front().schedule));
+  }();
+  return problem;
+}
+
+void run_solver(benchmark::State& state,
+                const std::shared_ptr<const Solver>& solver) {
+  const Problem& problem = bench_problem();
+  Time makespan = 0;
+  Mem max_memory = 0;
+  int solved = 0;
+  for (auto _ : state) {
+    const Outcome outcome = solver->solve(problem);
+    benchmark::DoNotOptimize(outcome.stats.makespan_after);
+    if (outcome.feasible()) {
+      ++solved;
+      makespan = outcome.stats.makespan_after;
+      max_memory = outcome.stats.max_memory_after;
+    }
+  }
+  state.counters["makespan"] = static_cast<double>(makespan);
+  state.counters["max_memory"] = static_cast<double>(max_memory);
+  state.counters["solved"] = solved > 0 ? 1 : 0;
+}
+
+void register_benchmarks() {
+  const SolverRegistry& builtin = SolverRegistry::builtin();
+  std::vector<std::shared_ptr<const Solver>> solvers = {
+      builtin.require("heuristic-lex"),
+      builtin.require("heuristic-memory"),
+      builtin.require("round-robin"),
+      builtin.require("memory-greedy"),
+      builtin.require("bnb-partition"),
+  };
+  // Bench-sized GA: the registry default (population 40 x 60 generations)
+  // is a quality setting; at N=1000 each evaluation builds a forced
+  // 1000-task schedule, so the bench states its reduced budget in the name.
+  GaOptions ga;
+  ga.population = 8;
+  ga.generations = 10;
+  solvers.push_back(std::make_shared<GaSolver>("ga-small", ga));
+
+  for (const auto& solver : solvers) {
+    benchmark::RegisterBenchmark(
+        ("BM_Solver/" + solver->name()).c_str(),
+        [solver](benchmark::State& state) { run_solver(state, solver); })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  return lbmem_bench::run_benchmarks(argc, argv);
+}

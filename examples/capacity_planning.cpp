@@ -4,19 +4,22 @@
 /// hosts a workload — the embedded-systems sizing question the paper's
 /// memory-usage objective ultimately serves.
 ///
-/// For each candidate (M, capacity) the workload is scheduled, balanced
-/// with capacity enforcement, and accepted iff the result validates and
-/// every processor fits its budget. Prints the feasibility frontier.
+/// Each candidate (M, capacity) becomes a Problem with a finite-capacity
+/// architecture; the memory-spreading heuristic runs through the solver
+/// facade, which enforces the capacity during the search and returns an
+/// infeasible Outcome (rather than an over-budget schedule) when the
+/// workload does not fit. Prints the feasibility frontier.
 
 #include <iostream>
+#include <memory>
 #include <optional>
 
+#include "lbmem/api/problem.hpp"
+#include "lbmem/api/solvers.hpp"
 #include "lbmem/gen/random_graph.hpp"
-#include "lbmem/util/check.hpp"
-#include "lbmem/lb/load_balancer.hpp"
 #include "lbmem/sched/scheduler.hpp"
+#include "lbmem/util/check.hpp"
 #include "lbmem/util/table.hpp"
-#include "lbmem/validate/validator.hpp"
 
 namespace {
 
@@ -24,20 +27,22 @@ using namespace lbmem;
 
 /// Try to host the workload on (processors, capacity); returns the
 /// balanced max memory when it fits.
-std::optional<Mem> fits(const TaskGraph& g, int processors, Mem capacity) {
-  const Architecture arch(processors, capacity);
-  const CommModel comm = CommModel::flat(2);
+std::optional<Mem> fits(const std::shared_ptr<const TaskGraph>& g,
+                        int processors, Mem capacity) {
   try {
-    const Schedule before = build_initial_schedule(g, arch, comm, {});
+    const Problem problem(
+        g, build_initial_schedule(*g, Architecture(processors, capacity),
+                                  CommModel::flat(2), {}));
     BalanceOptions options;
     options.policy = CostPolicy::MemoryOnly;
-    options.enforce_memory_capacity = true;
-    const BalanceResult r = LoadBalancer(options).balance(before);
-    if (!validate(r.schedule).ok()) return std::nullopt;
-    if (r.schedule.max_memory() > capacity) return std::nullopt;
-    return r.schedule.max_memory();
+    const HeuristicSolver solver(options);
+    const Outcome r = solver.solve(problem);
+    // An engaged outcome passed the validator, capacity rule included —
+    // no separate over-budget check is needed.
+    if (!r.feasible()) return std::nullopt;
+    return r.stats.max_memory_after;
   } catch (const ScheduleError&) {
-    return std::nullopt;
+    return std::nullopt;  // not even an initial schedule exists
   }
 }
 
@@ -51,14 +56,15 @@ int main() {
   params.mem_min = 2;
   params.mem_max = 12;
   params.intended_processors = 4;
-  const TaskGraph g = random_task_graph(params, /*seed=*/2026);
+  const auto g = std::make_shared<const TaskGraph>(
+      random_task_graph(params, /*seed=*/2026));
 
   Mem total_memory = 0;
-  for (TaskId t = 0; t < static_cast<TaskId>(g.task_count()); ++t) {
-    total_memory += g.task(t).memory * g.instance_count(t);
+  for (TaskId t = 0; t < static_cast<TaskId>(g->task_count()); ++t) {
+    total_memory += g->task(t).memory * g->instance_count(t);
   }
-  std::cout << "workload: " << g.task_count() << " tasks, utilization "
-            << g.utilization() << ", total resident memory " << total_memory
+  std::cout << "workload: " << g->task_count() << " tasks, utilization "
+            << g->utilization() << ", total resident memory " << total_memory
             << "\n\n";
 
   Table table({"M \\ capacity", "64", "96", "128", "192", "256"});

@@ -1,14 +1,19 @@
 /// \file robotics.cpp
 /// \brief An autonomous-robot sensor-fusion/actuation graph (the paper's
-/// "autonomous robotics" domain) with a comparison of all cost policies.
+/// "autonomous robotics" domain) raced across the solver facade.
 ///
 /// Pipeline: lidar + camera + odometry feed a fusion stage; fusion feeds a
 /// local planner and a mapper; the planner drives two actuator tasks.
-/// Demonstrates selecting cost policies and reading the decision trace
-/// programmatically.
+/// Demonstrates the lbmem/api/ surface: wrap a hand-built system in a
+/// Problem, iterate registered solvers by name, and — for the heuristic —
+/// drop down to the LoadBalancer API when the per-block decision trace is
+/// wanted (the facade reports outcomes, not traces).
 
 #include <iostream>
+#include <memory>
 
+#include "lbmem/api/problem.hpp"
+#include "lbmem/api/registry.hpp"
 #include "lbmem/lb/block_builder.hpp"
 #include "lbmem/lb/load_balancer.hpp"
 #include "lbmem/report/summary.hpp"
@@ -19,65 +24,73 @@
 int main() {
   using namespace lbmem;
 
-  TaskGraph g;
-  const TaskId lidar = g.add_task("lidar", 8, 2, 24);
-  const TaskId camera = g.add_task("camera", 16, 4, 32);
-  const TaskId odom = g.add_task("odom", 4, 1, 2);
-  const TaskId fusion = g.add_task("fusion", 16, 3, 16);
-  const TaskId planner = g.add_task("planner", 16, 3, 8);
-  const TaskId mapper = g.add_task("mapper", 32, 6, 40);
-  const TaskId left = g.add_task("wheel_left", 16, 1, 2);
-  const TaskId right = g.add_task("wheel_right", 16, 1, 2);
+  auto g = std::make_shared<TaskGraph>();
+  const TaskId lidar = g->add_task("lidar", 8, 2, 24);
+  const TaskId camera = g->add_task("camera", 16, 4, 32);
+  const TaskId odom = g->add_task("odom", 4, 1, 2);
+  const TaskId fusion = g->add_task("fusion", 16, 3, 16);
+  const TaskId planner = g->add_task("planner", 16, 3, 8);
+  const TaskId mapper = g->add_task("mapper", 32, 6, 40);
+  const TaskId left = g->add_task("wheel_left", 16, 1, 2);
+  const TaskId right = g->add_task("wheel_right", 16, 1, 2);
 
-  g.add_dependence(lidar, fusion, 8);
-  g.add_dependence(camera, fusion, 12);
-  g.add_dependence(odom, fusion, 1);
-  g.add_dependence(fusion, planner, 4);
-  g.add_dependence(fusion, mapper, 6);
-  g.add_dependence(planner, left, 1);
-  g.add_dependence(planner, right, 1);
-  g.freeze();
+  g->add_dependence(lidar, fusion, 8);
+  g->add_dependence(camera, fusion, 12);
+  g->add_dependence(odom, fusion, 1);
+  g->add_dependence(fusion, planner, 4);
+  g->add_dependence(fusion, mapper, 6);
+  g->add_dependence(planner, left, 1);
+  g->add_dependence(planner, right, 1);
+  g->freeze();
 
   const Architecture arch(4);
   const CommModel comm = CommModel::flat(2);
-  const Schedule before = build_initial_schedule(g, arch, comm, {});
+  Schedule before = build_initial_schedule(*g, arch, comm, {});
   validate_or_throw(before);
 
-  std::cout << "robot graph: " << g.task_count() << " tasks, hyper-period "
-            << g.hyperperiod() << ", initial makespan " << before.makespan()
+  std::cout << "robot graph: " << g->task_count() << " tasks, hyper-period "
+            << g->hyperperiod() << ", initial makespan " << before.makespan()
             << ", initial max memory " << before.max_memory() << "\n\n";
 
-  Table table({"policy", "makespan", "Gtotal", "max mem", "mem layout",
-               "off-home moves"});
-  for (const CostPolicy policy :
-       {CostPolicy::Lexicographic, CostPolicy::PaperFormula,
-        CostPolicy::GainOnly, CostPolicy::MemoryOnly}) {
-    BalanceOptions options;
-    options.policy = policy;
-    options.record_trace = true;
-    const BalanceResult r = LoadBalancer(options).balance(before);
-    validate_or_throw(r.schedule);
-    std::string layout = "[";
-    for (ProcId p = 0; p < arch.processor_count(); ++p) {
-      if (p) layout += ",";
-      layout += std::to_string(r.schedule.memory_on(p));
+  // One Problem, many solvers: the facade makes the policy comparison a
+  // loop over registry names.
+  const Problem problem(g, std::move(before));
+  const SolverRegistry& registry = SolverRegistry::builtin();
+
+  Table table({"solver", "makespan", "Gtotal", "max mem", "mem layout",
+               "feasible"});
+  for (const char* name :
+       {"heuristic-lex", "heuristic-formula", "heuristic-gain",
+        "heuristic-memory", "round-robin", "memory-greedy",
+        "bnb-partition"}) {
+    const Outcome r = registry.require(name)->solve(problem);
+    std::string layout = "-";
+    if (r.feasible()) {
+      layout = "[";
+      for (std::size_t p = 0; p < r.stats.memory_after.size(); ++p) {
+        if (p) layout += ",";
+        layout += std::to_string(r.stats.memory_after[p]);
+      }
+      layout += "]";
     }
-    layout += "]";
-    table.add_row({to_string(policy), std::to_string(r.schedule.makespan()),
+    table.add_row({name, std::to_string(r.stats.makespan_after),
                    std::to_string(r.stats.gain_total),
-                   std::to_string(r.schedule.max_memory()), layout,
-                   std::to_string(r.stats.moves_off_home)});
+                   std::to_string(r.stats.max_memory_after), layout,
+                   r.feasible() ? "yes" : "no"});
   }
   std::cout << table.to_string();
 
-  // Inspect the decision trace of the default policy for the fusion block.
+  // The decision trace is a LoadBalancer feature (the facade trades it
+  // for uniformity): drop one level down when the evidence is wanted.
   BalanceOptions options;
   options.record_trace = true;
-  const BalanceResult traced = LoadBalancer(options).balance(before);
-  const BlockDecomposition dec = build_blocks(before);
+  const BalanceResult traced =
+      LoadBalancer(options).balance(problem.initial_schedule());
+  const BlockDecomposition dec = build_blocks(problem.initial_schedule());
   std::cout << "\ndecision trace (default policy):\n";
   for (const StepRecord& step : traced.trace) {
-    std::cout << "  " << describe_step(before, step, dec) << "\n";
+    std::cout << "  " << describe_step(problem.initial_schedule(), step, dec)
+              << "\n";
   }
   return 0;
 }

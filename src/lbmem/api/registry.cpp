@@ -1,0 +1,69 @@
+#include "lbmem/api/registry.hpp"
+
+#include <utility>
+
+#include "lbmem/api/solvers.hpp"
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+
+void SolverRegistry::add(std::shared_ptr<const Solver> solver) {
+  LBMEM_REQUIRE(solver != nullptr, "cannot register a null solver");
+  if (find(solver->name()) != nullptr) {
+    throw Error("solver '" + solver->name() + "' is already registered");
+  }
+  solvers_.push_back(std::move(solver));
+}
+
+std::shared_ptr<const Solver> SolverRegistry::find(
+    std::string_view name) const {
+  for (const auto& solver : solvers_) {
+    if (solver->name() == name) return solver;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const Solver> SolverRegistry::require(
+    std::string_view name) const {
+  if (auto solver = find(name)) return solver;
+  std::string known;
+  for (const auto& solver : solvers_) {
+    if (!known.empty()) known += ", ";
+    known += solver->name();
+  }
+  throw Error("unknown solver '" + std::string(name) + "' (known: " + known +
+              ")");
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(solvers_.size());
+  for (const auto& solver : solvers_) out.push_back(solver->name());
+  return out;
+}
+
+SolverRegistry SolverRegistry::with_builtins() {
+  SolverRegistry registry;
+  registry.add(std::make_shared<InitialSolver>());
+  for (const CostPolicy policy :
+       {CostPolicy::Lexicographic, CostPolicy::PaperFormula,
+        CostPolicy::PaperLiteral, CostPolicy::GainOnly,
+        CostPolicy::MemoryOnly}) {
+    BalanceOptions options;
+    options.policy = policy;
+    registry.add(std::make_shared<HeuristicSolver>(options));
+  }
+  registry.add(std::make_shared<RoundRobinSolver>());
+  registry.add(std::make_shared<MemoryGreedySolver>());
+  registry.add(std::make_shared<GaSolver>());
+  registry.add(std::make_shared<BnbPartitionSolver>());
+  registry.add(std::make_shared<DpPartitionSolver>());
+  return registry;
+}
+
+const SolverRegistry& SolverRegistry::builtin() {
+  static const SolverRegistry kRegistry = with_builtins();
+  return kRegistry;
+}
+
+}  // namespace lbmem

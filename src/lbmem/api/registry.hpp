@@ -1,0 +1,58 @@
+#pragma once
+/// \file registry.hpp
+/// \brief Name-keyed solver registry (DESIGN.md F18): the single lookup
+/// table drivers iterate over, so "run every algorithm on this workload"
+/// is a loop instead of a hand-maintained call list.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lbmem/api/solver.hpp"
+
+namespace lbmem {
+
+/// An ordered, name-keyed set of solvers. Registration order is the
+/// iteration (and report) order. Value type: start from builtin() and
+/// add experiment-specific configurations freely.
+class SolverRegistry {
+ public:
+  SolverRegistry() = default;
+
+  /// Register \p solver under solver->name(). Throws Error on a duplicate
+  /// name (names are the CLI vocabulary; silently shadowing one would make
+  /// `--algo=` ambiguous).
+  void add(std::shared_ptr<const Solver> solver);
+
+  /// The solver registered under \p name, or nullptr.
+  std::shared_ptr<const Solver> find(std::string_view name) const;
+
+  /// find() or throw Error("unknown solver ...") listing the known names —
+  /// the CLI surfaces that message verbatim (exit 1).
+  std::shared_ptr<const Solver> require(std::string_view name) const;
+
+  /// Registered solvers, in registration order.
+  const std::vector<std::shared_ptr<const Solver>>& solvers() const {
+    return solvers_;
+  }
+
+  /// Registered names, in registration order.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const { return solvers_.size(); }
+
+  /// A registry populated with every built-in adapter: "initial", the five
+  /// "heuristic-<policy>" configurations, "round-robin", "memory-greedy",
+  /// "ga", "bnb-partition", "dp-partition".
+  static SolverRegistry with_builtins();
+
+  /// Shared immutable instance of with_builtins() (the common case for
+  /// drivers that only read).
+  static const SolverRegistry& builtin();
+
+ private:
+  std::vector<std::shared_ptr<const Solver>> solvers_;
+};
+
+}  // namespace lbmem

@@ -1,0 +1,72 @@
+#include "lbmem/api/scenario.hpp"
+
+#include <utility>
+
+namespace lbmem {
+
+ScenarioRunner::ScenarioRunner(const SolverRegistry& registry)
+    : registry_(&registry) {}
+
+ScenarioReport ScenarioRunner::run(const ScenarioSpec& spec) const {
+  // Resolve the subset up front: an unknown name is a caller error and
+  // must fail before minutes of workload generation, not after.
+  std::vector<std::shared_ptr<const Solver>> solvers;
+  if (spec.solvers.empty()) {
+    solvers = registry_->solvers();
+  } else {
+    solvers.reserve(spec.solvers.size());
+    for (const std::string& name : spec.solvers) {
+      solvers.push_back(registry_->require(name));
+    }
+  }
+
+  ScenarioReport report;
+  report.summary.resize(solvers.size());
+  for (std::size_t s = 0; s < solvers.size(); ++s) {
+    report.summary[s].solver = solvers[s]->name();
+  }
+
+  int skipped = 0;
+  const std::vector<SuiteInstance> suite = make_suite(spec.suite, &skipped);
+  report.instances = static_cast<int>(suite.size());
+  report.skipped_seeds = skipped;
+
+  for (const SuiteInstance& instance : suite) {
+    const Problem problem(instance.graph, instance.schedule);
+    for (std::size_t s = 0; s < solvers.size(); ++s) {
+      const Outcome outcome = solvers[s]->solve(problem);
+      ScenarioCell cell;
+      cell.solver = solvers[s]->name();
+      cell.seed = instance.seed;
+      cell.feasible = outcome.feasible();
+      cell.makespan = outcome.stats.makespan_after;
+      cell.max_memory = outcome.stats.max_memory_after;
+      cell.gain = outcome.stats.gain_total;
+      cell.wall_seconds = outcome.stats.wall_seconds;
+      cell.detail = outcome.detail;
+      report.cells.push_back(std::move(cell));
+
+      if (outcome.feasible()) {
+        ScenarioSolverSummary& row = report.summary[s];
+        ++row.solved;
+        row.mean_makespan += static_cast<double>(outcome.stats.makespan_after);
+        row.mean_max_memory +=
+            static_cast<double>(outcome.stats.max_memory_after);
+        row.mean_gain += static_cast<double>(outcome.stats.gain_total);
+        row.mean_wall_seconds += outcome.stats.wall_seconds;
+      }
+    }
+  }
+
+  for (ScenarioSolverSummary& row : report.summary) {
+    if (row.solved == 0) continue;
+    const double n = row.solved;
+    row.mean_makespan /= n;
+    row.mean_max_memory /= n;
+    row.mean_gain /= n;
+    row.mean_wall_seconds /= n;
+  }
+  return report;
+}
+
+}  // namespace lbmem

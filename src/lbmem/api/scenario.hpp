@@ -1,0 +1,76 @@
+#pragma once
+/// \file scenario.hpp
+/// \brief Head-to-head scenario runner (DESIGN.md F18): sweep a registry
+/// subset across a generator suite and collect a comparison report. The
+/// rendering (table / JSON) lives in report/solve.hpp; this module only
+/// produces the structured result, so other drivers (benches, notebooks)
+/// can consume the same data.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lbmem/api/registry.hpp"
+#include "lbmem/gen/suites.hpp"
+
+namespace lbmem {
+
+/// What to sweep: a generator suite and the solver subset to race on it.
+struct ScenarioSpec {
+  /// Workloads: spec.count instances from seeds base_seed, base_seed+1, …
+  /// (unschedulable seeds are skipped and counted).
+  SuiteSpec suite;
+  /// Registry names to run, in this order; empty = every registered
+  /// solver in registration order.
+  std::vector<std::string> solvers;
+};
+
+/// One solver's outcome on one suite instance.
+struct ScenarioCell {
+  std::string solver;
+  std::uint64_t seed = 0;
+  bool feasible = false;
+  Time makespan = 0;
+  Mem max_memory = 0;
+  Time gain = 0;  ///< initial-schedule makespan minus the solver's
+  double wall_seconds = 0.0;
+  std::string detail;  ///< configuration echo or the infeasibility reason
+};
+
+/// Per-solver aggregates over the solved instances.
+struct ScenarioSolverSummary {
+  std::string solver;
+  int solved = 0;  ///< instances with a feasible outcome
+  double mean_makespan = 0.0;
+  double mean_max_memory = 0.0;
+  double mean_gain = 0.0;
+  double mean_wall_seconds = 0.0;
+};
+
+/// The full sweep result.
+struct ScenarioReport {
+  int instances = 0;      ///< suite instances actually generated
+  int skipped_seeds = 0;  ///< unschedulable seeds the generator skipped
+  /// instance-major: all solvers on instance 0, then instance 1, …
+  std::vector<ScenarioCell> cells;
+  /// solver order of the spec (summary row even when nothing solved).
+  std::vector<ScenarioSolverSummary> summary;
+};
+
+/// Runs registry subsets over generator suites.
+class ScenarioRunner {
+ public:
+  /// \p registry must outlive the runner.
+  explicit ScenarioRunner(const SolverRegistry& registry =
+                              SolverRegistry::builtin());
+
+  /// Run the sweep. Throws Error on an unknown solver name (before any
+  /// workload is generated); ScheduleError never escapes — per-instance
+  /// infeasibility is data, not failure.
+  ScenarioReport run(const ScenarioSpec& spec) const;
+
+ private:
+  const SolverRegistry* registry_;
+};
+
+}  // namespace lbmem

@@ -1,0 +1,60 @@
+#include "lbmem/api/solver.hpp"
+
+#include <utility>
+
+#include "lbmem/validate/validator.hpp"
+
+namespace lbmem::detail {
+
+void fill_before(SolveStats& stats, const Schedule& initial) {
+  stats.makespan_before = initial.makespan();
+  stats.max_memory_before = initial.max_memory();
+  const int procs = initial.architecture().processor_count();
+  stats.memory_before.resize(static_cast<std::size_t>(procs));
+  for (ProcId p = 0; p < procs; ++p) {
+    stats.memory_before[static_cast<std::size_t>(p)] = initial.memory_on(p);
+  }
+}
+
+void fill_after(SolveStats& stats, const Schedule& result) {
+  stats.makespan_after = result.makespan();
+  stats.gain_total = stats.makespan_before - stats.makespan_after;
+  stats.max_memory_after = result.max_memory();
+  const int procs = result.architecture().processor_count();
+  stats.memory_after.resize(static_cast<std::size_t>(procs));
+  for (ProcId p = 0; p < procs; ++p) {
+    stats.memory_after[static_cast<std::size_t>(p)] = result.memory_on(p);
+  }
+}
+
+Outcome finish_outcome(const Problem& problem, SolveStats stats,
+                       Schedule schedule, std::string detail) {
+  const ValidationReport report = validate(schedule);
+  if (!report.ok()) {
+    return infeasible_outcome(problem, std::move(stats),
+                              "invalid schedule:\n" + report.to_string());
+  }
+  fill_after(stats, schedule);
+  Outcome outcome;
+  outcome.schedule = std::move(schedule);
+  outcome.stats = std::move(stats);
+  outcome.detail = std::move(detail);
+  outcome.graph = problem.shared_graph();
+  return outcome;
+}
+
+Outcome infeasible_outcome(const Problem& problem, SolveStats stats,
+                           std::string detail) {
+  // Mirror "before" so reports never show uninitialized after-figures.
+  stats.makespan_after = stats.makespan_before;
+  stats.gain_total = 0;
+  stats.max_memory_after = stats.max_memory_before;
+  stats.memory_after = stats.memory_before;
+  Outcome outcome;
+  outcome.stats = std::move(stats);
+  outcome.detail = std::move(detail);
+  outcome.graph = problem.shared_graph();
+  return outcome;
+}
+
+}  // namespace lbmem::detail

@@ -1,0 +1,128 @@
+#pragma once
+/// \file solvers.hpp
+/// \brief The built-in Solver adapters (DESIGN.md F18): the paper's block
+/// heuristic (one adapter per CostPolicy configuration), the GA and the
+/// whole-task greedy baselines, the exact min-max partitioners lifted
+/// through the task memory-weight abstraction, and the no-op "initial"
+/// anchor. SolverRegistry::builtin() registers one instance of each.
+
+#include <cstdint>
+
+#include "lbmem/api/solver.hpp"
+#include "lbmem/baseline/ga_balancer.hpp"
+#include "lbmem/lb/load_balancer.hpp"
+
+namespace lbmem {
+
+/// "initial" — returns the Problem's initial schedule untouched: the
+/// no-balancing anchor every comparison table needs.
+class InitialSolver : public Solver {
+ public:
+  const std::string& name() const override;
+  SolverCaps capabilities() const override;
+  Outcome solve(const Problem& problem) const override;
+};
+
+/// "heuristic-<policy>" — the paper's load-balancing heuristic behind the
+/// facade. Behavior-preserving over LoadBalancer: the adapter runs
+/// LoadBalancer::balance on the initial schedule with the configured
+/// options (capacity enforcement is additionally switched on whenever the
+/// Problem's architecture declares a finite capacity) and translates
+/// BalanceStats 1:1 into the SolveStats balance family.
+class HeuristicSolver : public Solver {
+ public:
+  /// Name derived from the policy: heuristic_solver_name(options.policy).
+  explicit HeuristicSolver(BalanceOptions options = {});
+  /// Custom registry key for ablation configs (e.g. a migration-penalty
+  /// or max-gain variant of the same policy).
+  HeuristicSolver(std::string name, BalanceOptions options);
+
+  const std::string& name() const override;
+  SolverCaps capabilities() const override;
+  Outcome solve(const Problem& problem) const override;
+
+  const BalanceOptions& options() const { return options_; }
+
+ private:
+  std::string name_;
+  BalanceOptions options_;
+};
+
+/// The canonical registry key of the heuristic under \p policy
+/// ("heuristic-lex", "heuristic-formula", "heuristic-literal",
+/// "heuristic-gain", "heuristic-memory" — the CLI's --policy vocabulary).
+std::string heuristic_solver_name(CostPolicy policy);
+
+/// "ga" — the genetic-algorithm baseline (whole-task assignments).
+class GaSolver : public Solver {
+ public:
+  explicit GaSolver(GaOptions options = {});
+  GaSolver(std::string name, GaOptions options);
+
+  const std::string& name() const override;
+  SolverCaps capabilities() const override;
+  Outcome solve(const Problem& problem) const override;
+
+  const GaOptions& options() const { return options_; }
+
+ private:
+  std::string name_;
+  GaOptions options_;
+};
+
+/// "round-robin" — task i (topological order) on processor i mod M.
+class RoundRobinSolver : public Solver {
+ public:
+  const std::string& name() const override;
+  SolverCaps capabilities() const override;
+  Outcome solve(const Problem& problem) const override;
+};
+
+/// "memory-greedy" — tasks by decreasing memory, least-loaded processor
+/// first (the paper's refs [10-12] memory balancing).
+class MemoryGreedySolver : public Solver {
+ public:
+  const std::string& name() const override;
+  SolverCaps capabilities() const override;
+  Outcome solve(const Problem& problem) const override;
+};
+
+/// "bnb-partition" — exact (budget-bounded) min-max partition of the
+/// whole-task memory weights (memory × instance count) by branch and
+/// bound; the assignment is then scheduled with the earliest-start forced
+/// scheduler. Reports the partition-only stats family (DESIGN.md F18).
+class BnbPartitionSolver : public Solver {
+ public:
+  /// \p node_budget bounds the search (see bnb_partition); the registry
+  /// default keeps `compare --algo=all` responsive on hundreds of tasks.
+  explicit BnbPartitionSolver(std::uint64_t node_budget = 5'000'000);
+
+  const std::string& name() const override;
+  SolverCaps capabilities() const override;
+  Outcome solve(const Problem& problem) const override;
+
+ private:
+  std::uint64_t node_budget_;
+};
+
+/// "dp-partition" — the exact two-machine subset-sum DP cross-check;
+/// infeasible (with a clean detail) for M != 2 or oversized totals.
+class DpPartitionSolver : public Solver {
+ public:
+  const std::string& name() const override;
+  SolverCaps capabilities() const override;
+  Outcome solve(const Problem& problem) const override;
+};
+
+/// SolveStats view of a BalanceStats: common block copied 1:1, the
+/// heuristic family filled, wall time carried over. Shared by the
+/// HeuristicSolver adapter and summarize(BalanceStats), so the facade's
+/// stats can never drift from the balancer's own.
+SolveStats to_solve_stats(const BalanceStats& stats);
+
+/// The whole-task memory weights the partition baselines optimize:
+/// weight(t) = memory(t) × instance_count(t) — the resident memory task t
+/// costs whichever single processor hosts all of its instances.
+std::vector<Mem> task_memory_weights(const TaskGraph& graph);
+
+}  // namespace lbmem

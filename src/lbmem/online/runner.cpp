@@ -41,6 +41,7 @@ OnlineReport OnlineRunner::replay(Rebalancer& system,
       report.total_repaired += outcome.repaired_tasks;
       report.total_balance_moves += outcome.balance_moves;
       report.total_balance_gain += outcome.balance_gain;
+      report.total_resolver_discards += outcome.resolver_discarded ? 1 : 0;
     } else {
       ++report.rejected;
     }

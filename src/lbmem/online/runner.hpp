@@ -34,6 +34,9 @@ struct OnlineReport {
   int total_migrations = 0;
   int total_repaired = 0;
   int total_balance_moves = 0;
+  /// Full-resolve outcomes discarded for re-populating a failed processor
+  /// (see EventOutcome::resolver_discarded; 0 outside resolver mode).
+  int total_resolver_discards = 0;
   Time total_balance_gain = 0;
   /// Worst per-processor memory seen anywhere along the trajectory.
   Mem peak_max_memory = 0;

@@ -1,33 +1,13 @@
 #include "lbmem/report/online.hpp"
 
-#include <cstdio>
 #include <sstream>
 
+#include "lbmem/util/json.hpp"
 #include "lbmem/util/table.hpp"
 
 namespace lbmem {
 
 namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char ch : s) {
-    if (ch == '"' || ch == '\\') {
-      out += '\\';
-      out += ch;
-    } else if (static_cast<unsigned char>(ch) < 0x20) {
-      // Control characters (task names and reject reasons are free-form)
-      // must be \u-escaped or the artifact is not valid JSON.
-      char buffer[8];
-      std::snprintf(buffer, sizeof buffer, "\\u%04x",
-                    static_cast<unsigned>(static_cast<unsigned char>(ch)));
-      out += buffer;
-    } else {
-      out += ch;
-    }
-  }
-  return out;
-}
 
 /// Compact event target for table cells ("dyn3", "P2", "imu -> E=4").
 std::string event_target(const Event& event) {
@@ -92,8 +72,14 @@ std::string summarize_online(const OnlineReport& report) {
       << "migrations: " << report.total_migrations << " instances, repairs: "
       << report.total_repaired << " tasks, balance moves: "
       << report.total_balance_moves << " (Gtotal " << report.total_balance_gain
-      << ")\n"
-      << "final makespan: " << report.final_makespan << ", final max memory: "
+      << ")\n";
+  // Printed only when it happened, so non-resolver replays (and their
+  // goldens) keep their historic output.
+  if (report.total_resolver_discards > 0) {
+    out << "resolver discards: " << report.total_resolver_discards
+        << " (full-resolve outcome re-populated a failed processor)\n";
+  }
+  out << "final makespan: " << report.final_makespan << ", final max memory: "
       << report.final_max_memory << " (peak " << report.peak_max_memory
       << ")\n";
   return out.str();
@@ -118,6 +104,8 @@ std::string online_report_to_json(const OnlineReport& report,
         << ", \"repaired_tasks\": " << outcome.repaired_tasks
         << ", \"dirty_blocks\": " << outcome.dirty_blocks
         << ", \"migrated_instances\": " << outcome.migrated_instances
+        << ", \"resolver_discarded\": "
+        << (outcome.resolver_discarded ? "true" : "false")
         << ", \"balance_moves\": " << outcome.balance_moves
         << ", \"balance_gain\": " << outcome.balance_gain
         << ", \"makespan\": " << outcome.makespan
@@ -140,6 +128,7 @@ std::string online_report_to_json(const OnlineReport& report,
       << ", \"total_repaired\": " << report.total_repaired
       << ", \"total_balance_moves\": " << report.total_balance_moves
       << ", \"total_balance_gain\": " << report.total_balance_gain
+      << ", \"total_resolver_discards\": " << report.total_resolver_discards
       << ", \"peak_max_memory\": " << report.peak_max_memory
       << ", \"final_makespan\": " << report.final_makespan
       << ", \"final_max_memory\": " << report.final_max_memory;

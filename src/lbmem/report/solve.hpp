@@ -1,0 +1,40 @@
+#pragma once
+/// \file solve.hpp
+/// \brief Renderings of the solver facade's results: SolveStats summaries
+/// and JSON, and the ScenarioRunner comparison table/JSON.
+///
+/// summarize_solve is the superset renderer behind summarize(BalanceStats)
+/// (summary.cpp converts and delegates), so the heuristic's historic
+/// output format is a projection of this one and the two can never drift.
+
+#include <string>
+
+#include "lbmem/api/scenario.hpp"
+#include "lbmem/api/solver.hpp"
+
+namespace lbmem {
+
+/// Multi-line summary of one solve: makespans, gain, memory distribution,
+/// plus whichever stats family (heuristic / GA / partition) is present.
+/// For heuristic stats the output is byte-identical to
+/// summarize(BalanceStats).
+std::string summarize_solve(const SolveStats& stats);
+
+/// JSON object for one solve's statistics. The common and balance-family
+/// keys match stats_to_json (existing consumers keep parsing); GA and
+/// partition families appear only when present.
+std::string solve_stats_to_json(const SolveStats& stats);
+
+/// Comparison table of a scenario sweep: one row per solver with solved
+/// counts and mean makespan / max-memory / gain (and mean wall time when
+/// \p include_timing). Deterministic for a fixed spec when timing is off.
+std::string summarize_scenario(const ScenarioReport& report,
+                               bool include_timing = true);
+
+/// JSON object with the spec-independent sweep data: instance counts, the
+/// per-solver summary and the per-instance cells. \p include_timing=false
+/// omits every wall-clock field (byte-stable output for goldens/diffing).
+std::string scenario_report_to_json(const ScenarioReport& report,
+                                    bool include_timing = true);
+
+}  // namespace lbmem

@@ -2,39 +2,15 @@
 
 #include <sstream>
 
+#include "lbmem/api/solvers.hpp"
+#include "lbmem/report/solve.hpp"
+
 namespace lbmem {
 
 std::string summarize(const BalanceStats& stats) {
-  std::ostringstream out;
-  out << "makespan: " << stats.makespan_before << " -> "
-      << stats.makespan_after << "  (Gtotal = " << stats.gain_total << ")\n";
-  out << "max memory: " << stats.max_memory_before << " -> "
-      << stats.max_memory_after << "\n";
-  out << "memory per processor: [";
-  for (std::size_t p = 0; p < stats.memory_before.size(); ++p) {
-    if (p) out << ", ";
-    out << stats.memory_before[p];
-  }
-  out << "] -> [";
-  for (std::size_t p = 0; p < stats.memory_after.size(); ++p) {
-    if (p) out << ", ";
-    out << stats.memory_after[p];
-  }
-  out << "]\n";
-  out << "blocks: " << stats.blocks_total << " (" << stats.blocks_category1
-      << " category-1), moves off home: " << stats.moves_off_home
-      << ", gains applied: " << stats.gains_applied << "\n";
-  out << "attempts: " << stats.attempts_used
-      << ", forced stays: " << stats.forced_stays
-      << (stats.fell_back ? ", FELL BACK to input schedule" : "") << "\n";
-  // Bound-and-prune observability: printed only when pruning did real
-  // work, so exhaustive (trace-recording) runs keep their historic output.
-  if (stats.dest_skipped_by_bound + stats.dest_cut_by_incumbent > 0) {
-    out << "destinations: " << stats.dest_evaluated << " evaluated, "
-        << stats.dest_skipped_by_bound << " skipped by bound, "
-        << stats.dest_cut_by_incumbent << " cut by incumbent\n";
-  }
-  return out.str();
+  // The facade's superset renderer is the single source of the format;
+  // heuristic stats are a projection of it (see report/solve.hpp).
+  return summarize_solve(to_solve_stats(stats));
 }
 
 namespace {

@@ -1,0 +1,33 @@
+#pragma once
+/// \file json.hpp
+/// \brief The one JSON string escaper, shared by every JSON emitter
+/// (report/ renderers, the bench recorders). Task names, reject reasons
+/// and solver details are free-form — quotes, backslashes and control
+/// characters (\u-escaped, newlines included) must never produce an
+/// invalid artifact, and one definition keeps the emitters consistent.
+
+#include <cstdio>
+#include <string>
+
+namespace lbmem {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(ch)));
+      out += buffer;
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+}  // namespace lbmem

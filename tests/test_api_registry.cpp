@@ -1,0 +1,96 @@
+/// SolverRegistry semantics: name lookup, the unknown-name error contract
+/// the CLI surfaces verbatim (exit 1), duplicate rejection, registration
+/// order, and extension with custom-configured adapters.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lbmem/api/registry.hpp"
+#include "lbmem/api/solvers.hpp"
+
+namespace lbmem {
+namespace {
+
+TEST(ApiRegistry, BuiltinRegistersEveryAdapterInOrder) {
+  const SolverRegistry& registry = SolverRegistry::builtin();
+  const std::vector<std::string> names = registry.names();
+  const std::vector<std::string> expected = {
+      "initial",          "heuristic-lex",  "heuristic-formula",
+      "heuristic-literal", "heuristic-gain", "heuristic-memory",
+      "round-robin",      "memory-greedy",  "ga",
+      "bnb-partition",    "dp-partition"};
+  EXPECT_EQ(names, expected);
+  EXPECT_EQ(registry.size(), expected.size());
+}
+
+TEST(ApiRegistry, FindReturnsNullForUnknownNames) {
+  const SolverRegistry& registry = SolverRegistry::builtin();
+  EXPECT_EQ(registry.find("does-not-exist"), nullptr);
+  ASSERT_NE(registry.find("ga"), nullptr);
+  EXPECT_EQ(registry.find("ga")->name(), "ga");
+}
+
+TEST(ApiRegistry, RequireThrowsACleanErrorListingKnownNames) {
+  const SolverRegistry& registry = SolverRegistry::builtin();
+  try {
+    registry.require("does-not-exist");
+    FAIL() << "require() should have thrown";
+  } catch (const Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown solver 'does-not-exist'"),
+              std::string::npos)
+        << message;
+    // The message teaches the vocabulary: every known name is listed.
+    for (const std::string& name : registry.names()) {
+      EXPECT_NE(message.find(name), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(ApiRegistry, DuplicateRegistrationThrows) {
+  SolverRegistry registry = SolverRegistry::with_builtins();
+  EXPECT_THROW(registry.add(std::make_shared<InitialSolver>()), Error);
+}
+
+TEST(ApiRegistry, CustomConfigurationsExtendTheBuiltins) {
+  SolverRegistry registry = SolverRegistry::with_builtins();
+  BalanceOptions options;
+  options.migration_penalty = 3;
+  registry.add(
+      std::make_shared<HeuristicSolver>("heuristic-penalty3", options));
+  const auto solver = registry.require("heuristic-penalty3");
+  EXPECT_EQ(solver->name(), "heuristic-penalty3");
+  EXPECT_EQ(registry.size(), SolverRegistry::builtin().size() + 1);
+}
+
+TEST(ApiRegistry, HeuristicNamesFollowThePolicyVocabulary) {
+  EXPECT_EQ(heuristic_solver_name(CostPolicy::Lexicographic),
+            "heuristic-lex");
+  EXPECT_EQ(heuristic_solver_name(CostPolicy::PaperFormula),
+            "heuristic-formula");
+  EXPECT_EQ(heuristic_solver_name(CostPolicy::PaperLiteral),
+            "heuristic-literal");
+  EXPECT_EQ(heuristic_solver_name(CostPolicy::GainOnly), "heuristic-gain");
+  EXPECT_EQ(heuristic_solver_name(CostPolicy::MemoryOnly),
+            "heuristic-memory");
+}
+
+TEST(ApiRegistry, CapabilityFlagsDescribeTheAdapters) {
+  const SolverRegistry& registry = SolverRegistry::builtin();
+  EXPECT_TRUE(registry.require("heuristic-lex")->capabilities()
+                  .splits_instances);
+  EXPECT_TRUE(registry.require("heuristic-lex")->capabilities()
+                  .respects_capacity);
+  EXPECT_FALSE(registry.require("ga")->capabilities().splits_instances);
+  EXPECT_TRUE(registry.require("bnb-partition")->capabilities()
+                  .partition_only);
+  EXPECT_EQ(registry.require("dp-partition")->capabilities().machines_exact,
+            2);
+  for (const auto& solver : registry.solvers()) {
+    EXPECT_TRUE(solver->capabilities().deterministic) << solver->name();
+  }
+}
+
+}  // namespace
+}  // namespace lbmem

@@ -1,0 +1,190 @@
+/// ScenarioRunner + report/solve rendering + the online engine's
+/// Solver-backed full-resolve mode: sweeps are deterministic modulo wall
+/// time, aggregates match the cells, unknown names fail before generation,
+/// and a facade solver driving the Rebalancer's full resolve keeps every
+/// post-event schedule valid.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lbmem/api/scenario.hpp"
+#include "lbmem/api/solvers.hpp"
+#include "lbmem/gen/event_trace.hpp"
+#include "lbmem/online/runner.hpp"
+#include "lbmem/report/solve.hpp"
+#include "lbmem/sched/scheduler.hpp"
+#include "lbmem/validate/validator.hpp"
+
+namespace lbmem {
+namespace {
+
+ScenarioSpec small_spec() {
+  ScenarioSpec spec;
+  spec.suite.params.tasks = 12;
+  spec.suite.params.intended_processors = 2;
+  spec.suite.processors = 2;
+  spec.suite.comm_cost = 2;
+  spec.suite.count = 2;
+  spec.suite.base_seed = 7;
+  return spec;
+}
+
+TEST(ApiScenario, SweepIsDeterministicModuloWallTime) {
+  ScenarioSpec spec = small_spec();
+  spec.solvers = {"initial", "heuristic-lex", "memory-greedy", "ga",
+                  "dp-partition"};
+  const ScenarioRunner runner;
+  const ScenarioReport first = runner.run(spec);
+  const ScenarioReport second = runner.run(spec);
+  ASSERT_EQ(first.cells.size(), second.cells.size());
+  for (std::size_t i = 0; i < first.cells.size(); ++i) {
+    EXPECT_EQ(first.cells[i].solver, second.cells[i].solver);
+    EXPECT_EQ(first.cells[i].seed, second.cells[i].seed);
+    EXPECT_EQ(first.cells[i].feasible, second.cells[i].feasible);
+    EXPECT_EQ(first.cells[i].makespan, second.cells[i].makespan);
+    EXPECT_EQ(first.cells[i].max_memory, second.cells[i].max_memory);
+    EXPECT_EQ(first.cells[i].gain, second.cells[i].gain);
+    EXPECT_EQ(first.cells[i].detail, second.cells[i].detail);
+  }
+  // The timing-free renderings are byte-identical across runs.
+  EXPECT_EQ(summarize_scenario(first, /*include_timing=*/false),
+            summarize_scenario(second, /*include_timing=*/false));
+  EXPECT_EQ(scenario_report_to_json(first, /*include_timing=*/false),
+            scenario_report_to_json(second, /*include_timing=*/false));
+}
+
+TEST(ApiScenario, SummaryAggregatesMatchTheCells) {
+  ScenarioSpec spec = small_spec();
+  spec.solvers = {"heuristic-lex", "round-robin"};
+  const ScenarioReport report = ScenarioRunner().run(spec);
+  ASSERT_EQ(report.summary.size(), 2u);
+  for (const ScenarioSolverSummary& row : report.summary) {
+    double makespan = 0;
+    int solved = 0;
+    for (const ScenarioCell& cell : report.cells) {
+      if (cell.solver != row.solver || !cell.feasible) continue;
+      makespan += static_cast<double>(cell.makespan);
+      ++solved;
+    }
+    EXPECT_EQ(row.solved, solved) << row.solver;
+    if (solved > 0) {
+      EXPECT_DOUBLE_EQ(row.mean_makespan, makespan / solved) << row.solver;
+    }
+  }
+}
+
+TEST(ApiScenario, CellsAreInstanceMajorOverTheSolverSubset) {
+  ScenarioSpec spec = small_spec();
+  spec.solvers = {"initial", "heuristic-lex"};
+  const ScenarioReport report = ScenarioRunner().run(spec);
+  ASSERT_EQ(report.instances, 2);
+  ASSERT_EQ(report.cells.size(), 4u);
+  EXPECT_EQ(report.cells[0].solver, "initial");
+  EXPECT_EQ(report.cells[1].solver, "heuristic-lex");
+  EXPECT_EQ(report.cells[0].seed, report.cells[1].seed);
+  EXPECT_EQ(report.cells[2].solver, "initial");
+}
+
+TEST(ApiScenario, EmptySubsetRunsEveryRegisteredSolver) {
+  const ScenarioSpec spec = small_spec();
+  const ScenarioReport report = ScenarioRunner().run(spec);
+  EXPECT_EQ(report.cells.size(),
+            static_cast<std::size_t>(report.instances) *
+                SolverRegistry::builtin().size());
+}
+
+TEST(ApiScenario, UnknownSolverNameFailsBeforeGeneration) {
+  ScenarioSpec spec = small_spec();
+  spec.solvers = {"heuristic-lex", "does-not-exist"};
+  EXPECT_THROW(ScenarioRunner().run(spec), Error);
+}
+
+TEST(ApiFullResolve, FacadeSolverDrivesTheFullResolveValidly) {
+  // Generated system + trace replayed with the balance stage delegated to
+  // a facade heuristic: the online acceptance bar (zero violations after
+  // every applied event) must hold in this mode too.
+  RandomGraphParams params;
+  params.tasks = 24;
+  params.intended_processors = 3;
+  auto graph = std::make_unique<TaskGraph>(random_task_graph(params, 5));
+  const Architecture arch(3);
+  Schedule before =
+      build_initial_schedule(*graph, arch, CommModel::flat(2));
+
+  RebalancerOptions options;
+  options.incremental = false;
+  options.full_resolver = SolverRegistry::builtin().require("heuristic-lex");
+
+  EventTraceParams trace_params;
+  trace_params.events = 12;
+  trace_params.max_failures = 1;
+  const EventTrace trace = random_event_trace(*graph, arch, trace_params, 9);
+
+  Rebalancer system(std::move(graph), std::move(before), options);
+  const OnlineReport report = OnlineRunner().replay(system, trace);
+  EXPECT_EQ(report.total_violations, 0);
+  EXPECT_GE(report.applied, static_cast<int>(trace.size()) / 2);
+}
+
+TEST(ApiFullResolve, DiscardedResolverOutcomesAreObservable) {
+  // A from-scratch whole-task resolver re-places everything, so after a
+  // ProcessorFailure its outcomes re-populate the failed processor and
+  // are discarded — visibly (resolver_discarded), not as ordinary
+  // infeasibility.
+  RandomGraphParams params;
+  params.tasks = 16;
+  params.intended_processors = 3;
+  auto graph = std::make_unique<TaskGraph>(random_task_graph(params, 11));
+  Schedule before =
+      build_initial_schedule(*graph, Architecture(3), CommModel::flat(2));
+  const std::string victim = graph->task(0).name;
+  const Time old_wcet = graph->task(0).wcet;
+
+  RebalancerOptions options;
+  options.incremental = false;
+  options.full_resolver = SolverRegistry::builtin().require("round-robin");
+  Rebalancer system(std::move(graph), std::move(before), options);
+
+  Event failure;
+  failure.payload = ProcessorFailure{2};
+  const EventOutcome failed = system.apply(failure);
+  ASSERT_TRUE(failed.applied) << failed.reject_reason;
+
+  Event wcet;
+  wcet.payload = WcetChange{victim, old_wcet + 1};
+  const EventOutcome outcome = system.apply(wcet);
+  ASSERT_TRUE(outcome.applied) << outcome.reject_reason;
+  EXPECT_TRUE(outcome.resolver_discarded);
+  EXPECT_TRUE(outcome.balance_fell_back);
+  EXPECT_TRUE(validate(system.schedule()).ok());
+  // The failed processor hosts nothing despite the resolver's attempts.
+  EXPECT_TRUE(system.schedule().instances_on(2).empty());
+}
+
+TEST(ApiFullResolve, InstanceGranularResolverCanMoveInstances) {
+  // A WcetChange resolved through the facade heuristic leaves a valid
+  // schedule whose makespan the resolver has had a chance to improve.
+  RandomGraphParams params;
+  params.tasks = 16;
+  params.intended_processors = 3;
+  auto graph = std::make_unique<TaskGraph>(random_task_graph(params, 11));
+  Schedule before =
+      build_initial_schedule(*graph, Architecture(3), CommModel::flat(2));
+  const std::string victim = graph->task(0).name;
+  const Time old_wcet = graph->task(0).wcet;
+
+  RebalancerOptions options;
+  options.incremental = false;
+  options.full_resolver = SolverRegistry::builtin().require("heuristic-lex");
+  Rebalancer system(std::move(graph), std::move(before), options);
+
+  Event event;
+  event.payload = WcetChange{victim, old_wcet + 1};
+  const EventOutcome outcome = system.apply(event);
+  ASSERT_TRUE(outcome.applied) << outcome.reject_reason;
+  EXPECT_TRUE(validate(system.schedule()).ok());
+}
+
+}  // namespace
+}  // namespace lbmem

@@ -1,0 +1,180 @@
+/// Facade adapter tests (DESIGN.md F18): every registered solver solves
+/// the paper's worked example to a valid schedule, the heuristic adapter
+/// is behavior-preserving over LoadBalancer, the partition baselines lift
+/// correctly through the memory-weight abstraction, and capability flags
+/// describe reality (the two-machine DP refuses other machine counts).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lbmem/api/problem.hpp"
+#include "lbmem/api/registry.hpp"
+#include "lbmem/api/solvers.hpp"
+#include "lbmem/gen/paper_example.hpp"
+#include "lbmem/sched/scheduler.hpp"
+#include "lbmem/validate/validator.hpp"
+
+namespace lbmem {
+namespace {
+
+/// The paper's worked example as a Problem (M = 3, C = 1).
+Problem paper_problem() {
+  auto graph = std::make_shared<const TaskGraph>(paper_example_graph());
+  Schedule initial = paper_example_schedule(*graph);
+  return Problem(graph, std::move(initial));
+}
+
+/// The paper's application on a machine count the given solver accepts
+/// (the two-machine DP needs M = 2; everything else takes the example's
+/// own three processors).
+Problem paper_problem_for(const Solver& solver) {
+  const int machines = solver.capabilities().machines_exact;
+  if (machines == 0 || machines == 3) return paper_problem();
+  auto graph = std::make_shared<const TaskGraph>(paper_example_graph());
+  Schedule initial =
+      build_initial_schedule(*graph, Architecture(machines),
+                             paper_example_comm(), SchedulerOptions{});
+  return Problem(graph, std::move(initial));
+}
+
+TEST(ApiSolvers, EveryRegisteredSolverSolvesThePaperExample) {
+  for (const auto& solver : SolverRegistry::builtin().solvers()) {
+    const Problem problem = paper_problem_for(*solver);
+    const Outcome outcome = solver->solve(problem);
+    ASSERT_TRUE(outcome.feasible())
+        << solver->name() << ": " << outcome.detail;
+    EXPECT_TRUE(validate(*outcome.schedule).ok()) << solver->name();
+    // The stats mirror the returned schedule, not some internal state.
+    EXPECT_EQ(outcome.stats.makespan_after, outcome.schedule->makespan())
+        << solver->name();
+    EXPECT_EQ(outcome.stats.max_memory_after, outcome.schedule->max_memory())
+        << solver->name();
+    EXPECT_EQ(outcome.stats.makespan_before,
+              problem.initial_schedule().makespan())
+        << solver->name();
+    EXPECT_EQ(static_cast<int>(outcome.stats.memory_after.size()),
+              problem.architecture().processor_count())
+        << solver->name();
+  }
+}
+
+TEST(ApiSolvers, HeuristicAdapterIsBehaviorPreservingOverLoadBalancer) {
+  const Problem problem = paper_problem();
+  const BalanceResult direct =
+      LoadBalancer().balance(problem.initial_schedule());
+
+  const Outcome facade = HeuristicSolver().solve(problem);
+  ASSERT_TRUE(facade.feasible()) << facade.detail;
+
+  // Same decisions: identical placements and timing, figure for figure.
+  EXPECT_EQ(facade.schedule->makespan(), direct.schedule.makespan());
+  for (ProcId p = 0; p < problem.architecture().processor_count(); ++p) {
+    EXPECT_EQ(facade.schedule->memory_on(p), direct.schedule.memory_on(p));
+    EXPECT_EQ(facade.schedule->busy_on(p), direct.schedule.busy_on(p));
+  }
+  // Same stats, translated 1:1 (the paper's headline: 15 -> 14).
+  EXPECT_EQ(facade.stats.makespan_before, 15);
+  EXPECT_EQ(facade.stats.makespan_after, 14);
+  EXPECT_EQ(facade.stats.gain_total, direct.stats.gain_total);
+  EXPECT_EQ(facade.stats.moves_off_home, direct.stats.moves_off_home);
+  EXPECT_EQ(facade.stats.blocks_total, direct.stats.blocks_total);
+  EXPECT_TRUE(facade.stats.has_balance);
+}
+
+TEST(ApiSolvers, HeuristicEnforcesCapacityDeclaredByTheProblem) {
+  // Capacity 1 cannot host the example (initial memory [16, 4, 4]): the
+  // balancer falls back to the (over-capacity) input, which the facade
+  // must report as infeasible instead of returning an invalid schedule.
+  auto graph = std::make_shared<const TaskGraph>(paper_example_graph());
+  Schedule initial = paper_example_schedule(*graph);
+  // Rebuild under a finite-capacity architecture description.
+  Schedule capped(*graph, Architecture(3, 1), paper_example_comm());
+  for (TaskId t = 0; t < static_cast<TaskId>(graph->task_count()); ++t) {
+    capped.set_first_start(t, initial.first_start(t));
+  }
+  for (const TaskInstance inst : initial.all_instances()) {
+    capped.assign(inst, initial.proc(inst));
+  }
+  const Problem problem(graph, std::move(capped));
+  const Outcome outcome = HeuristicSolver().solve(problem);
+  EXPECT_FALSE(outcome.feasible());
+  EXPECT_NE(outcome.detail.find("invalid schedule"), std::string::npos)
+      << outcome.detail;
+  // Infeasible outcomes still report the comparison anchor.
+  EXPECT_EQ(outcome.stats.makespan_before, 15);
+  EXPECT_EQ(outcome.stats.makespan_after, 15);
+}
+
+TEST(ApiSolvers, PartitionWeightsAreWholeTaskResidentMemory) {
+  const TaskGraph graph = paper_example_graph();
+  // a: 4 instances x 4, b/c: 2 x 1, d/e: 1 x 2.
+  EXPECT_EQ(task_memory_weights(graph),
+            (std::vector<Mem>{16, 2, 2, 2, 2}));
+}
+
+TEST(ApiSolvers, DpPartitionRejectsNonTwoMachineProblems) {
+  const DpPartitionSolver solver;
+  EXPECT_EQ(solver.capabilities().machines_exact, 2);
+  const Outcome outcome = solver.solve(paper_problem());
+  EXPECT_FALSE(outcome.feasible());
+  EXPECT_NE(outcome.detail.find("exactly 2 processors"), std::string::npos)
+      << outcome.detail;
+}
+
+TEST(ApiSolvers, DpAndBnbAgreeOnTwoMachines) {
+  const DpPartitionSolver dp;
+  const Problem problem = paper_problem_for(dp);
+  const Outcome dp_outcome = dp.solve(problem);
+  const Outcome bnb_outcome = BnbPartitionSolver().solve(problem);
+  ASSERT_TRUE(dp_outcome.feasible()) << dp_outcome.detail;
+  ASSERT_TRUE(bnb_outcome.feasible()) << bnb_outcome.detail;
+  ASSERT_TRUE(dp_outcome.stats.has_partition);
+  ASSERT_TRUE(bnb_outcome.stats.has_partition);
+  // Both exact: the min-max memory loads must agree.
+  EXPECT_TRUE(dp_outcome.stats.partition_proven_optimal);
+  EXPECT_TRUE(bnb_outcome.stats.partition_proven_optimal);
+  EXPECT_EQ(dp_outcome.stats.partition_max_load,
+            bnb_outcome.stats.partition_max_load);
+  EXPECT_GE(dp_outcome.stats.partition_max_load,
+            dp_outcome.stats.partition_lower_bound);
+}
+
+TEST(ApiSolvers, InitialSolverIsTheIdentityAnchor) {
+  const Problem problem = paper_problem();
+  const Outcome outcome = InitialSolver().solve(problem);
+  ASSERT_TRUE(outcome.feasible());
+  EXPECT_EQ(outcome.stats.makespan_after, outcome.stats.makespan_before);
+  EXPECT_EQ(outcome.stats.gain_total, 0);
+  EXPECT_EQ(outcome.stats.max_memory_after,
+            problem.initial_schedule().max_memory());
+}
+
+TEST(ApiSolvers, GaSolverReportsItsFamilyStats) {
+  GaOptions options;
+  options.population = 10;
+  options.generations = 8;
+  const Outcome outcome = GaSolver(options).solve(paper_problem());
+  ASSERT_TRUE(outcome.feasible()) << outcome.detail;
+  EXPECT_TRUE(outcome.stats.has_ga);
+  EXPECT_GT(outcome.stats.evaluations, 0);
+  EXPECT_FALSE(outcome.stats.has_balance);
+  EXPECT_FALSE(outcome.stats.has_partition);
+}
+
+TEST(ApiSolvers, ProblemGenerateMirrorsWorkloadSpec) {
+  WorkloadSpec spec;
+  spec.graph.tasks = 12;
+  spec.graph.intended_processors = 3;
+  spec.seed = 7;
+  spec.processors = 3;
+  spec.comm_cost = 2;
+  const Problem problem = Problem::generate(spec);
+  EXPECT_EQ(static_cast<int>(problem.graph().task_count()), 12);
+  EXPECT_EQ(problem.architecture().processor_count(), 3);
+  EXPECT_TRUE(problem.initial_schedule().complete());
+  EXPECT_TRUE(validate(problem.initial_schedule()).ok());
+}
+
+}  // namespace
+}  // namespace lbmem

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #if defined(_WIN32)
@@ -112,6 +113,145 @@ TEST(CliUsage, UnknownTraceModeFails) {
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.output.find("unknown trace mode: sometimes"), std::string::npos)
       << r.output;
+}
+
+TEST(CliUsage, HelpExitsZeroWithUsage) {
+  for (const char* invocation : {"--help", "-h", "balance --help",
+                                 "compare -h", "example --help"}) {
+    const RunResult r = run_cli(invocation);
+    EXPECT_EQ(r.exit_code, 0) << invocation;
+    EXPECT_NE(r.output.find("usage: lbmem_cli"), std::string::npos)
+        << invocation << ": " << r.output;
+  }
+}
+
+TEST(CliUsage, SubcommandIrrelevantFlagIsRejected) {
+  // Flag hygiene: --events belongs to replay, not balance.
+  const RunResult r = run_cli("balance --events=4");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("flag --events does not apply to 'balance'"),
+            std::string::npos)
+      << r.output;
+  // example takes no flags at all.
+  const RunResult ex = run_cli("example --tasks=5");
+  EXPECT_EQ(ex.exit_code, 1);
+  EXPECT_NE(ex.output.find("flag --tasks does not apply to 'example'"),
+            std::string::npos)
+      << ex.output;
+  // --hyperperiods belongs to simulate only.
+  const RunResult hp = run_cli("bus --hyperperiods=2");
+  EXPECT_EQ(hp.exit_code, 1);
+  EXPECT_NE(hp.output.find("flag --hyperperiods does not apply to 'bus'"),
+            std::string::npos)
+      << hp.output;
+}
+
+TEST(CliUsage, AlgoConflictsAreRejected) {
+  const RunResult all = run_cli("balance --algo=all");
+  EXPECT_EQ(all.exit_code, 1);
+  EXPECT_NE(all.output.find("--algo=all is only valid for 'compare'"),
+            std::string::npos)
+      << all.output;
+  const RunResult policy = run_cli("balance --algo=ga --policy=lex");
+  EXPECT_EQ(policy.exit_code, 1);
+  const RunResult resolver =
+      run_cli("replay --resolver=heuristic-lex --mode=incremental");
+  EXPECT_EQ(resolver.exit_code, 1);
+  EXPECT_NE(resolver.output.find("--resolver implies --mode=full"),
+            std::string::npos)
+      << resolver.output;
+  // --migration-penalty configures the built-in balance stage, which a
+  // resolver bypasses: rejecting beats silently ignoring the flag.
+  const RunResult penalty =
+      run_cli("replay --resolver=heuristic-lex --migration-penalty=5");
+  EXPECT_EQ(penalty.exit_code, 1);
+  EXPECT_NE(penalty.output.find("--resolver bypasses"), std::string::npos)
+      << penalty.output;
+}
+
+TEST(CliBalance, UnknownSolverNameFailsCleanly) {
+  const RunResult r = run_cli("balance --algo=does-not-exist");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown solver 'does-not-exist'"),
+            std::string::npos)
+      << r.output;
+  // The error teaches the vocabulary.
+  EXPECT_NE(r.output.find("heuristic-lex"), std::string::npos) << r.output;
+}
+
+TEST(CliBalance, AlgoRunsARegisteredSolver) {
+  const RunResult r =
+      run_cli(std::string("balance --algo=memory-greedy ") + kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("--- solved (memory-greedy) ---"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("makespan: "), std::string::npos) << r.output;
+}
+
+TEST(CliCompare, RunsAllRegisteredSolversOnOneWorkload) {
+  const RunResult r = run_cli(std::string("compare ") + kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("instances: 1"), std::string::npos) << r.output;
+  // The acceptance bar: >= 4 registered solvers in one table. Each name
+  // is anchored as a table row (line start + trailing padding) so "ga"
+  // cannot vacuously match the "mean gain" column header.
+  for (const char* solver : {"initial", "heuristic-lex", "round-robin",
+                             "memory-greedy", "ga", "bnb-partition"}) {
+    EXPECT_NE(r.output.find("\n" + std::string(solver) + " "),
+              std::string::npos)
+        << solver << " row missing:\n" << r.output;
+  }
+  EXPECT_NE(r.output.find("mean wall (ms)"), std::string::npos) << r.output;
+}
+
+TEST(CliCompare, SubsetAndTimingOffAreDeterministic) {
+  const std::string args =
+      std::string("compare --algo=heuristic-lex,ga,dp-partition "
+                  "--timing=off --count=2 ") +
+      kSmallWorkload;
+  const RunResult first = run_cli(args);
+  const RunResult second = run_cli(args);
+  EXPECT_EQ(first.exit_code, 0) << first.output;
+  EXPECT_EQ(first.output, second.output);
+  EXPECT_EQ(first.output.find("wall"), std::string::npos) << first.output;
+}
+
+TEST(CliCompare, WritesComparisonJson) {
+  namespace fs = std::filesystem;
+#if defined(_WIN32)
+  const int pid = _getpid();
+#else
+  const int pid = getpid();
+#endif
+  const fs::path dir = fs::temp_directory_path() /
+                       ("lbmem_cli_compare_test_" + std::to_string(pid));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string prefix = (dir / "out").string();
+  const RunResult r =
+      run_cli(std::string("compare --algo=initial,heuristic-lex \"--out=") +
+              prefix + "\" " + kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream json(prefix + "_compare.json");
+  ASSERT_TRUE(json.good()) << "missing " << prefix << "_compare.json";
+  std::stringstream content;
+  content << json.rdbuf();
+  EXPECT_NE(content.str().find("\"summary\""), std::string::npos);
+  EXPECT_NE(content.str().find("heuristic-lex"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(CliReplay, ResolverFlagSelectsSolverBackedFullMode) {
+  const RunResult r = run_cli(
+      std::string("replay --events=4 --event-seed=2 "
+                  "--resolver=heuristic-lex ") +
+      kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("full (resolver heuristic-lex) mode"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("violations: 0"), std::string::npos) << r.output;
 }
 
 TEST(CliBalance, TraceOffRunsPrunedPathWithIdenticalDecisions) {

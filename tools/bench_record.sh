@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Record the performance trajectory: build the Release bench preset, run
-# bench_complexity and bench_online with JSON output, and write
-# BENCH_complexity.json / BENCH_online.json at the repo root (override the
-# destinations with $1 / $2). Check the results in so the perf history
-# stays non-empty; see README.md, "Performance" and "Online rebalancing".
+# bench_complexity, bench_online and bench_solvers with JSON output, and
+# write BENCH_complexity.json / BENCH_online.json / BENCH_solvers.json at
+# the repo root (override the destinations with $1 / $2 / $3). Check the
+# results in so the perf history stays non-empty; see README.md,
+# "Performance", "Online rebalancing" and "Choosing a solver".
 #
 # The recorded context must describe a release-built harness: benchmarks
 # measure header-inline hot paths compiled into the bench binary, and a
@@ -18,6 +19,7 @@ set -euo pipefail
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 complexity_out="${1:-${repo}/BENCH_complexity.json}"
 online_out="${2:-${repo}/BENCH_online.json}"
+solvers_out="${3:-${repo}/BENCH_solvers.json}"
 
 cd "${repo}"
 config_args=()
@@ -25,7 +27,8 @@ if [[ -n "${LBMEM_BENCHMARK_SOURCE_DIR:-}" ]]; then
   config_args+=("-DLBMEM_BENCHMARK_SOURCE_DIR=${LBMEM_BENCHMARK_SOURCE_DIR}")
 fi
 cmake --preset bench "${config_args[@]}"
-cmake --build --preset bench -j "$(nproc)" --target bench_complexity bench_online
+cmake --build --preset bench -j "$(nproc)" \
+  --target bench_complexity bench_online bench_solvers
 
 # Fail loudly if a recording claims a debug-built harness; never leave a
 # debug recording at the destination path.
@@ -50,3 +53,9 @@ echo "wrote ${complexity_out}"
   --benchmark_out_format=json
 check_release "${online_out}"
 echo "wrote ${online_out}"
+
+"${repo}/build-bench/bench/bench_solvers" \
+  --benchmark_out="${solvers_out}" \
+  --benchmark_out_format=json
+check_release "${solvers_out}"
+echo "wrote ${solvers_out}"

@@ -1,52 +1,202 @@
 /// \file lbmem_cli.cpp
-/// \brief Command-line front end to the library.
+/// \brief Command-line front end to the library, built on the solver
+/// facade (lbmem/api/).
 ///
-/// Subcommands:
-///   example                         run the paper's worked example
-///   balance  [workload flags]       generate, schedule, balance, report
-///   simulate [workload flags]       balance + discrete-event execution
-///   bus      [workload flags]       balance + single-medium analysis
-///   export   [workload flags]       emit DOT/JSON artifacts
-///   replay   [workload flags]       online: replay a random event trace
+/// Subcommands, flags, and the per-subcommand flag vocabulary are defined
+/// once in kCommands/kFlags below; the usage text is generated from those
+/// tables, so `lbmem_cli --help` (or `<command> --help`) is always the
+/// authoritative reference and this comment never drifts from it.
 ///
-/// Workload flags (all optional):
-///   --tasks=N --procs=M --seed=S --comm=C --period-levels=L
-///   --edge-prob=P --capacity=MEM --policy=lex|formula|literal|gain|memory
-///   --placement=cluster|minstart --hyperperiods=K --out=PREFIX
-///   --trace=on|off (off = pruned hot path; summary shows prune counters)
-///
-/// Replay flags (replay only):
-///   --events=N --event-seed=S --migration-penalty=P --mode=incremental|full
-///
-/// Exit code 0 on success, 1 on bad usage, 2 when the workload is
-/// unschedulable (for replay: when any post-event schedule is invalid).
+/// Exit code 0 on success (including --help), 1 on bad usage or an
+/// unknown solver name, 2 when the workload is unschedulable (for
+/// replay: when any post-event schedule is invalid; for compare: when no
+/// schedulable instance could be generated).
 
 #include <cstdint>
 #include <fstream>
 #include <iostream>
-#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "lbmem/api/problem.hpp"
+#include "lbmem/api/registry.hpp"
+#include "lbmem/api/scenario.hpp"
+#include "lbmem/api/solvers.hpp"
 #include "lbmem/gen/event_trace.hpp"
 #include "lbmem/gen/paper_example.hpp"
-#include "lbmem/gen/random_graph.hpp"
-#include "lbmem/lb/block_builder.hpp"
-#include "lbmem/lb/load_balancer.hpp"
 #include "lbmem/online/runner.hpp"
 #include "lbmem/report/export.hpp"
 #include "lbmem/report/gantt.hpp"
 #include "lbmem/report/online.hpp"
+#include "lbmem/report/solve.hpp"
 #include "lbmem/report/summary.hpp"
-#include "lbmem/sched/scheduler.hpp"
 #include "lbmem/sim/bus.hpp"
 #include "lbmem/sim/engine.hpp"
 #include "lbmem/util/check.hpp"
-#include "lbmem/validate/validator.hpp"
 
 namespace {
 
 using namespace lbmem;
+
+// ---- the one table usage() and the parser are generated from --------------
+
+enum : unsigned {
+  kExample = 1u << 0,
+  kBalance = 1u << 1,
+  kSimulate = 1u << 2,
+  kBus = 1u << 3,
+  kExport = 1u << 4,
+  kReplay = 1u << 5,
+  kCompare = 1u << 6,
+  kAllCommands = (1u << 7) - 1,
+};
+
+/// Flags shared by every workload-generating subcommand.
+constexpr unsigned kWorkload =
+    kBalance | kSimulate | kBus | kExport | kReplay | kCompare;
+/// Subcommands whose balance stage is the configured heuristic.
+constexpr unsigned kHeuristicDriven =
+    kBalance | kSimulate | kBus | kExport | kReplay;
+
+struct CommandSpec {
+  const char* name;
+  unsigned bit;
+  const char* help;
+};
+
+constexpr CommandSpec kCommands[] = {
+    {"example", kExample, "run the paper's worked example"},
+    {"balance", kBalance,
+     "generate, schedule, solve, report (--algo picks any solver)"},
+    {"compare", kCompare,
+     "race registered solvers on a generated workload suite"},
+    {"simulate", kSimulate, "balance + discrete-event execution"},
+    {"bus", kBus, "balance + single-medium analysis"},
+    {"export", kExport, "emit DOT/JSON artifacts"},
+    {"replay", kReplay, "online: replay a random event trace"},
+};
+
+struct FlagSpec {
+  const char* name;
+  const char* value;   ///< value hint shown as --name=<value>
+  const char* help;
+  unsigned commands;   ///< subcommands that accept the flag
+};
+
+constexpr FlagSpec kFlags[] = {
+    {"tasks", "N", "tasks in the generated workload", kWorkload},
+    {"procs", "M", "processors", kWorkload},
+    {"seed", "S", "workload seed (compare: base seed of the suite)",
+     kWorkload},
+    {"comm", "C", "flat communication time", kWorkload},
+    {"period-levels", "L", "distinct periods (base * 2^0 .. 2^(L-1))",
+     kWorkload},
+    {"edge-prob", "P", "dependence probability", kWorkload},
+    {"capacity", "MEM", "per-processor memory capacity (enforced when set)",
+     kWorkload},
+    {"placement", "cluster|minstart", "initial placement policy", kWorkload},
+    {"policy", "lex|formula|literal|gain|memory", "heuristic cost policy",
+     kHeuristicDriven},
+    {"algo", "NAME|all",
+     "registered solver(s): balance takes one name, compare a comma list "
+     "or 'all' (the default there)",
+     kBalance | kCompare},
+    {"trace", "on|off",
+     "record the full decision trace; off runs the pruned hot path and the "
+     "summary reports destinations evaluated/skipped by bound",
+     kHeuristicDriven},
+    {"hyperperiods", "K", "hyper-periods to simulate", kSimulate},
+    {"out", "PREFIX", "write JSON/DOT artifacts under this path prefix",
+     kExport | kReplay | kCompare},
+    {"count", "K", "workload instances in the comparison suite", kCompare},
+    {"timing", "on|off",
+     "include wall-clock columns/fields in the compare output", kCompare},
+    {"events", "N", "events in the random trace", kReplay},
+    {"event-seed", "S", "event-trace seed", kReplay},
+    {"migration-penalty", "P", "price of moving a block off its processor",
+     kReplay},
+    {"mode", "incremental|full", "balance-stage strategy", kReplay},
+    {"resolver", "NAME",
+     "full-resolve each event through this registered solver (implies "
+     "--mode=full)",
+     kReplay},
+};
+
+std::string command_list(unsigned mask) {
+  std::string out;
+  for (const CommandSpec& cmd : kCommands) {
+    if (!(cmd.bit & mask)) continue;
+    if (!out.empty()) out += " ";
+    out += cmd.name;
+  }
+  return out;
+}
+
+/// Usage text for the subcommands in \p mask (kAllCommands = the full
+/// reference). Generated from kCommands/kFlags — the single source of
+/// truth for the flag vocabulary.
+std::string usage_text(unsigned mask) {
+  std::ostringstream out;
+  out << "usage: lbmem_cli <" << [] {
+    std::string names;
+    for (const CommandSpec& cmd : kCommands) {
+      if (!names.empty()) names += "|";
+      names += cmd.name;
+    }
+    return names;
+  }() << "> [--flag=value ...]\n";
+  out << "\ncommands:\n";
+  for (const CommandSpec& cmd : kCommands) {
+    if (!(cmd.bit & mask)) continue;
+    const std::size_t width = std::string(cmd.name).size();
+    out << "  " << cmd.name << std::string(width < 10 ? 10 - width : 1, ' ')
+        << cmd.help << "\n";
+  }
+  bool any_flag = false;
+  for (const FlagSpec& flag : kFlags) any_flag |= (flag.commands & mask) != 0;
+  if (!any_flag) {
+    out << "\n(no flags beyond --help)\n";
+    return out.str();
+  }
+  out << "\nflags (the commands each flag applies to in brackets):\n";
+  for (const FlagSpec& flag : kFlags) {
+    if (!(flag.commands & mask)) continue;
+    std::string head = std::string("  --") + flag.name + "=" + flag.value;
+    if (head.size() < 30) head += std::string(30 - head.size(), ' ');
+    out << head << " " << flag.help << "  [" << command_list(flag.commands)
+        << "]\n";
+  }
+  out << "\n--help/-h (anywhere) prints this text and exits 0.\n";
+  return out.str();
+}
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr << usage_text(kAllCommands);
+  std::exit(1);
+}
+
+[[noreturn]] void help(unsigned mask) {
+  std::cout << usage_text(mask);
+  std::exit(0);
+}
+
+const CommandSpec* find_command(const std::string& name) {
+  for (const CommandSpec& cmd : kCommands) {
+    if (name == cmd.name) return &cmd;
+  }
+  return nullptr;
+}
+
+const FlagSpec* find_flag(const std::string& name) {
+  for (const FlagSpec& flag : kFlags) {
+    if (name == flag.name) return &flag;
+  }
+  return nullptr;
+}
+
+// ---- options --------------------------------------------------------------
 
 struct CliOptions {
   int tasks = 40;
@@ -60,44 +210,45 @@ struct CliOptions {
   PlacementPolicy placement = PlacementPolicy::PeriodCluster;
   int hyperperiods = 2;
   std::string out_prefix;
-  // replay subcommand:
+  // balance / compare:
+  std::string algo;    ///< empty = the heuristic under --policy
+  int count = 1;       ///< compare suite size
+  bool timing = true;  ///< compare wall-clock columns
+  // replay:
   int events = 16;
   std::uint64_t event_seed = 1;
   Time migration_penalty = 0;
   bool incremental = true;
+  std::string resolver;
   /// --trace=on (default) records the full per-block decision trace, which
   /// evaluates every destination exhaustively; --trace=off runs the pruned
-  /// production path (bound-and-prune selection) — decisions are identical,
-  /// and the summary then reports the pruning counters.
+  /// production path (bound-and-prune selection) — decisions are identical.
   bool trace = true;
+  // set-tracking for cross-flag validation:
+  bool policy_set = false;
+  bool trace_set = false;
+  bool mode_set = false;
+  bool penalty_set = false;
 };
 
-[[noreturn]] void usage(const std::string& error = "") {
-  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
-  std::cerr <<
-      "usage: lbmem_cli <example|balance|simulate|bus|export|replay> "
-      "[flags]\n"
-      "flags: --tasks=N --procs=M --seed=S --comm=C --period-levels=L\n"
-      "       --edge-prob=P --capacity=MEM\n"
-      "       --policy=lex|formula|literal|gain|memory\n"
-      "       --placement=cluster|minstart --hyperperiods=K --out=PREFIX\n"
-      "       --trace=on|off (off runs the pruned hot path; the summary\n"
-      "       then reports destinations evaluated/skipped by bound)\n"
-      "replay flags: --events=N --event-seed=S --migration-penalty=P\n"
-      "       --mode=incremental|full\n";
-  std::exit(1);
-}
-
-CliOptions parse_flags(int argc, char** argv, int first) {
+CliOptions parse_flags(const CommandSpec& cmd, int argc, char** argv,
+                       int first) {
   CliOptions options;
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") help(cmd.bit);
     const auto eq = arg.find('=');
     if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
       usage("malformed flag: " + arg);
     }
     const std::string key = arg.substr(2, eq - 2);
     const std::string value = arg.substr(eq + 1);
+    const FlagSpec* spec = find_flag(key);
+    if (spec == nullptr) usage("unknown flag: --" + key);
+    if (!(spec->commands & cmd.bit)) {
+      usage("flag --" + key + " does not apply to '" + cmd.name +
+            "' (applies to: " + command_list(spec->commands) + ")");
+    }
     try {
       if (key == "tasks") {
         options.tasks = std::stoi(value);
@@ -120,18 +271,32 @@ CliOptions parse_flags(int argc, char** argv, int first) {
       } else if (key == "event-seed") {
         options.event_seed = std::stoull(value);
       } else if (key == "migration-penalty") {
+        options.penalty_set = true;
         options.migration_penalty = std::stoll(value);
+      } else if (key == "count") {
+        options.count = std::stoi(value);
+      } else if (key == "algo") {
+        options.algo = value;
+      } else if (key == "resolver") {
+        options.resolver = value;
       } else if (key == "mode") {
+        options.mode_set = true;
         if (value == "incremental") options.incremental = true;
         else if (value == "full") options.incremental = false;
         else usage("unknown mode: " + value);
       } else if (key == "trace") {
+        options.trace_set = true;
         if (value == "on") options.trace = true;
         else if (value == "off") options.trace = false;
         else usage("unknown trace mode: " + value);
+      } else if (key == "timing") {
+        if (value == "on") options.timing = true;
+        else if (value == "off") options.timing = false;
+        else usage("unknown timing mode: " + value);
       } else if (key == "out") {
         options.out_prefix = value;
       } else if (key == "policy") {
+        options.policy_set = true;
         if (value == "lex") options.policy = CostPolicy::Lexicographic;
         else if (value == "formula") options.policy = CostPolicy::PaperFormula;
         else if (value == "literal") options.policy = CostPolicy::PaperLiteral;
@@ -149,12 +314,41 @@ CliOptions parse_flags(int argc, char** argv, int first) {
       } else {
         usage("unknown flag: --" + key);
       }
-    } catch (const std::exception&) {
+    } catch (const std::invalid_argument&) {
       usage("bad value for --" + key + ": " + value);
+    } catch (const std::out_of_range&) {
+      usage("bad value for --" + key + ": " + value);
+    }
+  }
+
+  // Cross-flag validation (per subcommand).
+  if (cmd.bit == kBalance && !options.algo.empty()) {
+    if (options.algo == "all") {
+      usage("--algo=all is only valid for 'compare'; balance takes one name");
+    }
+    if (options.policy_set) {
+      usage("--policy configures the default heuristic run; with --algo, "
+            "name a heuristic-<policy> solver instead");
+    }
+    if (options.trace_set) {
+      usage("--trace applies to the heuristic path only, not to --algo runs");
+    }
+  }
+  if (cmd.bit == kReplay && !options.resolver.empty()) {
+    if (options.mode_set && options.incremental) {
+      usage("--resolver implies --mode=full");
+    }
+    // The resolver runs with its own registered configuration; the
+    // built-in balance stage (and its penalty) is bypassed entirely.
+    if (options.penalty_set) {
+      usage("--migration-penalty configures the built-in balance stage, "
+            "which --resolver bypasses");
     }
   }
   return options;
 }
+
+// ---- shared helpers -------------------------------------------------------
 
 void write_file(const std::string& path, const std::string& content) {
   std::ofstream out(path);
@@ -166,37 +360,67 @@ void write_file(const std::string& path, const std::string& content) {
   std::cout << "wrote " << path << "\n";
 }
 
+WorkloadSpec make_workload_spec(const CliOptions& options) {
+  WorkloadSpec spec;
+  spec.graph.tasks = options.tasks;
+  spec.graph.period_levels = options.period_levels;
+  spec.graph.edge_probability = options.edge_prob;
+  spec.graph.intended_processors = options.procs;
+  spec.seed = options.seed;
+  spec.processors = options.procs;
+  spec.comm_cost = options.comm;
+  spec.memory_capacity = options.capacity;
+  spec.scheduler.policy = options.placement;
+  return spec;
+}
+
+/// The compare suite is the same workload vocabulary swept over
+/// base_seed .. base_seed+count-1: one conversion, so a flag wired into
+/// make_workload_spec can never silently not apply to `compare`.
+SuiteSpec make_suite_spec(const CliOptions& options) {
+  const WorkloadSpec workload = make_workload_spec(options);
+  SuiteSpec suite;
+  suite.params = workload.graph;
+  suite.processors = workload.processors;
+  suite.comm_cost = workload.comm_cost;
+  suite.memory_capacity = workload.memory_capacity;
+  suite.policy = workload.scheduler.policy;
+  suite.base_seed = workload.seed;
+  suite.count = options.count;
+  return suite;
+}
+
+BalanceOptions make_balance_options(const CliOptions& options) {
+  BalanceOptions balance;
+  balance.policy = options.policy;
+  balance.enforce_memory_capacity = options.capacity != kUnlimitedMemory;
+  balance.record_trace = options.trace;
+  return balance;
+}
+
+/// Generated workload + the heuristic solved through the facade (the
+/// balance stage every heuristic-driven subcommand shares).
 struct Prepared {
-  // Heap-allocated: schedules hold a pointer to the graph, so its address
-  // must survive the moves below.
-  std::unique_ptr<TaskGraph> graph;
-  Schedule before;
-  BalanceResult result;
+  Problem problem;
+  Outcome outcome;
 };
 
 Prepared prepare(const CliOptions& options) {
-  RandomGraphParams params;
-  params.tasks = options.tasks;
-  params.period_levels = options.period_levels;
-  params.edge_probability = options.edge_prob;
-  params.intended_processors = options.procs;
-  auto graph =
-      std::make_unique<TaskGraph>(random_task_graph(params, options.seed));
-
-  SchedulerOptions sched_options;
-  sched_options.policy = options.placement;
-  Schedule before = build_initial_schedule(
-      *graph, Architecture(options.procs, options.capacity),
-      CommModel::flat(options.comm), sched_options);
-
-  BalanceOptions balance_options;
-  balance_options.policy = options.policy;
-  balance_options.enforce_memory_capacity =
-      options.capacity != kUnlimitedMemory;
-  balance_options.record_trace = options.trace;
-  BalanceResult result = LoadBalancer(balance_options).balance(before);
-  return Prepared{std::move(graph), std::move(before), std::move(result)};
+  Problem problem = Problem::generate(make_workload_spec(options));
+  const HeuristicSolver solver(make_balance_options(options));
+  Outcome outcome = solver.solve(problem);
+  return Prepared{std::move(problem), std::move(outcome)};
 }
+
+/// The facade reports an invalid result (e.g. the balancer fell back on a
+/// workload that busts a finite capacity) as an infeasible Outcome; the
+/// CLI contract for that is "unschedulable", exit 2.
+const Schedule& solved_or_throw(const Outcome& outcome) {
+  if (!outcome.feasible()) throw ScheduleError(outcome.detail);
+  return *outcome.schedule;
+}
+
+// ---- subcommands ----------------------------------------------------------
 
 int cmd_example() {
   const TaskGraph graph = paper_example_graph();
@@ -212,20 +436,73 @@ int cmd_example() {
 }
 
 int cmd_balance(const CliOptions& options) {
+  if (!options.algo.empty()) {
+    const auto solver = SolverRegistry::builtin().require(options.algo);
+    // A machine-count mismatch is a usage error (exit 1), not an
+    // unschedulable workload: fail before generating anything.
+    const int machines_exact = solver->capabilities().machines_exact;
+    if (machines_exact != 0 && machines_exact != options.procs) {
+      usage("solver '" + solver->name() + "' handles exactly " +
+            std::to_string(machines_exact) + " processors (--procs=" +
+            std::to_string(options.procs) + ")");
+    }
+    const Problem problem = Problem::generate(make_workload_spec(options));
+    const Outcome outcome = solver->solve(problem);
+    // Feasibility first: the transcript must not print a solved header
+    // for a run that then reports "unschedulable".
+    const Schedule& solved = solved_or_throw(outcome);
+    std::cout << "--- initial ---\n" << render_gantt(problem.initial_schedule())
+              << "\n--- solved (" << solver->name() << ") ---\n"
+              << render_gantt(solved) << "\n"
+              << summarize_solve(outcome.stats);
+    if (!outcome.detail.empty()) {
+      std::cout << "detail: " << outcome.detail << "\n";
+    }
+    return 0;
+  }
   const Prepared p = prepare(options);
-  std::cout << "--- initial ---\n" << render_gantt(p.before)
+  const Schedule& solved = solved_or_throw(p.outcome);
+  std::cout << "--- initial ---\n" << render_gantt(p.problem.initial_schedule())
             << "\n--- balanced (" << to_string(options.policy) << ") ---\n"
-            << render_gantt(p.result.schedule) << "\n"
-            << summarize(p.result.stats);
-  validate_or_throw(p.result.schedule);
+            << render_gantt(solved) << "\n" << summarize_solve(p.outcome.stats);
+  return 0;
+}
+
+int cmd_compare(const CliOptions& options) {
+  ScenarioSpec spec;
+  spec.suite = make_suite_spec(options);
+  if (!options.algo.empty() && options.algo != "all") {
+    std::string name;
+    std::istringstream list(options.algo);
+    while (std::getline(list, name, ',')) {
+      if (!name.empty()) spec.solvers.push_back(name);
+    }
+  }
+
+  const ScenarioRunner runner(SolverRegistry::builtin());
+  const ScenarioReport report = runner.run(spec);
+  std::cout << "=== compare: " << options.count << " x (N=" << options.tasks
+            << ", M=" << options.procs << ", base seed " << options.seed
+            << ") ===\n"
+            << summarize_scenario(report, options.timing);
+  if (!options.out_prefix.empty()) {
+    write_file(options.out_prefix + "_compare.json",
+               scenario_report_to_json(report, options.timing));
+  }
+  if (report.instances == 0) {
+    std::cerr << "unschedulable: no workload instance could be generated ("
+              << report.skipped_seeds << " seeds skipped)\n";
+    return 2;
+  }
   return 0;
 }
 
 int cmd_simulate(const CliOptions& options) {
   const Prepared p = prepare(options);
-  std::cout << summarize(p.result.stats) << "\n";
+  const Schedule& solved = solved_or_throw(p.outcome);
+  std::cout << summarize_solve(p.outcome.stats) << "\n";
   const SimMetrics metrics =
-      simulate(p.result.schedule, SimOptions{options.hyperperiods, true});
+      simulate(solved, SimOptions{options.hyperperiods, true});
   std::cout << "simulated " << options.hyperperiods << " hyper-periods ("
             << metrics.span << " ticks): " << metrics.violations
             << " violations\n";
@@ -241,8 +518,9 @@ int cmd_simulate(const CliOptions& options) {
 
 int cmd_bus(const CliOptions& options) {
   const Prepared p = prepare(options);
-  const BusReport before = analyze_single_bus(p.before);
-  const BusReport after = analyze_single_bus(p.result.schedule);
+  const Schedule& solved = solved_or_throw(p.outcome);
+  const BusReport before = analyze_single_bus(p.problem.initial_schedule());
+  const BusReport after = analyze_single_bus(solved);
   auto show = [](const char* label, const BusReport& report) {
     std::cout << label << ": " << report.jobs.size() << " transfers, busy "
               << report.bus_busy << ", utilization "
@@ -258,14 +536,14 @@ int cmd_replay(const CliOptions& options) {
   // Same contract as `balance`: an invalid starting point (e.g. the
   // balancer fell back on a workload that busts a finite capacity) is
   // "unschedulable", not a baseline to replay events against.
-  validate_or_throw(p.result.schedule);
+  solved_or_throw(p.outcome);
   std::cout << "--- balanced starting point ---\n"
-            << summarize(p.result.stats) << "\n";
+            << summarize_solve(p.outcome.stats) << "\n";
 
   EventTraceParams trace_params;
   trace_params.events = options.events;
   const EventTrace trace =
-      random_event_trace(*p.graph, p.result.schedule.architecture(),
+      random_event_trace(p.problem.graph(), p.outcome.schedule->architecture(),
                          trace_params, options.event_seed);
 
   RebalancerOptions online_options;
@@ -274,15 +552,20 @@ int cmd_replay(const CliOptions& options) {
       options.capacity != kUnlimitedMemory;
   online_options.balance.migration_penalty = options.migration_penalty;
   online_options.incremental = options.incremental;
-  Rebalancer system(std::move(p.graph), std::move(p.result.schedule),
-                    online_options);
+  std::string mode = options.incremental ? "incremental" : "full";
+  if (!options.resolver.empty()) {
+    online_options.incremental = false;
+    online_options.full_resolver =
+        SolverRegistry::builtin().require(options.resolver);
+    mode = "full (resolver " + options.resolver + ")";
+  }
+  Rebalancer system = Rebalancer::adopt(
+      p.problem.graph(), *p.outcome.schedule, online_options);
 
   const OnlineRunner runner;
   const OnlineReport report = runner.replay(system, trace);
   std::cout << "--- replay (" << options.events << " events, seed "
-            << options.event_seed << ", "
-            << (options.incremental ? "incremental" : "full")
-            << " mode) ---\n"
+            << options.event_seed << ", " << mode << " mode) ---\n"
             << summarize_online(report);
 
   if (!options.out_prefix.empty()) {
@@ -294,14 +577,17 @@ int cmd_replay(const CliOptions& options) {
 
 int cmd_export(const CliOptions& options) {
   const Prepared p = prepare(options);
+  const Schedule& solved = solved_or_throw(p.outcome);
   const std::string prefix =
       options.out_prefix.empty() ? "lbmem" : options.out_prefix;
-  write_file(prefix + "_graph.dot", graph_to_dot(*p.graph));
-  write_file(prefix + "_before.dot", schedule_to_dot(p.before));
-  write_file(prefix + "_after.dot", schedule_to_dot(p.result.schedule));
-  write_file(prefix + "_before.json", schedule_to_json(p.before));
-  write_file(prefix + "_after.json", schedule_to_json(p.result.schedule));
-  write_file(prefix + "_stats.json", stats_to_json(p.result.stats));
+  write_file(prefix + "_graph.dot", graph_to_dot(p.problem.graph()));
+  write_file(prefix + "_before.dot",
+             schedule_to_dot(p.problem.initial_schedule()));
+  write_file(prefix + "_after.dot", schedule_to_dot(solved));
+  write_file(prefix + "_before.json",
+             schedule_to_json(p.problem.initial_schedule()));
+  write_file(prefix + "_after.json", schedule_to_json(solved));
+  write_file(prefix + "_stats.json", solve_stats_to_json(p.outcome.stats));
   return 0;
 }
 
@@ -310,14 +596,20 @@ int cmd_export(const CliOptions& options) {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h") help(kAllCommands);
+  const CommandSpec* cmd = find_command(command);
+  if (cmd == nullptr) usage("unknown command: " + command);
   try {
-    if (command == "example") return cmd_example();
-    const CliOptions options = parse_flags(argc, argv, 2);
-    if (command == "balance") return cmd_balance(options);
-    if (command == "simulate") return cmd_simulate(options);
-    if (command == "bus") return cmd_bus(options);
-    if (command == "export") return cmd_export(options);
-    if (command == "replay") return cmd_replay(options);
+    const CliOptions options = parse_flags(*cmd, argc, argv, 2);
+    switch (cmd->bit) {
+      case kExample: return cmd_example();
+      case kBalance: return cmd_balance(options);
+      case kCompare: return cmd_compare(options);
+      case kSimulate: return cmd_simulate(options);
+      case kBus: return cmd_bus(options);
+      case kExport: return cmd_export(options);
+      case kReplay: return cmd_replay(options);
+    }
     usage("unknown command: " + command);
   } catch (const ScheduleError& e) {
     std::cerr << "unschedulable: " << e.what() << "\n";
