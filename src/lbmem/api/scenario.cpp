@@ -1,6 +1,6 @@
 #include "lbmem/api/scenario.hpp"
 
-#include <utility>
+#include "lbmem/util/thread_pool.hpp"
 
 namespace lbmem {
 
@@ -31,40 +31,63 @@ ScenarioReport ScenarioRunner::run(const ScenarioSpec& spec) const {
   report.instances = static_cast<int>(suite.size());
   report.skipped_seeds = skipped;
 
-  for (const SuiteInstance& instance : suite) {
+  // The (instance x solver) cells are independent units of work: each
+  // builds its own Problem from the shared-immutable suite instance,
+  // solves it, and fills exactly its own pre-sized slot — so the cell
+  // order (instance-major) and everything derived from it are identical
+  // for every thread count (DESIGN.md F19/F20). push_back would be both
+  // a data race and an ordering leak under the pool.
+  const std::size_t width = solvers.size();
+  report.cells.assign(suite.size() * width, ScenarioCell{});
+  const auto solve_cell = [&](std::size_t idx) {
+    const SuiteInstance& instance = suite[idx / width];
+    const std::shared_ptr<const Solver>& solver = solvers[idx % width];
     const Problem problem(instance.graph, instance.schedule);
-    for (std::size_t s = 0; s < solvers.size(); ++s) {
-      const Outcome outcome = solvers[s]->solve(problem);
-      ScenarioCell cell;
-      cell.solver = solvers[s]->name();
-      cell.seed = instance.seed;
-      cell.feasible = outcome.feasible();
-      cell.makespan = outcome.stats.makespan_after;
-      cell.max_memory = outcome.stats.max_memory_after;
-      cell.gain = outcome.stats.gain_total;
-      cell.wall_seconds = outcome.stats.wall_seconds;
-      cell.detail = outcome.detail;
-      report.cells.push_back(std::move(cell));
-
-      if (outcome.feasible()) {
-        ScenarioSolverSummary& row = report.summary[s];
-        ++row.solved;
-        row.mean_makespan += static_cast<double>(outcome.stats.makespan_after);
-        row.mean_max_memory +=
-            static_cast<double>(outcome.stats.max_memory_after);
-        row.mean_gain += static_cast<double>(outcome.stats.gain_total);
-        row.mean_wall_seconds += outcome.stats.wall_seconds;
-      }
+    const Outcome outcome = solver->solve(problem);
+    ScenarioCell& cell = report.cells[idx];
+    cell.solver = solver->name();
+    cell.seed = instance.seed;
+    cell.feasible = outcome.feasible();
+    cell.makespan = outcome.stats.makespan_after;
+    cell.max_memory = outcome.stats.max_memory_after;
+    cell.gain = outcome.stats.gain_total;
+    cell.wall_seconds = outcome.stats.wall_seconds;
+    cell.detail = outcome.detail;
+  };
+  const int threads = ThreadPool::resolve(spec.threads);
+  if (threads > 1 && report.cells.size() > 1) {
+    ThreadPool pool(threads);
+    pool.parallel_for(report.cells.size(), solve_cell);
+  } else {
+    for (std::size_t idx = 0; idx < report.cells.size(); ++idx) {
+      solve_cell(idx);
     }
   }
 
+  // Summary post-pass on this thread, in cell order. Quality means
+  // aggregate over the solved instances; wall time over all of them (a
+  // solver that burns seconds before declaring infeasible must not look
+  // free in the timing column).
+  for (std::size_t idx = 0; idx < report.cells.size(); ++idx) {
+    const ScenarioCell& cell = report.cells[idx];
+    ScenarioSolverSummary& row = report.summary[idx % width];
+    row.mean_wall_seconds += cell.wall_seconds;
+    if (!cell.feasible) continue;
+    ++row.solved;
+    row.mean_makespan += static_cast<double>(cell.makespan);
+    row.mean_max_memory += static_cast<double>(cell.max_memory);
+    row.mean_gain += static_cast<double>(cell.gain);
+  }
   for (ScenarioSolverSummary& row : report.summary) {
-    if (row.solved == 0) continue;
-    const double n = row.solved;
-    row.mean_makespan /= n;
-    row.mean_max_memory /= n;
-    row.mean_gain /= n;
-    row.mean_wall_seconds /= n;
+    if (row.solved > 0) {
+      const double n = row.solved;
+      row.mean_makespan /= n;
+      row.mean_max_memory /= n;
+      row.mean_gain /= n;
+    }
+    if (report.instances > 0) {
+      row.mean_wall_seconds /= report.instances;
+    }
   }
   return report;
 }

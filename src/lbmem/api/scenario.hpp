@@ -23,6 +23,15 @@ struct ScenarioSpec {
   /// Registry names to run, in this order; empty = every registered
   /// solver in registration order.
   std::vector<std::string> solvers;
+  /// Worker threads for the (instance x solver) sweep (DESIGN.md F19/F20):
+  /// 1 (the default) runs the cells sequentially, 0 resolves to the
+  /// hardware concurrency. Every cell solves its own Problem and writes
+  /// its own pre-sized slot, so the report — cell order, summary, JSON —
+  /// is identical for every thread count (wall-clock fields aside, which
+  /// are never deterministic). Solvers keep their own registered `threads`
+  /// configuration; the registry defaults are single-threaded, so sweeping
+  /// them in parallel does not oversubscribe.
+  int threads = 1;
 };
 
 /// One solver's outcome on one suite instance.
@@ -37,14 +46,19 @@ struct ScenarioCell {
   std::string detail;  ///< configuration echo or the infeasibility reason
 };
 
-/// Per-solver aggregates over the solved instances.
+/// Per-solver aggregates. Quality means (makespan, memory, gain) average
+/// over the *solved* instances — an infeasible run has no makespan to
+/// average. Wall time averages over *all* instances: a solver that burns
+/// seconds before declaring infeasible pays for them in the timing
+/// column, and `solved` sits next to it so the two denominators are
+/// always visible together.
 struct ScenarioSolverSummary {
   std::string solver;
   int solved = 0;  ///< instances with a feasible outcome
   double mean_makespan = 0.0;
   double mean_max_memory = 0.0;
   double mean_gain = 0.0;
-  double mean_wall_seconds = 0.0;
+  double mean_wall_seconds = 0.0;  ///< over all instances, solved or not
 };
 
 /// The full sweep result.

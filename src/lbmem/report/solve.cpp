@@ -112,11 +112,13 @@ std::string summarize_scenario(const ScenarioReport& report,
       cells.push_back(format_double(row.mean_makespan, 1));
       cells.push_back(format_double(row.mean_max_memory, 1));
       cells.push_back(format_double(row.mean_gain, 1));
-      if (include_timing) {
-        cells.push_back(format_double(1e3 * row.mean_wall_seconds, 3));
-      }
     } else {
-      cells.insert(cells.end(), include_timing ? 4 : 3, "-");
+      cells.insert(cells.end(), 3, "-");
+    }
+    if (include_timing) {
+      // Wall time averages over *all* instances, so it is meaningful (and
+      // shown) even for a solver that never produced a feasible outcome.
+      cells.push_back(format_double(1e3 * row.mean_wall_seconds, 3));
     }
     table.add_row(std::move(cells));
   }

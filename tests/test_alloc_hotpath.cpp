@@ -12,8 +12,8 @@
 /// on this workload; the bounds below fail loudly if that behaviour
 /// regresses.
 ///
-/// Skipped under sanitizers: ASan interposes the allocator and this
-/// counting definition would fight its bookkeeping.
+/// Skipped under sanitizers: ASan and TSan interpose the allocator and
+/// this counting definition would fight their bookkeeping.
 
 #include <gtest/gtest.h>
 
@@ -24,10 +24,10 @@
 #include "lbmem/gen/suites.hpp"
 #include "lbmem/lb/load_balancer.hpp"
 
-#if defined(__SANITIZE_ADDRESS__)
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
 #define LBMEM_ALLOC_TEST_DISABLED 1
 #elif defined(__has_feature)
-#if __has_feature(address_sanitizer)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
 #define LBMEM_ALLOC_TEST_DISABLED 1
 #endif
 #endif

@@ -74,6 +74,35 @@ TEST(ApiScenario, SummaryAggregatesMatchTheCells) {
   }
 }
 
+TEST(ApiScenario, SummaryWallTimeAveragesOverAllInstances) {
+  // Wall time is averaged over every instance, solved or not: a solver
+  // that burns time before declaring infeasible must not look free. The
+  // 3-processor suite makes dp-partition (machines_exact = 2) infeasible
+  // on every instance, so its summary row has solved == 0 but still a
+  // wall mean backed by all of its cells.
+  ScenarioSpec spec = small_spec();
+  spec.suite.params.intended_processors = 3;
+  spec.suite.processors = 3;
+  spec.solvers = {"heuristic-lex", "dp-partition"};
+  const ScenarioReport report = ScenarioRunner().run(spec);
+  ASSERT_GT(report.instances, 0);
+  ASSERT_EQ(report.summary.size(), 2u);
+  for (const ScenarioSolverSummary& row : report.summary) {
+    double wall = 0;
+    int cells = 0;
+    for (const ScenarioCell& cell : report.cells) {
+      if (cell.solver != row.solver) continue;
+      wall += cell.wall_seconds;
+      ++cells;
+    }
+    EXPECT_EQ(cells, report.instances) << row.solver;
+    EXPECT_DOUBLE_EQ(row.mean_wall_seconds, wall / report.instances)
+        << row.solver;
+  }
+  EXPECT_EQ(report.summary[1].solver, "dp-partition");
+  EXPECT_EQ(report.summary[1].solved, 0);
+}
+
 TEST(ApiScenario, CellsAreInstanceMajorOverTheSolverSubset) {
   ScenarioSpec spec = small_spec();
   spec.solvers = {"initial", "heuristic-lex"};

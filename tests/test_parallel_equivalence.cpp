@@ -1,0 +1,315 @@
+/// A/B determinism suite for the threaded paths (DESIGN.md F19/F20):
+/// `threads=1` vs `threads=8` must produce bit-identical schedules and
+/// reports at both layers — the balancer's parallel destination-candidate
+/// evaluation and the ScenarioRunner's parallel (instance x solver) sweep.
+/// The sequential path is the exactness oracle, exactly the way
+/// test_prune_equivalence.cpp uses the exhaustive path as the oracle for
+/// bound-and-prune selection.
+///
+/// Counter caveat (BalanceStats): the pruning-observability counters are a
+/// property of the scan schedule — the sequential scan prunes against an
+/// improving incumbent, the parallel pipeline against the fixed home
+/// incumbent — so those three fields are compared across *parallel* runs
+/// (identical for every thread count >= 2) and checked against their
+/// structural sum invariant, not against the sequential run.
+///
+/// The whole file is TSan-relevant: under the tsan preset these tests are
+/// the regression net for the shared-state audit (pre-sized slots, per-pop
+/// read-only scratch, per-call solver state).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "lbmem/api/problem.hpp"
+#include "lbmem/api/registry.hpp"
+#include "lbmem/api/scenario.hpp"
+#include "lbmem/api/solvers.hpp"
+#include "lbmem/gen/suites.hpp"
+#include "lbmem/lb/block_builder.hpp"
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/report/solve.hpp"
+#include "lbmem/util/thread_pool.hpp"
+
+namespace lbmem {
+namespace {
+
+std::vector<SuiteInstance> suite(int tasks, int procs, std::uint64_t seed,
+                                 int count = 3) {
+  SuiteSpec spec;
+  spec.params.tasks = tasks;
+  spec.params.period_levels = 3;
+  spec.params.edge_probability = 0.2;
+  spec.params.intended_processors = procs;
+  spec.processors = procs;
+  spec.comm_cost = 2;
+  spec.count = count;
+  spec.base_seed = seed;
+  return make_suite(spec);
+}
+
+void expect_equal_schedules(const Schedule& a, const Schedule& b) {
+  for (const TaskInstance inst : a.all_instances()) {
+    ASSERT_EQ(a.proc(inst), b.proc(inst))
+        << "processor diverged for task " << inst.task << " k=" << inst.k;
+    ASSERT_EQ(a.start(inst), b.start(inst))
+        << "start diverged for task " << inst.task << " k=" << inst.k;
+  }
+}
+
+/// Everything in BalanceStats except wall time and the three scan-schedule
+/// counters must match bit for bit.
+void expect_equal_outcomes(const BalanceStats& a, const BalanceStats& b) {
+  EXPECT_EQ(a.makespan_before, b.makespan_before);
+  EXPECT_EQ(a.makespan_after, b.makespan_after);
+  EXPECT_EQ(a.gain_total, b.gain_total);
+  EXPECT_EQ(a.max_memory_before, b.max_memory_before);
+  EXPECT_EQ(a.max_memory_after, b.max_memory_after);
+  EXPECT_EQ(a.memory_after, b.memory_after);
+  EXPECT_EQ(a.blocks_total, b.blocks_total);
+  EXPECT_EQ(a.blocks_category1, b.blocks_category1);
+  EXPECT_EQ(a.moves_off_home, b.moves_off_home);
+  EXPECT_EQ(a.gains_applied, b.gains_applied);
+  EXPECT_EQ(a.forced_stays, b.forced_stays);
+  EXPECT_EQ(a.attempts_used, b.attempts_used);
+  EXPECT_EQ(a.fell_back, b.fell_back);
+}
+
+void expect_counter_invariant(const BalanceStats& stats, int open) {
+  EXPECT_EQ(stats.dest_evaluated + stats.dest_skipped_by_bound,
+            static_cast<std::int64_t>(open) * stats.blocks_total);
+}
+
+void expect_threads_equivalent(const Schedule& input, BalanceOptions options) {
+  options.threads = 1;
+  const BalanceResult sequential = LoadBalancer(options).balance(input);
+  options.threads = 2;
+  const BalanceResult two = LoadBalancer(options).balance(input);
+  options.threads = 8;
+  const BalanceResult eight = LoadBalancer(options).balance(input);
+
+  expect_equal_schedules(sequential.schedule, eight.schedule);
+  expect_equal_schedules(sequential.schedule, two.schedule);
+  expect_equal_outcomes(sequential.stats, eight.stats);
+  expect_equal_outcomes(sequential.stats, two.stats);
+
+  // The parallel pipeline is deterministic in itself: every counter —
+  // scan-schedule ones included — matches across thread counts >= 2.
+  EXPECT_EQ(two.stats.dest_evaluated, eight.stats.dest_evaluated);
+  EXPECT_EQ(two.stats.dest_skipped_by_bound,
+            eight.stats.dest_skipped_by_bound);
+  EXPECT_EQ(two.stats.dest_cut_by_incumbent,
+            eight.stats.dest_cut_by_incumbent);
+
+  const int open = input.architecture().processor_count();
+  expect_counter_invariant(sequential.stats, open);
+  expect_counter_invariant(eight.stats, open);
+}
+
+TEST(ParallelEquivalence, AllPoliciesOnRandomSuites) {
+  const CostPolicy policies[] = {
+      CostPolicy::Lexicographic, CostPolicy::PaperFormula,
+      CostPolicy::PaperLiteral, CostPolicy::GainOnly, CostPolicy::MemoryOnly};
+  for (const auto& instance : suite(40, 4, 1000)) {
+    for (const CostPolicy policy : policies) {
+      BalanceOptions options;
+      options.policy = policy;
+      expect_threads_equivalent(instance.schedule, options);
+    }
+  }
+}
+
+TEST(ParallelEquivalence, WiderArchitectures) {
+  for (const auto& instance : suite(80, 8, 2000)) {
+    expect_threads_equivalent(instance.schedule, BalanceOptions{});
+  }
+}
+
+TEST(ParallelEquivalence, MigrationPenaltyGate) {
+  // The gate consumes the home candidate's exact score; the parallel
+  // pipeline evaluates home first for the same reason the pruned
+  // sequential scan does.
+  for (const auto& instance : suite(40, 4, 4000)) {
+    BalanceOptions options;
+    options.migration_penalty = 3;
+    expect_threads_equivalent(instance.schedule, options);
+  }
+}
+
+TEST(ParallelEquivalence, HardwareConcurrencyKnob) {
+  // threads=0 resolves to the hardware concurrency; whatever that is, the
+  // result must equal the sequential run.
+  const auto instances = suite(40, 4, 5000, /*count=*/1);
+  ASSERT_FALSE(instances.empty());
+  BalanceOptions options;
+  options.threads = 1;
+  const BalanceResult sequential = LoadBalancer(options).balance(
+      instances.front().schedule);
+  options.threads = 0;
+  const BalanceResult hardware = LoadBalancer(options).balance(
+      instances.front().schedule);
+  expect_equal_schedules(sequential.schedule, hardware.schedule);
+  expect_equal_outcomes(sequential.stats, hardware.stats);
+}
+
+TEST(ParallelEquivalence, ScopedRebalance) {
+  // The warm-start rebalance path shares the selection machinery; the
+  // parallel pipeline must agree there too.
+  for (const auto& instance : suite(40, 4, 6000)) {
+    const BlockDecomposition dec = build_blocks(instance.schedule);
+    RebalanceScope scope;
+    scope.blocks = &dec;
+
+    BalanceOptions options;
+    options.threads = 1;
+    const BalanceResult sequential =
+        LoadBalancer(options).rebalance(instance.schedule, scope);
+    options.threads = 8;
+    const BalanceResult parallel =
+        LoadBalancer(options).rebalance(instance.schedule, scope);
+    expect_equal_schedules(sequential.schedule, parallel.schedule);
+    expect_equal_outcomes(sequential.stats, parallel.stats);
+  }
+}
+
+// ---- sweep level ----------------------------------------------------------
+
+ScenarioSpec sweep_spec(int threads) {
+  ScenarioSpec spec;
+  spec.suite.params.tasks = 16;
+  spec.suite.params.intended_processors = 2;
+  spec.suite.processors = 2;
+  spec.suite.comm_cost = 2;
+  spec.suite.count = 3;
+  spec.suite.base_seed = 11;
+  spec.solvers = {"initial", "heuristic-lex", "heuristic-memory",
+                  "round-robin", "memory-greedy"};
+  spec.threads = threads;
+  return spec;
+}
+
+void expect_equal_reports(const ScenarioReport& a, const ScenarioReport& b) {
+  ASSERT_EQ(a.instances, b.instances);
+  ASSERT_EQ(a.skipped_seeds, b.skipped_seeds);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].solver, b.cells[i].solver) << "cell " << i;
+    EXPECT_EQ(a.cells[i].seed, b.cells[i].seed) << "cell " << i;
+    EXPECT_EQ(a.cells[i].feasible, b.cells[i].feasible) << "cell " << i;
+    EXPECT_EQ(a.cells[i].makespan, b.cells[i].makespan) << "cell " << i;
+    EXPECT_EQ(a.cells[i].max_memory, b.cells[i].max_memory) << "cell " << i;
+    EXPECT_EQ(a.cells[i].gain, b.cells[i].gain) << "cell " << i;
+    EXPECT_EQ(a.cells[i].detail, b.cells[i].detail) << "cell " << i;
+  }
+  // Byte-identical timing-free renderings: the compare JSON golden
+  // contract under --threads.
+  EXPECT_EQ(scenario_report_to_json(a, /*include_timing=*/false),
+            scenario_report_to_json(b, /*include_timing=*/false));
+  EXPECT_EQ(summarize_scenario(a, /*include_timing=*/false),
+            summarize_scenario(b, /*include_timing=*/false));
+}
+
+TEST(ParallelEquivalence, ScenarioSweepMatchesSequential) {
+  const ScenarioRunner runner;
+  const ScenarioReport sequential = runner.run(sweep_spec(1));
+  const ScenarioReport parallel = runner.run(sweep_spec(8));
+  expect_equal_reports(sequential, parallel);
+}
+
+TEST(ParallelEquivalence, ScenarioSweepOversubscribed) {
+  // More threads than cells (5 solvers x 1 instance): the pool's extra
+  // workers must neither deadlock nor disturb the slot writes.
+  ScenarioSpec spec = sweep_spec(1);
+  spec.suite.count = 1;
+  const ScenarioRunner runner;
+  const ScenarioReport sequential = runner.run(spec);
+  spec.threads = 16;
+  const ScenarioReport parallel = runner.run(spec);
+  ASSERT_GT(parallel.instances, 0);
+  EXPECT_LT(parallel.instances, 16);
+  expect_equal_reports(sequential, parallel);
+}
+
+TEST(ParallelEquivalence, NestedBalancerThreadsInsideSweep) {
+  // A custom heuristic solver with its own balancer-level threads, swept
+  // by a threaded runner: pools nest (sweep workers each drive their own
+  // candidate pool) without changing any result.
+  BalanceOptions heuristic;
+  heuristic.threads = 2;
+  SolverRegistry registry;
+  registry.add(std::make_shared<HeuristicSolver>(heuristic));
+  ScenarioSpec spec = sweep_spec(4);
+  spec.solvers.clear();
+  const ScenarioRunner runner(registry);
+  const ScenarioReport parallel = runner.run(spec);
+  spec.threads = 1;
+  BalanceOptions sequential_opts;
+  SolverRegistry sequential_registry;
+  sequential_registry.add(std::make_shared<HeuristicSolver>(sequential_opts));
+  const ScenarioReport sequential =
+      ScenarioRunner(sequential_registry).run(spec);
+  expect_equal_reports(sequential, parallel);
+}
+
+// ---- shared-state audit regressions (exercised under TSan) ----------------
+
+TEST(ParallelEquivalence, ConcurrentSolvesShareNoState) {
+  // Registered solvers are immutable after construction and keep all
+  // mutable state per call (per-call Rng in the GA, per-Attempt scratch in
+  // the heuristic, thread-safe magic statics in the registry): concurrent
+  // solve() calls on the same solver and the same Problem must be clean
+  // under TSan and agree with each other.
+  const auto instances = suite(24, 3, 9000, /*count=*/1);
+  ASSERT_FALSE(instances.empty());
+  const Problem problem(instances.front().graph, instances.front().schedule);
+  const std::vector<std::string> names = {"heuristic-lex", "memory-greedy",
+                                          "ga", "round-robin"};
+  for (const std::string& name : names) {
+    const auto solver = SolverRegistry::builtin().require(name);
+    constexpr int kCallers = 4;
+    std::vector<Outcome> outcomes(kCallers);
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (int c = 0; c < kCallers; ++c) {
+      callers.emplace_back([&, c] { outcomes[c] = solver->solve(problem); });
+    }
+    for (std::thread& caller : callers) caller.join();
+    for (int c = 1; c < kCallers; ++c) {
+      EXPECT_EQ(outcomes[c].feasible(), outcomes[0].feasible()) << name;
+      EXPECT_EQ(outcomes[c].stats.makespan_after,
+                outcomes[0].stats.makespan_after)
+          << name;
+      EXPECT_EQ(outcomes[c].detail, outcomes[0].detail) << name;
+    }
+  }
+}
+
+TEST(ParallelEquivalence, ConcurrentBalancersOnSharedInput) {
+  // One immutable input schedule, many LoadBalancer::balance calls racing
+  // over it — the balancer must only ever read shared state (per-Attempt
+  // working copies, per-pop scratch) for this to pass under TSan.
+  const auto instances = suite(40, 4, 9500, /*count=*/1);
+  ASSERT_FALSE(instances.empty());
+  const Schedule& input = instances.front().schedule;
+  BalanceOptions options;
+  options.threads = 2;  // each caller also fans out internally
+  const LoadBalancer balancer(options);
+  constexpr int kCallers = 3;
+  std::vector<std::optional<BalanceResult>> results(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] { results[c] = balancer.balance(input); });
+  }
+  for (std::thread& caller : callers) caller.join();
+  for (int c = 1; c < kCallers; ++c) {
+    ASSERT_TRUE(results[0].has_value() && results[c].has_value());
+    expect_equal_schedules(results[0]->schedule, results[c]->schedule);
+    expect_equal_outcomes(results[0]->stats, results[c]->stats);
+  }
+}
+
+}  // namespace
+}  // namespace lbmem

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Record the performance trajectory: build the Release bench preset, run
-# bench_complexity, bench_online and bench_solvers with JSON output, and
-# write BENCH_complexity.json / BENCH_online.json / BENCH_solvers.json at
-# the repo root (override the destinations with $1 / $2 / $3). Check the
-# results in so the perf history stays non-empty; see README.md,
-# "Performance", "Online rebalancing" and "Choosing a solver".
+# bench_complexity, bench_online, bench_solvers and bench_parallel with
+# JSON output, and write BENCH_complexity.json / BENCH_online.json /
+# BENCH_solvers.json / BENCH_parallel.json at the repo root (override the
+# destinations with $1..$4). Check the results in so the perf history
+# stays non-empty; see README.md, "Performance", "Online rebalancing",
+# "Choosing a solver" and "Parallelism".
 #
 # The recorded context must describe a release-built harness: benchmarks
 # measure header-inline hot paths compiled into the bench binary, and a
@@ -14,12 +15,59 @@
 # still says "debug" — e.g. when someone points it at a Debug build tree.
 # Optionally set LBMEM_BENCHMARK_SOURCE_DIR to a google-benchmark checkout
 # to also build the benchmark library itself in Release (CI does this).
+#
+# `bench_record.sh --selftest` exercises the release guard itself against
+# synthetic recordings (spacing variants and the debug negative path) and
+# exits without building anything; CI runs it so a formatting change in
+# bench_json.hpp can never silently disarm the guard.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+# Fail loudly if a recording claims a debug-built harness; never leave a
+# debug recording at the destination path. Whitespace-tolerant on purpose:
+# the stamp is JSON, and "key": "value" spacing is a serializer detail the
+# guard must not depend on (a compact writer once turned this grep into a
+# false failure).
+check_release() {
+  local json="$1"
+  if ! grep -Eq '"library_build_type"[[:space:]]*:[[:space:]]*"release"' \
+      "${json}"; then
+    echo "error: ${json} does not report a release-built benchmark harness" >&2
+    grep '"library_build_type"' "${json}" >&2 || true
+    rm -f "${json}"
+    exit 1
+  fi
+}
+
+if [[ "${1:-}" == "--selftest" ]]; then
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' EXIT
+  printf '{"library_build_type": "release"}\n' > "${tmp}/spaced.json"
+  printf '{"library_build_type":"release"}\n' > "${tmp}/compact.json"
+  printf '{"library_build_type" : "release"}\n' > "${tmp}/padded.json"
+  printf '{"library_build_type": "debug"}\n' > "${tmp}/debug.json"
+  check_release "${tmp}/spaced.json"
+  check_release "${tmp}/compact.json"
+  check_release "${tmp}/padded.json"
+  # Negative path: a debug recording must fail the guard and be removed
+  # (subshell: check_release exits, the selftest carries on).
+  if (check_release "${tmp}/debug.json") 2>/dev/null; then
+    echo "selftest FAILED: a debug recording passed the release guard" >&2
+    exit 1
+  fi
+  if [[ -e "${tmp}/debug.json" ]]; then
+    echo "selftest FAILED: the rejected debug recording was not removed" >&2
+    exit 1
+  fi
+  echo "bench_record.sh selftest passed"
+  exit 0
+fi
+
 complexity_out="${1:-${repo}/BENCH_complexity.json}"
 online_out="${2:-${repo}/BENCH_online.json}"
 solvers_out="${3:-${repo}/BENCH_solvers.json}"
+parallel_out="${4:-${repo}/BENCH_parallel.json}"
 
 cd "${repo}"
 config_args=()
@@ -28,19 +76,7 @@ if [[ -n "${LBMEM_BENCHMARK_SOURCE_DIR:-}" ]]; then
 fi
 cmake --preset bench "${config_args[@]}"
 cmake --build --preset bench -j "$(nproc)" \
-  --target bench_complexity bench_online bench_solvers
-
-# Fail loudly if a recording claims a debug-built harness; never leave a
-# debug recording at the destination path.
-check_release() {
-  local json="$1"
-  if ! grep -q '"library_build_type": "release"' "${json}"; then
-    echo "error: ${json} does not report a release-built benchmark harness" >&2
-    grep '"library_build_type"' "${json}" >&2 || true
-    rm -f "${json}"
-    exit 1
-  fi
-}
+  --target bench_complexity bench_online bench_solvers bench_parallel
 
 "${repo}/build-bench/bench/bench_complexity" \
   --benchmark_out="${complexity_out}" \
@@ -59,3 +95,9 @@ echo "wrote ${online_out}"
   --benchmark_out_format=json
 check_release "${solvers_out}"
 echo "wrote ${solvers_out}"
+
+"${repo}/build-bench/bench/bench_parallel" \
+  --benchmark_out="${parallel_out}" \
+  --benchmark_out_format=json
+check_release "${parallel_out}"
+echo "wrote ${parallel_out}"

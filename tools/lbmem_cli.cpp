@@ -106,6 +106,11 @@ constexpr FlagSpec kFlags[] = {
      "record the full decision trace; off runs the pruned hot path and the "
      "summary reports destinations evaluated/skipped by bound",
      kHeuristicDriven},
+    {"threads", "N",
+     "worker threads, 0 = hardware concurrency; compare parallelizes the "
+     "(instance x solver) sweep, balance the destination scan (implies "
+     "--trace=off) — results are identical for every N",
+     kBalance | kCompare},
     {"hyperperiods", "K", "hyper-periods to simulate", kSimulate},
     {"out", "PREFIX", "write JSON/DOT artifacts under this path prefix",
      kExport | kReplay | kCompare},
@@ -224,11 +229,15 @@ struct CliOptions {
   /// evaluates every destination exhaustively; --trace=off runs the pruned
   /// production path (bound-and-prune selection) — decisions are identical.
   bool trace = true;
+  /// --threads=N for compare (sweep-level) and balance (balancer-level);
+  /// 0 resolves to the hardware concurrency.
+  int threads = 1;
   // set-tracking for cross-flag validation:
   bool policy_set = false;
   bool trace_set = false;
   bool mode_set = false;
   bool penalty_set = false;
+  bool threads_set = false;
 };
 
 CliOptions parse_flags(const CommandSpec& cmd, int argc, char** argv,
@@ -275,6 +284,13 @@ CliOptions parse_flags(const CommandSpec& cmd, int argc, char** argv,
         options.migration_penalty = std::stoll(value);
       } else if (key == "count") {
         options.count = std::stoi(value);
+      } else if (key == "threads") {
+        options.threads_set = true;
+        options.threads = std::stoi(value);
+        if (options.threads < 0) {
+          usage("--threads takes a count >= 1, or 0 for the hardware "
+                "concurrency");
+        }
       } else if (key == "algo") {
         options.algo = value;
       } else if (key == "resolver") {
@@ -333,6 +349,16 @@ CliOptions parse_flags(const CommandSpec& cmd, int argc, char** argv,
     if (options.trace_set) {
       usage("--trace applies to the heuristic path only, not to --algo runs");
     }
+    if (options.threads_set) {
+      usage("--threads configures the heuristic's destination scan; --algo "
+            "runs use the solver's registered configuration");
+    }
+  }
+  if (cmd.bit == kBalance && options.threads_set && options.trace_set &&
+      options.trace) {
+    usage("--trace=on records the full decision trace, which evaluates "
+          "destinations exhaustively on one thread; drop it or use "
+          "--trace=off with --threads");
   }
   if (cmd.bit == kReplay && !options.resolver.empty()) {
     if (options.mode_set && options.incremental) {
@@ -395,6 +421,14 @@ BalanceOptions make_balance_options(const CliOptions& options) {
   balance.policy = options.policy;
   balance.enforce_memory_capacity = options.capacity != kUnlimitedMemory;
   balance.record_trace = options.trace;
+  balance.threads = options.threads;
+  if (options.threads_set && !options.trace_set) {
+    // Tracing evaluates every destination exhaustively on one thread;
+    // asking for threads without an explicit --trace choice means "run
+    // the parallel scan", so the trace default flips off (decisions are
+    // identical either way). --trace=on --threads is rejected upstream.
+    balance.record_trace = false;
+  }
   return balance;
 }
 
@@ -471,6 +505,7 @@ int cmd_balance(const CliOptions& options) {
 int cmd_compare(const CliOptions& options) {
   ScenarioSpec spec;
   spec.suite = make_suite_spec(options);
+  spec.threads = options.threads;
   if (!options.algo.empty() && options.algo != "all") {
     std::string name;
     std::istringstream list(options.algo);
