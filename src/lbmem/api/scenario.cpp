@@ -1,5 +1,6 @@
 #include "lbmem/api/scenario.hpp"
 
+#include "lbmem/sim/robustness.hpp"
 #include "lbmem/util/thread_pool.hpp"
 
 namespace lbmem {
@@ -30,6 +31,7 @@ ScenarioReport ScenarioRunner::run(const ScenarioSpec& spec) const {
   const std::vector<SuiteInstance> suite = make_suite(spec.suite, &skipped);
   report.instances = static_cast<int>(suite.size());
   report.skipped_seeds = skipped;
+  report.replications = spec.replications;
 
   // The (instance x solver) cells are independent units of work: each
   // builds its own Problem from the shared-immutable suite instance,
@@ -53,6 +55,28 @@ ScenarioReport ScenarioRunner::run(const ScenarioSpec& spec) const {
     cell.gain = outcome.stats.gain_total;
     cell.wall_seconds = outcome.stats.wall_seconds;
     cell.detail = outcome.detail;
+    if (spec.replications > 0 && outcome.feasible()) {
+      // Robustness replications: the instance's noise stream is shared by
+      // every solver racing on it (seeded from the workload seed, not the
+      // solver), so a task overruns identically under each schedule and
+      // the miss-rate column compares schedules, not luck.
+      RobustnessOptions rob;
+      rob.sim = spec.sim;
+      rob.perturb = spec.suite.perturb;
+      rob.perturb.seed = perturb_hash(spec.suite.perturb.seed,
+                                      kPerturbScenario, instance.seed);
+      rob.replications = spec.replications;
+      const RobustnessReport r = run_robustness(*outcome.schedule, rob);
+      cell.perturbed = true;
+      cell.rep_miss_rates.reserve(r.replications.size());
+      for (const RobustnessReplication& rep : r.replications) {
+        cell.rep_miss_rates.push_back(rep.miss_rate);
+      }
+      cell.miss_p50 = r.miss_p50;
+      cell.miss_p99 = r.miss_p99;
+      cell.mean_span_inflation = r.mean_span_inflation;
+      cell.sim_violations = r.total_violations;
+    }
   };
   const int threads = ThreadPool::resolve(spec.threads);
   if (threads > 1 && report.cells.size() > 1) {
@@ -87,6 +111,31 @@ ScenarioReport ScenarioRunner::run(const ScenarioSpec& spec) const {
     }
     if (report.instances > 0) {
       row.mean_wall_seconds /= report.instances;
+    }
+  }
+
+  // Robustness post-pass (sequential, cell order): pool every replication
+  // of every solved instance per solver and take nearest-rank percentiles
+  // — deterministic because the pooled order is the cell order.
+  if (spec.replications > 0) {
+    for (std::size_t s = 0; s < width; ++s) {
+      std::vector<double> pooled;
+      double inflation_sum = 0.0;
+      int perturbed_cells = 0;
+      for (std::size_t idx = s; idx < report.cells.size(); idx += width) {
+        const ScenarioCell& cell = report.cells[idx];
+        if (!cell.perturbed) continue;
+        pooled.insert(pooled.end(), cell.rep_miss_rates.begin(),
+                      cell.rep_miss_rates.end());
+        inflation_sum += cell.mean_span_inflation;
+        ++perturbed_cells;
+      }
+      ScenarioSolverSummary& row = report.summary[s];
+      row.miss_p50 = robustness_percentile(pooled, 50.0);
+      row.miss_p99 = robustness_percentile(pooled, 99.0);
+      if (perturbed_cells > 0) {
+        row.mean_span_inflation = inflation_sum / perturbed_cells;
+      }
     }
   }
   return report;

@@ -12,6 +12,7 @@
 
 #include "lbmem/api/registry.hpp"
 #include "lbmem/gen/suites.hpp"
+#include "lbmem/sim/engine.hpp"
 
 namespace lbmem {
 
@@ -32,6 +33,17 @@ struct ScenarioSpec {
   /// configuration; the registry defaults are single-threaded, so sweeping
   /// them in parallel does not oversubscribe.
   int threads = 1;
+  /// Robustness mode: run this many seeded perturbed replications of the
+  /// discrete-event executor per *feasible* cell, under suite.perturb's
+  /// noise model (0 = off, the static comparison). Every instance derives
+  /// one noise stream from (suite.perturb.seed, instance seed) — shared by
+  /// all solvers racing on it, so a task draws the same overrun whichever
+  /// schedule hosts it and the comparison is apples-to-apples — and
+  /// replication seeds are derived by value, so the report is bit-identical
+  /// across thread counts and replication order.
+  int replications = 0;
+  /// Executor window per replication (hyper-periods, local buffers).
+  SimOptions sim;
 };
 
 /// One solver's outcome on one suite instance.
@@ -44,6 +56,15 @@ struct ScenarioCell {
   Time gain = 0;  ///< initial-schedule makespan minus the solver's
   double wall_seconds = 0.0;
   std::string detail;  ///< configuration echo or the infeasibility reason
+  // Robustness mode (ScenarioSpec::replications > 0), feasible cells only:
+  bool perturbed = false;
+  /// Per-replication miss rates, in replication order.
+  std::vector<double> rep_miss_rates;
+  double miss_p50 = 0.0;
+  double miss_p99 = 0.0;
+  double mean_span_inflation = 1.0;
+  /// Executor invariant violations summed over the replications.
+  std::int64_t sim_violations = 0;
 };
 
 /// Per-solver aggregates. Quality means (makespan, memory, gain) average
@@ -59,12 +80,20 @@ struct ScenarioSolverSummary {
   double mean_max_memory = 0.0;
   double mean_gain = 0.0;
   double mean_wall_seconds = 0.0;  ///< over all instances, solved or not
+  // Robustness mode: percentiles pooled over every replication of every
+  // solved instance (miss rates are comparable across instances — they are
+  // already normalized by instance size), inflation averaged over them.
+  double miss_p50 = 0.0;
+  double miss_p99 = 0.0;
+  double mean_span_inflation = 1.0;
 };
 
 /// The full sweep result.
 struct ScenarioReport {
   int instances = 0;      ///< suite instances actually generated
   int skipped_seeds = 0;  ///< unschedulable seeds the generator skipped
+  /// Echo of ScenarioSpec::replications (> 0: robustness columns present).
+  int replications = 0;
   /// instance-major: all solvers on instance 0, then instance 1, …
   std::vector<ScenarioCell> cells;
   /// solver order of the spec (summary row even when nothing solved).

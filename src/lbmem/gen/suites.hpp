@@ -13,6 +13,7 @@
 
 #include "lbmem/gen/random_graph.hpp"
 #include "lbmem/sched/scheduler.hpp"
+#include "lbmem/sim/perturb.hpp"
 
 namespace lbmem {
 
@@ -33,6 +34,12 @@ struct SuiteSpec {
   std::uint64_t base_seed = 1; ///< seeds base_seed, base_seed+1, ...
   PlacementPolicy policy = PlacementPolicy::PeriodCluster;
   int max_seed_attempts = 200; ///< give up after this many seeds
+  /// Perturbation model for robustness sweeps over this suite (inert by
+  /// default). Generation ignores it — it rides along so one SuiteSpec
+  /// fully describes a perturbed scenario (ScenarioSpec::replications
+  /// turns it on; each instance derives its noise seed from perturb.seed
+  /// and its own workload seed).
+  PerturbSpec perturb;
 };
 
 /// Build a suite. Fewer than spec.count instances are returned when too

@@ -384,6 +384,10 @@ void Rebalancer::run_balance_stage(const std::vector<TaskId>& seeds,
                                   : std::move(result.occupancy);
 }
 
+EventOutcome Rebalancer::fail_processor(ProcId proc, Time at) {
+  return apply(Event{at, ProcessorFailure{proc}});
+}
+
 EventOutcome Rebalancer::apply(const Event& event) {
   Stopwatch watch;
   EventOutcome out;

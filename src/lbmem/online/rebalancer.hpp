@@ -119,6 +119,11 @@ class Rebalancer {
   /// outcome; on rejection the system is exactly as before the call.
   EventOutcome apply(const Event& event);
 
+  /// Convenience for the robustness harness and failover tests: a
+  /// ProcessorFailure observed at simulated tick \p at. Equivalent to
+  /// apply(Event{at, ProcessorFailure{proc}}).
+  EventOutcome fail_processor(ProcId proc, Time at = 0);
+
   const TaskGraph& graph() const { return *graph_; }
   const Schedule& schedule() const { return *sched_; }
   const RebalancerOptions& options() const { return options_; }

@@ -1,0 +1,34 @@
+#pragma once
+/// \file sim.hpp
+/// \brief Renderings of the discrete-event executor's results: the
+/// `simulate` subcommand's text summary and `*_sim.json` artifact, for
+/// both the plain run (SimMetrics) and the perturbed robustness harness
+/// (RobustnessReport). Deterministic for a fixed seed — no wall-clock
+/// figures — so the CLI transcript can be a golden file.
+
+#include <string>
+
+#include "lbmem/sim/robustness.hpp"
+
+namespace lbmem {
+
+/// Text summary of one unperturbed execution: the span/violation headline,
+/// miss accounting, and the per-processor idle/memory lines.
+std::string summarize_sim(const SimMetrics& metrics, int hyperperiods);
+
+/// JSON object for one unperturbed execution, including the structured
+/// violation records (task ids + instance indices).
+std::string sim_report_to_json(const SimMetrics& metrics, int hyperperiods);
+
+/// Text summary of a robustness run: the perturbation echo, aggregate
+/// miss-rate percentiles, per-replication lines, and the failure ->
+/// recovery outcome when one was injected.
+std::string summarize_robustness(const RobustnessReport& report,
+                                 const RobustnessOptions& options);
+
+/// JSON object for a robustness run (aggregates + per-replication rows +
+/// the failure block when one was injected).
+std::string robustness_report_to_json(const RobustnessReport& report,
+                                      const RobustnessOptions& options);
+
+}  // namespace lbmem

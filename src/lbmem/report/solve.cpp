@@ -99,8 +99,13 @@ std::string summarize_scenario(const ScenarioReport& report,
   std::ostringstream out;
   out << "instances: " << report.instances << " (" << report.skipped_seeds
       << " unschedulable seeds skipped)\n";
+  const bool robustness = report.replications > 0;
   std::vector<std::string> headers = {"solver", "solved", "mean makespan",
                                       "mean max-mem", "mean gain"};
+  if (robustness) {
+    headers.push_back("miss p50/p99");
+    headers.push_back("span infl");
+  }
   if (include_timing) headers.push_back("mean wall (ms)");
   Table table(std::move(headers));
   for (const ScenarioSolverSummary& row : report.summary) {
@@ -115,6 +120,15 @@ std::string summarize_scenario(const ScenarioReport& report,
     } else {
       cells.insert(cells.end(), 3, "-");
     }
+    if (robustness) {
+      if (row.solved > 0) {
+        cells.push_back(format_double(row.miss_p50, 3) + "/" +
+                        format_double(row.miss_p99, 3));
+        cells.push_back(format_double(row.mean_span_inflation, 3));
+      } else {
+        cells.insert(cells.end(), 2, "-");
+      }
+    }
     if (include_timing) {
       // Wall time averages over *all* instances, so it is meaningful (and
       // shown) even for a solver that never produced a feasible outcome.
@@ -128,10 +142,14 @@ std::string summarize_scenario(const ScenarioReport& report,
 
 std::string scenario_report_to_json(const ScenarioReport& report,
                                     bool include_timing) {
+  const bool robustness = report.replications > 0;
   std::ostringstream out;
   out << "{\n  \"instances\": " << report.instances
-      << ",\n  \"skipped_seeds\": " << report.skipped_seeds
-      << ",\n  \"summary\": [\n";
+      << ",\n  \"skipped_seeds\": " << report.skipped_seeds;
+  if (robustness) {
+    out << ",\n  \"replications\": " << report.replications;
+  }
+  out << ",\n  \"summary\": [\n";
   for (std::size_t i = 0; i < report.summary.size(); ++i) {
     const ScenarioSolverSummary& row = report.summary[i];
     out << "    {\"solver\": \"" << json_escape(row.solver)
@@ -139,6 +157,11 @@ std::string scenario_report_to_json(const ScenarioReport& report,
         << ", \"mean_makespan\": " << row.mean_makespan
         << ", \"mean_max_memory\": " << row.mean_max_memory
         << ", \"mean_gain\": " << row.mean_gain;
+    if (robustness) {
+      out << ", \"miss_p50\": " << row.miss_p50
+          << ", \"miss_p99\": " << row.miss_p99
+          << ", \"mean_span_inflation\": " << row.mean_span_inflation;
+    }
     if (include_timing) {
       out << ", \"mean_wall_seconds\": " << row.mean_wall_seconds;
     }
@@ -153,6 +176,17 @@ std::string scenario_report_to_json(const ScenarioReport& report,
         << ", \"makespan\": " << cell.makespan
         << ", \"max_memory\": " << cell.max_memory
         << ", \"gain\": " << cell.gain;
+    if (robustness && cell.perturbed) {
+      out << ", \"miss_p50\": " << cell.miss_p50
+          << ", \"miss_p99\": " << cell.miss_p99
+          << ", \"mean_span_inflation\": " << cell.mean_span_inflation
+          << ", \"sim_violations\": " << cell.sim_violations
+          << ", \"rep_miss_rates\": [";
+      for (std::size_t r = 0; r < cell.rep_miss_rates.size(); ++r) {
+        out << (r ? ", " : "") << cell.rep_miss_rates[r];
+      }
+      out << "]";
+    }
     if (include_timing) {
       out << ", \"wall_seconds\": " << cell.wall_seconds;
     }

@@ -66,6 +66,20 @@ std::size_t count_remote_transfers(const Schedule& sched) {
   return extract_jobs(sched).size();
 }
 
+void fifo_bus_schedule(std::vector<FifoTransfer>& transfers) {
+  std::sort(transfers.begin(), transfers.end(),
+            [](const FifoTransfer& a, const FifoTransfer& b) {
+              if (a.release != b.release) return a.release < b.release;
+              return a.key < b.key;
+            });
+  Time bus_free = 0;
+  for (FifoTransfer& t : transfers) {
+    const Time begin = std::max(t.release, bus_free);
+    t.completion = begin + t.length;
+    bus_free = t.completion;
+  }
+}
+
 BusReport analyze_single_bus(const Schedule& sched) {
   LBMEM_REQUIRE(sched.complete(), "bus analysis requires a complete schedule");
   BusReport report;

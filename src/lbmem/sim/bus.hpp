@@ -72,4 +72,24 @@ BusReport analyze_single_bus(const Schedule& sched);
 /// it co-locates communicating blocks.
 std::size_t count_remote_transfers(const Schedule& sched);
 
+/// One transfer through the FIFO contention model (the perturbed
+/// executor's bus mode, DESIGN.md Section 11): transfers are served in
+/// release order on one exclusive medium, each completing at
+/// max(release, bus free time) + length. FIFO (not EDF) because a runtime
+/// bus arbiter has no deadlines to sort by — this is the degradation an
+/// unmanaged shared medium actually exhibits.
+struct FifoTransfer {
+  Time release = 0;
+  Time length = 0;
+  /// Caller's handle (e.g. an index into its own table); also the
+  /// deterministic tie-break among equal releases.
+  std::uint64_t key = 0;
+  /// Filled by fifo_bus_schedule.
+  Time completion = 0;
+};
+
+/// Serialize \p transfers through one FIFO bus: sorts them in place by
+/// (release, key) and fills each completion time.
+void fifo_bus_schedule(std::vector<FifoTransfer>& transfers);
+
 }  // namespace lbmem

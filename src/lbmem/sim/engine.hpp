@@ -1,7 +1,7 @@
 #pragma once
 /// \file engine.hpp
 /// \brief Discrete-event execution of a distributed strict-periodic
-/// schedule over several hyper-periods.
+/// schedule over several hyper-periods, optionally under perturbation.
 ///
 /// The executor dispatches every instance at its static start time across
 /// \p hyperperiods repetitions of the schedule and checks, independently of
@@ -16,9 +16,16 @@
 /// arrival until the consuming instance completes; slow consumers of fast
 /// producers therefore hold n data at once, and memory reuse is impossible.
 /// Locally produced data is held from production to consumption likewise.
+///
+/// simulate_perturbed() executes the same time-triggered dispatch under a
+/// seeded PerturbSpec (WCET overruns, stalls, message-delay inflation, FIFO
+/// bus contention, a processor failure) and additionally reports deadline
+/// misses, lost instances, and span inflation vs. the static prediction.
+/// simulate() is the inert-spec special case and performs no random draws.
 
 #include "lbmem/sched/schedule.hpp"
 #include "lbmem/sim/metrics.hpp"
+#include "lbmem/sim/perturb.hpp"
 
 namespace lbmem {
 
@@ -32,5 +39,16 @@ struct SimOptions {
 
 /// Execute \p sched and return the collected metrics.
 SimMetrics simulate(const Schedule& sched, const SimOptions& options = {});
+
+/// Execute \p sched under \p perturb. \p first_hyperperiod shifts the
+/// window: repetition w runs at absolute time offset
+/// (first_hyperperiod + w) * H, draws its noise from the absolute
+/// repetition index, and compares dispatches against the absolute
+/// perturb.fail_at — so a run stitched from consecutive windows (the
+/// robustness harness swaps in a repaired schedule mid-run) perturbs each
+/// instance exactly as one continuous run would.
+SimMetrics simulate_perturbed(const Schedule& sched, const SimOptions& options,
+                              const PerturbSpec& perturb,
+                              int first_hyperperiod = 0);
 
 }  // namespace lbmem

@@ -23,4 +23,15 @@ Mem SimMetrics::max_peak_total() const {
   return peak;
 }
 
+double SimMetrics::miss_rate() const {
+  if (total_instances <= 0) return 0.0;
+  return static_cast<double>(deadline_misses + lost_instances) /
+         static_cast<double>(total_instances);
+}
+
+double SimMetrics::span_inflation() const {
+  if (predicted_span <= 0) return 1.0;
+  return static_cast<double>(span) / static_cast<double>(predicted_span);
+}
+
 }  // namespace lbmem

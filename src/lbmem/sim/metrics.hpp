@@ -26,18 +26,61 @@ struct ProcMetrics {
   Mem peak_total = 0;
 };
 
+/// One executor invariant violation, as a structured record (the
+/// violation_details strings render the same events for humans).
+struct SimViolation {
+  enum class Kind {
+    Overlap,       ///< an instance dispatched on a busy processor
+    DataNotReady,  ///< an instance dispatched before an input datum arrived
+  };
+  Kind kind = Kind::Overlap;
+  /// Overlap: the instance still running. DataNotReady: the producer
+  /// instance whose datum is late (or lost).
+  TaskInstance blocker{};
+  /// The instance dispatched into the violation.
+  TaskInstance victim{};
+  /// The victim's dispatch tick (absolute simulated time).
+  Time at = 0;
+  /// When the conflict clears: the blocker's completion (Overlap) or the
+  /// datum's arrival (DataNotReady); -1 when the datum never arrives
+  /// (producer lost to a processor failure).
+  Time ready_at = 0;
+};
+
 /// Whole-run simulation metrics.
 struct SimMetrics {
   /// Simulated time span (hyperperiods * H plus the transient tail).
   Time span = 0;
+  /// The span the static schedule predicts for the same window; under
+  /// perturbation span may exceed it (see span_inflation()).
+  Time predicted_span = 0;
   std::vector<ProcMetrics> procs;
-  /// Executor invariant violations (0 for a valid schedule).
+  /// Executor invariant violations (0 for a valid schedule executed
+  /// without perturbation): overlap_violations + data_violations.
   int violations = 0;
+  int overlap_violations = 0;
+  int data_violations = 0;
   std::vector<std::string> violation_details;
+  /// One structured record per violation, in detection order (overlap
+  /// sweep first, then data arrivals in window/edge order).
+  std::vector<SimViolation> violation_records;
+  /// Executed instances completing after start + period (the strict-
+  /// periodic slot an instance must vacate for its successor).
+  int deadline_misses = 0;
+  /// Instances never dispatched because their processor had failed.
+  int lost_instances = 0;
+  /// All instances the window scheduled (executed + lost).
+  std::int64_t total_instances = 0;
 
   double mean_idle_fraction() const;
   Mem max_peak_buffer() const;
   Mem max_peak_total() const;
+  /// (deadline_misses + lost_instances) / total_instances — a lost
+  /// instance is the hardest possible miss.
+  double miss_rate() const;
+  /// span / predicted_span (>= 1 under pure overrun noise; 1 when the
+  /// execution matched the static plan).
+  double span_inflation() const;
 };
 
 }  // namespace lbmem

@@ -1,0 +1,42 @@
+#include "lbmem/sim/perturb.hpp"
+
+namespace lbmem {
+
+namespace {
+
+/// SplitMix64 finalizer (public-domain reference constants) — the same
+/// scrambler util/rng.hpp seeds xoshiro through, used here as a pure
+/// counter-based hash so draws need no generator state.
+std::uint64_t splitmix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t perturb_hash(std::uint64_t seed, std::uint64_t channel,
+                           std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t h = splitmix(seed ^ (channel * 0x9e3779b97f4a7c15ULL));
+  h = splitmix(h ^ a);
+  h = splitmix(h ^ b);
+  h = splitmix(h ^ c);
+  return h;
+}
+
+double perturb_unit(std::uint64_t seed, std::uint64_t channel, std::uint64_t a,
+                    std::uint64_t b, std::uint64_t c) {
+  // Top 53 bits -> [0, 1), the standard exact double mapping.
+  return static_cast<double>(perturb_hash(seed, channel, a, b, c) >> 11) *
+         0x1.0p-53;
+}
+
+PerturbSpec PerturbSpec::replication(int rep) const {
+  PerturbSpec derived = *this;
+  derived.seed = perturb_hash(seed, kPerturbReplication,
+                              static_cast<std::uint64_t>(rep));
+  return derived;
+}
+
+}  // namespace lbmem

@@ -1,0 +1,86 @@
+#pragma once
+/// \file perturb.hpp
+/// \brief Seeded, deterministic perturbation model for the discrete-event
+/// executor (DESIGN.md Section 11).
+///
+/// A PerturbSpec describes how reality is allowed to deviate from the
+/// static schedule: bounded multiplicative WCET overruns, message-delay
+/// inflation and FIFO bus contention, transient processor stalls, and one
+/// injected permanent ProcessorFailure. Dispatch stays time-triggered (the
+/// strict-periodic starts are fixed by the schedule table), so every
+/// deviation surfaces as a measured effect — overlap violations, late data,
+/// deadline misses, span inflation — rather than a shifted timeline.
+///
+/// Determinism contract: every random draw is a *pure hash* of
+/// (seed, channel, draw coordinates) — there is no stateful generator to
+/// advance, so the value a given instance (or transfer) draws is
+/// independent of evaluation order, thread count, and which other draws
+/// happen at all. Replication r of a spec derives its seed the same way
+/// (replication()), which makes perturbed sweeps bit-identical across
+/// thread counts and replication order (the property
+/// test_parallel_equivalence enforces for solving, extended to simulation
+/// by test_perturb).
+
+#include <cstdint>
+
+#include "lbmem/model/types.hpp"
+
+namespace lbmem {
+
+/// Independent draw channels: the same coordinates must yield unrelated
+/// values for unrelated decisions (WCET overrun vs. stall trial).
+enum : std::uint64_t {
+  kPerturbWcet = 0x11,
+  kPerturbStall = 0x22,
+  kPerturbComm = 0x33,
+  kPerturbReplication = 0x44,
+  kPerturbScenario = 0x55,
+};
+
+/// Stateless mix of a seed, a channel, and up to three draw coordinates
+/// into 64 uniform bits (SplitMix64 finalizer chain).
+std::uint64_t perturb_hash(std::uint64_t seed, std::uint64_t channel,
+                           std::uint64_t a, std::uint64_t b = 0,
+                           std::uint64_t c = 0);
+
+/// The same mix mapped to a uniform double in [0, 1).
+double perturb_unit(std::uint64_t seed, std::uint64_t channel, std::uint64_t a,
+                    std::uint64_t b = 0, std::uint64_t c = 0);
+
+/// How to perturb a simulated execution. The default spec is inert:
+/// simulate() uses it and performs zero random draws.
+struct PerturbSpec {
+  /// Root seed of every draw; equal seeds give equal executions.
+  std::uint64_t seed = 1;
+  /// Max multiplicative WCET overrun: an executed instance runs for
+  /// wcet * (1 + jitter * u), u ~ U[0,1). WCETs are worst-case *declared*
+  /// bounds, so only overruns (mis-declared bounds — the robustness
+  /// question) are modeled; early completion can never add a violation.
+  double wcet_jitter = 0.0;
+  /// Max multiplicative message-delay inflation per remote transfer.
+  double comm_jitter = 0.0;
+  /// Per-instance probability of a transient stall of stall_ticks.
+  double stall_prob = 0.0;
+  Time stall_ticks = 0;
+  /// Serialize remote transfers through one FIFO bus (sim/bus.hpp) instead
+  /// of the contention-free fixed-delay model.
+  bool bus_fifo = false;
+  /// Permanent processor failure: instances placed on fail_proc whose
+  /// dispatch is at or after fail_at are lost (no execution, no data).
+  ProcId fail_proc = kNoProc;
+  Time fail_at = 0;
+
+  /// Any timing noise configured (jitter, stalls, or bus contention).
+  bool any_noise() const {
+    return wcet_jitter > 0.0 || comm_jitter > 0.0 ||
+           (stall_prob > 0.0 && stall_ticks > 0) || bus_fifo;
+  }
+  /// Anything at all to inject (noise or a failure).
+  bool active() const { return any_noise() || fail_proc != kNoProc; }
+
+  /// The spec for replication \p rep: same knobs, a seed derived by value
+  /// (not by advancing a stream), so replications are order-free.
+  PerturbSpec replication(int rep) const;
+};
+
+}  // namespace lbmem

@@ -1,0 +1,167 @@
+#include "lbmem/sim/robustness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "lbmem/util/check.hpp"
+
+namespace lbmem {
+
+namespace {
+
+/// Stitch the metrics of two consecutive windows into one run's figures.
+/// Counters add; spans and peaks take the max (all times are absolute, so
+/// the later window's figures already include its offset); idle fractions
+/// are re-derived from the merged busy over the full run.
+SimMetrics merge_windows(const SimMetrics& a, const SimMetrics& b, Time h,
+                         int total_reps) {
+  SimMetrics m;
+  m.span = std::max(a.span, b.span);
+  m.predicted_span = std::max(a.predicted_span, b.predicted_span);
+  m.violations = a.violations + b.violations;
+  m.overlap_violations = a.overlap_violations + b.overlap_violations;
+  m.data_violations = a.data_violations + b.data_violations;
+  m.deadline_misses = a.deadline_misses + b.deadline_misses;
+  m.lost_instances = a.lost_instances + b.lost_instances;
+  m.total_instances = a.total_instances + b.total_instances;
+  m.violation_details = a.violation_details;
+  m.violation_details.insert(m.violation_details.end(),
+                             b.violation_details.begin(),
+                             b.violation_details.end());
+  m.violation_records = a.violation_records;
+  m.violation_records.insert(m.violation_records.end(),
+                             b.violation_records.begin(),
+                             b.violation_records.end());
+  m.procs.resize(a.procs.size());
+  const double window = static_cast<double>(h * static_cast<Time>(total_reps));
+  for (std::size_t p = 0; p < a.procs.size(); ++p) {
+    ProcMetrics& pm = m.procs[p];
+    pm.busy = a.procs[p].busy + b.procs[p].busy;
+    pm.idle_fraction = 1.0 - static_cast<double>(pm.busy) / window;
+    pm.static_memory = std::max(a.procs[p].static_memory,
+                                b.procs[p].static_memory);
+    pm.peak_buffer = std::max(a.procs[p].peak_buffer, b.procs[p].peak_buffer);
+    pm.peak_total = std::max(a.procs[p].peak_total, b.procs[p].peak_total);
+  }
+  return m;
+}
+
+}  // namespace
+
+double robustness_percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = pct / 100.0 * static_cast<double>(values.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;  // nearest-rank is 1-based
+  if (idx >= values.size()) idx = values.size() - 1;
+  return values[idx];
+}
+
+RobustnessReport run_robustness(const Schedule& schedule,
+                                const RobustnessOptions& options) {
+  LBMEM_REQUIRE(schedule.complete(),
+                "robustness harness requires a complete schedule");
+  LBMEM_REQUIRE(options.replications >= 1, "need at least one replication");
+  const TaskGraph& graph = schedule.graph();
+  const Time h = graph.hyperperiod();
+  const int reps = options.sim.hyperperiods;
+  const PerturbSpec& base = options.perturb;
+
+  RobustnessReport report;
+  report.replications.reserve(static_cast<std::size_t>(options.replications));
+
+  // Failure handoff: repair once per report — the repair decision depends
+  // on the schedule and the failed processor, never on the noise draws, so
+  // re-running it per replication would only duplicate work.
+  int fail_window = 0;
+  std::optional<Rebalancer> system;
+  const Schedule* repaired = nullptr;
+  if (base.fail_proc != kNoProc) {
+    LBMEM_REQUIRE(base.fail_at >= 0 &&
+                      base.fail_at < h * static_cast<Time>(reps),
+                  "fail_at must fall inside the simulated window");
+    report.failure_injected = true;
+    fail_window = static_cast<int>(base.fail_at / h);
+    system.emplace(Rebalancer::adopt(graph, schedule, options.repair));
+    const EventOutcome out =
+        system->fail_processor(base.fail_proc, base.fail_at);
+    report.recovered = out.applied;
+    if (out.applied) {
+      repaired = &system->schedule();
+      report.recovery_latency =
+          h * static_cast<Time>(fail_window + 1) - base.fail_at;
+      report.repair_detail =
+          "repaired " + std::to_string(out.repaired_tasks) + " tasks, " +
+          std::to_string(out.migrated_instances) + " instances migrated";
+    } else {
+      report.repair_detail = out.reject_reason;
+    }
+  }
+
+  for (int r = 0; r < options.replications; ++r) {
+    const PerturbSpec spec = base.replication(r);
+    RobustnessReplication rep;
+    if (!report.failure_injected) {
+      rep.metrics = simulate_perturbed(schedule, options.sim, spec, 0);
+    } else {
+      SimOptions pre = options.sim;
+      pre.hyperperiods = fail_window + 1;
+      const SimMetrics before = simulate_perturbed(schedule, pre, spec, 0);
+      rep.miss_rate_before = before.miss_rate();
+      const int tail = reps - fail_window - 1;
+      if (tail > 0) {
+        SimOptions post = options.sim;
+        post.hyperperiods = tail;
+        PerturbSpec tail_spec = spec;
+        SimMetrics after;
+        if (report.recovered) {
+          // The repaired schedule hosts nothing on the dead processor;
+          // drop the failure so the executor needs no special casing.
+          tail_spec.fail_proc = kNoProc;
+          tail_spec.fail_at = 0;
+          after = simulate_perturbed(*repaired, post, tail_spec,
+                                     fail_window + 1);
+        } else {
+          // Hard failure: the dead processor stays dead for the whole
+          // tail (fail_at = 0 loses every dispatch placed on it).
+          tail_spec.fail_at = 0;
+          after = simulate_perturbed(schedule, post, tail_spec,
+                                     fail_window + 1);
+        }
+        rep.miss_rate_after = after.miss_rate();
+        rep.metrics = merge_windows(before, after, h, reps);
+      } else {
+        rep.metrics = before;
+      }
+    }
+    rep.miss_rate = rep.metrics.miss_rate();
+    rep.span_inflation = rep.metrics.span_inflation();
+    report.replications.push_back(std::move(rep));
+  }
+
+  std::vector<double> miss_rates;
+  miss_rates.reserve(report.replications.size());
+  double inflation_sum = 0.0;
+  double before_sum = 0.0;
+  double after_sum = 0.0;
+  for (const RobustnessReplication& rep : report.replications) {
+    miss_rates.push_back(rep.miss_rate);
+    inflation_sum += rep.span_inflation;
+    before_sum += rep.miss_rate_before;
+    after_sum += rep.miss_rate_after;
+    report.total_violations += rep.metrics.violations;
+    report.total_deadline_misses += rep.metrics.deadline_misses;
+    report.total_lost_instances += rep.metrics.lost_instances;
+  }
+  const double n = static_cast<double>(report.replications.size());
+  report.miss_p50 = robustness_percentile(miss_rates, 50.0);
+  report.miss_p99 = robustness_percentile(miss_rates, 99.0);
+  report.mean_span_inflation = inflation_sum / n;
+  report.mean_miss_before = before_sum / n;
+  report.mean_miss_after = after_sum / n;
+  return report;
+}
+
+}  // namespace lbmem

@@ -1,0 +1,98 @@
+#pragma once
+/// \file robustness.hpp
+/// \brief The perturbed-execution robustness harness (DESIGN.md Section
+/// 11): seeded replications of simulate_perturbed over one schedule, with
+/// the failure -> online-repair handoff and aggregate miss-rate statistics.
+///
+/// Each replication executes the schedule for sim.hyperperiods windows
+/// under the spec's noise with a replication-derived seed. When the spec
+/// injects a ProcessorFailure, the run is stitched from two windows:
+///
+///   * [0, w_f]: the original schedule with the failure active — every
+///     dispatch on the dead processor from fail_at on is lost (w_f is the
+///     hyper-period containing fail_at);
+///   * [w_f+1, end): the failure is handed to online/Rebalancer once per
+///     report (noise never changes what repair does). If the repair is
+///     accepted, the repaired schedule takes over at the next hyper-period
+///     boundary — recovery_latency = (w_f+1)*H - fail_at, the table-swap
+///     discipline of strict-periodic dispatchers — and the tail runs
+///     clean. If the repair is rejected (Rebalancer rolls back, DESIGN.md
+///     F14), the system degrades hard: the tail keeps the original
+///     schedule with everything on the dead processor lost.
+///
+/// Dependences crossing the swap boundary are not tracked across windows
+/// (each window re-derives its producers); the boundary hyper-period is
+/// where the miss-rate-before figure already charges the damage.
+///
+/// Determinism: replication seeds are derived by value
+/// (PerturbSpec::replication), repair runs once, and each replication is
+/// self-contained — so the report is bit-identical however replications
+/// are ordered or distributed over threads.
+
+#include <string>
+#include <vector>
+
+#include "lbmem/online/rebalancer.hpp"
+#include "lbmem/sim/engine.hpp"
+
+namespace lbmem {
+
+/// Harness configuration.
+struct RobustnessOptions {
+  /// Window shape per replication (hyperperiods >= 1).
+  SimOptions sim;
+  /// Noise model + optional failure injection; seed is the root seed.
+  PerturbSpec perturb;
+  /// Seeded replications to run (>= 1).
+  int replications = 3;
+  /// Online-engine configuration for the failure repair.
+  RebalancerOptions repair;
+};
+
+/// One replication's outcome.
+struct RobustnessReplication {
+  SimMetrics metrics;  ///< merged across windows when a failure split them
+  double miss_rate = 0.0;
+  double span_inflation = 1.0;
+  /// Failure runs only: miss rate of the failure window [0, w_f] and of
+  /// the post-handoff tail (0 when there is no tail).
+  double miss_rate_before = 0.0;
+  double miss_rate_after = 0.0;
+};
+
+/// The aggregate robustness report.
+struct RobustnessReport {
+  std::vector<RobustnessReplication> replications;
+  /// The spec configured a ProcessorFailure inside the window.
+  bool failure_injected = false;
+  /// The Rebalancer accepted the repair (false: hard failure, rollback).
+  bool recovered = false;
+  /// Failure detection to repaired-table activation: (w_f+1)*H - fail_at.
+  Time recovery_latency = 0;
+  /// Repair summary, or the Rebalancer's rejection reason.
+  std::string repair_detail;
+  /// Nearest-rank percentiles of the per-replication miss rates.
+  double miss_p50 = 0.0;
+  double miss_p99 = 0.0;
+  double mean_span_inflation = 1.0;
+  /// Means of the per-replication before/after-recovery miss rates
+  /// (failure runs only; 0 otherwise).
+  double mean_miss_before = 0.0;
+  double mean_miss_after = 0.0;
+  /// Sums over the replications.
+  std::int64_t total_violations = 0;
+  std::int64_t total_deadline_misses = 0;
+  std::int64_t total_lost_instances = 0;
+};
+
+/// Nearest-rank percentile (pct in [0, 100]) of \p values; 0 when empty.
+/// Exposed for the scenario summary's pooled percentiles.
+double robustness_percentile(std::vector<double> values, double pct);
+
+/// Run the harness on \p schedule. Requires a complete schedule,
+/// replications >= 1, and — when a failure is configured — fail_at inside
+/// [0, hyperperiods * H).
+RobustnessReport run_robustness(const Schedule& schedule,
+                                const RobustnessOptions& options);
+
+}  // namespace lbmem

@@ -391,6 +391,129 @@ TEST(CliSimulate, ReportsHyperperiodsAndViolations) {
   EXPECT_NE(r.output.find("0 violations"), std::string::npos) << r.output;
 }
 
+TEST(CliSimulate, AlgoSelectsARegisteredSolver) {
+  const RunResult r = run_cli(
+      std::string("simulate --algo=memory-greedy --local-buffers=off ") +
+      kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("solver: memory-greedy"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("simulated 2 hyper-periods"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliSimulate, PerturbFlagHygiene) {
+  // Perturbation knobs without --perturb would silently measure nothing.
+  const RunResult knob = run_cli("simulate --jitter=0.5");
+  EXPECT_EQ(knob.exit_code, 1);
+  EXPECT_NE(knob.output.find("add --perturb"), std::string::npos)
+      << knob.output;
+  const RunResult orphan_at = run_cli("simulate --perturb --fail-at=3");
+  EXPECT_EQ(orphan_at.exit_code, 1);
+  EXPECT_NE(orphan_at.output.find("--fail-proc"), std::string::npos)
+      << orphan_at.output;
+  const RunResult bad_proc =
+      run_cli("simulate --perturb --fail-proc=9 --procs=3");
+  EXPECT_EQ(bad_proc.exit_code, 1);
+  EXPECT_NE(bad_proc.output.find("1-based"), std::string::npos)
+      << bad_proc.output;
+  const RunResult all = run_cli("simulate --algo=all");
+  EXPECT_EQ(all.exit_code, 1);
+  EXPECT_NE(all.output.find("simulate takes one name"), std::string::npos)
+      << all.output;
+}
+
+TEST(CliSimulate, BarePerturbRunsTheRobustnessHarness) {
+  // --perturb is the one value-less flag (the CI smoke uses it bare).
+  const RunResult r = run_cli(
+      std::string("simulate --perturb --replications=2 ") + kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("perturbed execution: 2 replications"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("miss rate p50"), std::string::npos) << r.output;
+}
+
+TEST(CliSimulate, PerturbedRunIsDeterministic) {
+  const std::string args =
+      std::string("simulate --perturb --replications=3 --perturb-seed=9 ") +
+      kSmallWorkload;
+  const RunResult first = run_cli(args);
+  const RunResult second = run_cli(args);
+  EXPECT_EQ(first.exit_code, 0) << first.output;
+  EXPECT_EQ(first.output, second.output);
+}
+
+TEST(CliSimulate, FailureRecoveryReportsBeforeAndAfter) {
+  const RunResult r = run_cli(
+      std::string("simulate --perturb --fail-proc=2 ") + kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("-> recovered"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("miss rate before recovery"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliSimulate, WritesSimJson) {
+  namespace fs = std::filesystem;
+#if defined(_WIN32)
+  const int pid = _getpid();
+#else
+  const int pid = getpid();
+#endif
+  const fs::path dir = fs::temp_directory_path() /
+                       ("lbmem_cli_simulate_test_" + std::to_string(pid));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string prefix = (dir / "out").string();
+  const RunResult plain = run_cli(std::string("simulate \"--out=") + prefix +
+                                  "\" " + kSmallWorkload);
+  EXPECT_EQ(plain.exit_code, 0) << plain.output;
+  {
+    std::ifstream json(prefix + "_sim.json");
+    ASSERT_TRUE(json.good()) << "missing " << prefix << "_sim.json";
+    std::stringstream content;
+    content << json.rdbuf();
+    EXPECT_NE(content.str().find("\"violation_records\""), std::string::npos);
+    EXPECT_NE(content.str().find("\"miss_rate\""), std::string::npos);
+  }
+  const RunResult perturbed =
+      run_cli(std::string("simulate --perturb \"--out=") + prefix + "\" " +
+              kSmallWorkload);
+  EXPECT_EQ(perturbed.exit_code, 0) << perturbed.output;
+  {
+    std::ifstream json(prefix + "_sim.json");
+    ASSERT_TRUE(json.good());
+    std::stringstream content;
+    content << json.rdbuf();
+    EXPECT_NE(content.str().find("\"miss_p50\""), std::string::npos);
+    EXPECT_NE(content.str().find("\"reps\""), std::string::npos);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CliCompare, PerturbAddsRobustnessColumns) {
+  const RunResult r = run_cli(
+      std::string("compare --perturb --replications=2 --timing=off ") +
+      kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("miss p50/p99"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("span infl"), std::string::npos) << r.output;
+}
+
+TEST(CliCompare, PerturbedThreadedSweepIsByteIdenticalToSequential) {
+  // The robustness replications ride the same pre-sized-slot discipline
+  // as the solve cells: thread count must not change a byte.
+  const std::string base =
+      std::string("compare --perturb --replications=3 --timing=off "
+                  "--count=2 ") +
+      kSmallWorkload;
+  const RunResult sequential = run_cli(base + " --threads=1");
+  const RunResult threaded = run_cli(base + " --threads=8");
+  EXPECT_EQ(sequential.exit_code, 0) << sequential.output;
+  EXPECT_EQ(threaded.exit_code, 0) << threaded.output;
+  EXPECT_EQ(sequential.output, threaded.output);
+}
+
 TEST(CliBus, ReportsBeforeAndAfter) {
   const RunResult r = run_cli(std::string("bus ") + kSmallWorkload);
   EXPECT_EQ(r.exit_code, 0) << r.output;

@@ -40,6 +40,13 @@ TEST(Sim, ValidScheduleHasNoViolations) {
   EXPECT_EQ(m.violations, 0) << (m.violation_details.empty()
                                      ? ""
                                      : m.violation_details.front());
+  // Unperturbed execution of a valid schedule: nothing misses, nothing is
+  // lost, and the realized span is exactly the predicted one.
+  EXPECT_EQ(m.deadline_misses, 0);
+  EXPECT_EQ(m.lost_instances, 0);
+  EXPECT_EQ(m.span, m.predicted_span);
+  EXPECT_DOUBLE_EQ(m.miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.span_inflation(), 1.0);
 }
 
 TEST(Sim, Figure1BuffersAccumulateNData) {
@@ -120,6 +127,55 @@ TEST(Sim, DetectsOverlap) {
   s.assign_all(0, 0);
   s.assign_all(1, 0);
   EXPECT_GT(simulate(s).violations, 0);
+}
+
+TEST(Sim, OverlapRecordIdentifiesBlockerAndVictim) {
+  // The corrupted two-task schedule from DetectsOverlap, checked down to
+  // the exact violation record: x[0] holds the processor until t=3 when
+  // y[0] is dispatched at t=1.
+  TaskGraph g;
+  g.add_task("x", 8, 3, 1);
+  g.add_task("y", 8, 3, 1);
+  g.freeze();
+  Schedule s(g, Architecture(1), CommModel::flat(1));
+  s.set_first_start(0, 0);
+  s.set_first_start(1, 1);
+  s.assign_all(0, 0);
+  s.assign_all(1, 0);
+  const SimMetrics m = simulate(s, SimOptions{1, true});
+  ASSERT_EQ(m.overlap_violations, 1);
+  ASSERT_EQ(m.violation_records.size(), 1u);
+  const SimViolation& v = m.violation_records.front();
+  EXPECT_EQ(v.kind, SimViolation::Kind::Overlap);
+  EXPECT_EQ(v.blocker.task, 0);
+  EXPECT_EQ(v.blocker.k, 0);
+  EXPECT_EQ(v.victim.task, 1);
+  EXPECT_EQ(v.victim.k, 0);
+  EXPECT_EQ(v.at, 1);        // y[0]'s dispatch tick
+  EXPECT_EQ(v.ready_at, 3);  // the processor frees when x[0] ends
+}
+
+TEST(Sim, DataViolationRecordPinpointsTheLateDatum) {
+  // The corrupted Figure-1 schedule from DetectsBrokenPrecedence: only
+  // a[3]'s datum (arriving at 11) is late for b[0]'s start at 9 — the
+  // record must name exactly that edge instance.
+  const TaskGraph g = figure1_graph();
+  Schedule s(g, Architecture(2), CommModel::flat(1));
+  s.set_first_start(g.find("a"), 0);
+  s.assign_all(g.find("a"), 0);
+  s.set_first_start(g.find("b"), 9);
+  s.assign_all(g.find("b"), 1);
+  const SimMetrics m = simulate(s, SimOptions{1, true});
+  ASSERT_EQ(m.data_violations, 1);
+  ASSERT_EQ(m.violation_records.size(), 1u);
+  const SimViolation& v = m.violation_records.front();
+  EXPECT_EQ(v.kind, SimViolation::Kind::DataNotReady);
+  EXPECT_EQ(v.blocker.task, g.find("a"));
+  EXPECT_EQ(v.blocker.k, 3);
+  EXPECT_EQ(v.victim.task, g.find("b"));
+  EXPECT_EQ(v.victim.k, 0);
+  EXPECT_EQ(v.at, 9);         // the consumer's dispatch tick
+  EXPECT_EQ(v.ready_at, 11);  // when the datum actually lands
 }
 
 TEST(Sim, SpanCoversRequestedHyperperiods) {

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Record the performance trajectory: build the Release bench preset, run
-# bench_complexity, bench_online, bench_solvers and bench_parallel with
-# JSON output, and write BENCH_complexity.json / BENCH_online.json /
-# BENCH_solvers.json / BENCH_parallel.json at the repo root (override the
-# destinations with $1..$4). Check the results in so the perf history
-# stays non-empty; see README.md, "Performance", "Online rebalancing",
-# "Choosing a solver" and "Parallelism".
+# bench_complexity, bench_online, bench_solvers, bench_parallel and
+# bench_robustness with JSON output, and write BENCH_complexity.json /
+# BENCH_online.json / BENCH_solvers.json / BENCH_parallel.json /
+# BENCH_robustness.json at the repo root (override the destinations with
+# $1..$5). Check the results in so the perf history stays non-empty; see
+# README.md, "Performance", "Online rebalancing", "Choosing a solver",
+# "Parallelism" and "Robustness".
 #
 # The recorded context must describe a release-built harness: benchmarks
 # measure header-inline hot paths compiled into the bench binary, and a
@@ -68,6 +69,7 @@ complexity_out="${1:-${repo}/BENCH_complexity.json}"
 online_out="${2:-${repo}/BENCH_online.json}"
 solvers_out="${3:-${repo}/BENCH_solvers.json}"
 parallel_out="${4:-${repo}/BENCH_parallel.json}"
+robustness_out="${5:-${repo}/BENCH_robustness.json}"
 
 cd "${repo}"
 config_args=()
@@ -76,7 +78,8 @@ if [[ -n "${LBMEM_BENCHMARK_SOURCE_DIR:-}" ]]; then
 fi
 cmake --preset bench "${config_args[@]}"
 cmake --build --preset bench -j "$(nproc)" \
-  --target bench_complexity bench_online bench_solvers bench_parallel
+  --target bench_complexity bench_online bench_solvers bench_parallel \
+    bench_robustness
 
 "${repo}/build-bench/bench/bench_complexity" \
   --benchmark_out="${complexity_out}" \
@@ -101,3 +104,9 @@ echo "wrote ${solvers_out}"
   --benchmark_out_format=json
 check_release "${parallel_out}"
 echo "wrote ${parallel_out}"
+
+"${repo}/build-bench/bench/bench_robustness" \
+  --benchmark_out="${robustness_out}" \
+  --benchmark_out_format=json
+check_release "${robustness_out}"
+echo "wrote ${robustness_out}"

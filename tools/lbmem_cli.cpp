@@ -10,7 +10,10 @@
 /// Exit code 0 on success (including --help), 1 on bad usage or an
 /// unknown solver name, 2 when the workload is unschedulable (for
 /// replay: when any post-event schedule is invalid; for compare: when no
-/// schedulable instance could be generated).
+/// schedulable instance could be generated; for simulate: when the
+/// unperturbed execution reports violations — under --perturb violations
+/// are the measurement, and exit 2 instead means an injected processor
+/// failure could not be repaired).
 
 #include <cstdint>
 #include <fstream>
@@ -29,10 +32,12 @@
 #include "lbmem/report/export.hpp"
 #include "lbmem/report/gantt.hpp"
 #include "lbmem/report/online.hpp"
+#include "lbmem/report/sim.hpp"
 #include "lbmem/report/solve.hpp"
 #include "lbmem/report/summary.hpp"
 #include "lbmem/sim/bus.hpp"
 #include "lbmem/sim/engine.hpp"
+#include "lbmem/sim/robustness.hpp"
 #include "lbmem/util/check.hpp"
 
 namespace {
@@ -99,9 +104,9 @@ constexpr FlagSpec kFlags[] = {
     {"policy", "lex|formula|literal|gain|memory", "heuristic cost policy",
      kHeuristicDriven},
     {"algo", "NAME|all",
-     "registered solver(s): balance takes one name, compare a comma list "
-     "or 'all' (the default there)",
-     kBalance | kCompare},
+     "registered solver(s): balance/simulate take one name, compare a "
+     "comma list or 'all' (the default there)",
+     kBalance | kSimulate | kCompare},
     {"trace", "on|off",
      "record the full decision trace; off runs the pruned hot path and the "
      "summary reports destinations evaluated/skipped by bound",
@@ -112,8 +117,37 @@ constexpr FlagSpec kFlags[] = {
      "--trace=off) — results are identical for every N",
      kBalance | kCompare},
     {"hyperperiods", "K", "hyper-periods to simulate", kSimulate},
+    {"local-buffers", "on|off",
+     "count same-processor producer->consumer data in buffer occupancy",
+     kSimulate},
+    {"perturb", "on|off",
+     "seeded perturbed execution (bare --perturb = on): simulate runs the "
+     "robustness harness, compare adds robustness columns",
+     kSimulate | kCompare},
+    {"replications", "K",
+     "perturbed replications (per instance x solver cell for compare)",
+     kSimulate | kCompare},
+    {"jitter", "F", "max multiplicative wcet overrun (default 0.25)",
+     kSimulate | kCompare},
+    {"comm-jitter", "F",
+     "max multiplicative message-delay inflation (default 0.5)",
+     kSimulate | kCompare},
+    {"stall-prob", "F", "per-instance transient-stall probability",
+     kSimulate | kCompare},
+    {"stall-ticks", "T", "transient stall length in ticks",
+     kSimulate | kCompare},
+    {"bus-fifo", "on|off",
+     "serialize remote transfers through one FIFO bus (default on)",
+     kSimulate | kCompare},
+    {"perturb-seed", "S", "perturbation noise seed", kSimulate | kCompare},
+    {"fail-proc", "P",
+     "inject a permanent failure of processor P (1-based); the online "
+     "engine repairs the schedule mid-run",
+     kSimulate},
+    {"fail-at", "T", "failure tick (default: half a hyper-period in)",
+     kSimulate},
     {"out", "PREFIX", "write JSON/DOT artifacts under this path prefix",
-     kExport | kReplay | kCompare},
+     kExport | kReplay | kCompare | kSimulate},
     {"count", "K", "workload instances in the comparison suite", kCompare},
     {"timing", "on|off",
      "include wall-clock columns/fields in the compare output", kCompare},
@@ -215,6 +249,18 @@ struct CliOptions {
   PlacementPolicy placement = PlacementPolicy::PeriodCluster;
   int hyperperiods = 2;
   std::string out_prefix;
+  // simulate / perturbed execution:
+  bool local_buffers = true;
+  bool perturb = false;
+  int replications = 3;
+  double jitter = 0.25;        ///< wcet overrun fraction when --perturb
+  double comm_jitter = 0.5;    ///< message-delay inflation when --perturb
+  double stall_prob = 0.0;
+  Time stall_ticks = 0;
+  bool bus_fifo = true;
+  std::uint64_t perturb_seed = 1;
+  int fail_proc = 0;           ///< 1-based; 0 = no injected failure
+  Time fail_at = -1;           ///< <0 = default (half a hyper-period in)
   // balance / compare:
   std::string algo;    ///< empty = the heuristic under --policy
   int count = 1;       ///< compare suite size
@@ -238,6 +284,9 @@ struct CliOptions {
   bool mode_set = false;
   bool penalty_set = false;
   bool threads_set = false;
+  bool perturb_knob_set = false;  ///< any perturbation knob besides --perturb
+  bool fail_proc_set = false;
+  bool fail_at_set = false;
 };
 
 CliOptions parse_flags(const CommandSpec& cmd, int argc, char** argv,
@@ -247,11 +296,16 @@ CliOptions parse_flags(const CommandSpec& cmd, int argc, char** argv,
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") help(cmd.bit);
     const auto eq = arg.find('=');
-    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+    if (arg.rfind("--", 0) != 0 ||
+        (eq == std::string::npos && arg != "--perturb")) {
       usage("malformed flag: " + arg);
     }
-    const std::string key = arg.substr(2, eq - 2);
-    const std::string value = arg.substr(eq + 1);
+    // `--perturb` is the one flag usable bare (== --perturb=on): it is a
+    // mode switch, and "run it perturbed" should not need a value.
+    const std::string key =
+        eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+    const std::string value =
+        eq == std::string::npos ? "on" : arg.substr(eq + 1);
     const FlagSpec* spec = find_flag(key);
     if (spec == nullptr) usage("unknown flag: --" + key);
     if (!(spec->commands & cmd.bit)) {
@@ -275,6 +329,55 @@ CliOptions parse_flags(const CommandSpec& cmd, int argc, char** argv,
         options.capacity = std::stoll(value);
       } else if (key == "hyperperiods") {
         options.hyperperiods = std::stoi(value);
+      } else if (key == "local-buffers") {
+        if (value == "on") options.local_buffers = true;
+        else if (value == "off") options.local_buffers = false;
+        else usage("unknown local-buffers mode: " + value);
+      } else if (key == "perturb") {
+        if (value == "on") options.perturb = true;
+        else if (value == "off") options.perturb = false;
+        else usage("unknown perturb mode: " + value);
+      } else if (key == "replications") {
+        options.perturb_knob_set = true;
+        options.replications = std::stoi(value);
+        if (options.replications < 1) {
+          usage("--replications takes a count >= 1");
+        }
+      } else if (key == "jitter") {
+        options.perturb_knob_set = true;
+        options.jitter = std::stod(value);
+        if (options.jitter < 0) usage("--jitter takes a fraction >= 0");
+      } else if (key == "comm-jitter") {
+        options.perturb_knob_set = true;
+        options.comm_jitter = std::stod(value);
+        if (options.comm_jitter < 0) {
+          usage("--comm-jitter takes a fraction >= 0");
+        }
+      } else if (key == "stall-prob") {
+        options.perturb_knob_set = true;
+        options.stall_prob = std::stod(value);
+        if (options.stall_prob < 0 || options.stall_prob > 1) {
+          usage("--stall-prob takes a probability in [0, 1]");
+        }
+      } else if (key == "stall-ticks") {
+        options.perturb_knob_set = true;
+        options.stall_ticks = std::stoll(value);
+        if (options.stall_ticks < 0) usage("--stall-ticks takes ticks >= 0");
+      } else if (key == "bus-fifo") {
+        options.perturb_knob_set = true;
+        if (value == "on") options.bus_fifo = true;
+        else if (value == "off") options.bus_fifo = false;
+        else usage("unknown bus-fifo mode: " + value);
+      } else if (key == "perturb-seed") {
+        options.perturb_knob_set = true;
+        options.perturb_seed = std::stoull(value);
+      } else if (key == "fail-proc") {
+        options.fail_proc_set = true;
+        options.fail_proc = std::stoi(value);
+      } else if (key == "fail-at") {
+        options.fail_at_set = true;
+        options.fail_at = std::stoll(value);
+        if (options.fail_at < 0) usage("--fail-at takes a tick >= 0");
       } else if (key == "events") {
         options.events = std::stoi(value);
       } else if (key == "event-seed") {
@@ -338,9 +441,10 @@ CliOptions parse_flags(const CommandSpec& cmd, int argc, char** argv,
   }
 
   // Cross-flag validation (per subcommand).
-  if (cmd.bit == kBalance && !options.algo.empty()) {
+  if ((cmd.bit == kBalance || cmd.bit == kSimulate) && !options.algo.empty()) {
     if (options.algo == "all") {
-      usage("--algo=all is only valid for 'compare'; balance takes one name");
+      usage(std::string("--algo=all is only valid for 'compare'; ") +
+            cmd.name + " takes one name");
     }
     if (options.policy_set) {
       usage("--policy configures the default heuristic run; with --algo, "
@@ -353,6 +457,24 @@ CliOptions parse_flags(const CommandSpec& cmd, int argc, char** argv,
       usage("--threads configures the heuristic's destination scan; --algo "
             "runs use the solver's registered configuration");
     }
+  }
+  // Perturbation knobs only mean something under --perturb: a silent
+  // no-op --jitter would read as "I measured robustness" when nothing
+  // was perturbed.
+  if ((options.perturb_knob_set || options.fail_proc_set) &&
+      !options.perturb) {
+    usage("perturbation knobs (--replications/--jitter/--comm-jitter/"
+          "--stall-prob/--stall-ticks/--bus-fifo/--perturb-seed/"
+          "--fail-proc) configure the perturbed executor; add --perturb");
+  }
+  if (options.fail_at_set && !options.fail_proc_set) {
+    usage("--fail-at sets when the failure strikes; name the victim with "
+          "--fail-proc");
+  }
+  if (options.fail_proc_set &&
+      (options.fail_proc < 1 || options.fail_proc > options.procs)) {
+    usage("--fail-proc is 1-based and must name one of the " +
+          std::to_string(options.procs) + " processors");
   }
   if (cmd.bit == kBalance && options.threads_set && options.trace_set &&
       options.trace) {
@@ -414,6 +536,24 @@ SuiteSpec make_suite_spec(const CliOptions& options) {
   suite.base_seed = workload.seed;
   suite.count = options.count;
   return suite;
+}
+
+/// Perturbation spec from the flag family. \p hyperperiod sizes the
+/// default failure tick (half a hyper-period in); pass 0 when no failure
+/// can be injected (compare).
+PerturbSpec make_perturb(const CliOptions& options, Time hyperperiod) {
+  PerturbSpec perturb;
+  perturb.seed = options.perturb_seed;
+  perturb.wcet_jitter = options.jitter;
+  perturb.comm_jitter = options.comm_jitter;
+  perturb.stall_prob = options.stall_prob;
+  perturb.stall_ticks = options.stall_ticks;
+  perturb.bus_fifo = options.bus_fifo;
+  if (options.fail_proc > 0) {
+    perturb.fail_proc = static_cast<ProcId>(options.fail_proc - 1);
+    perturb.fail_at = options.fail_at >= 0 ? options.fail_at : hyperperiod / 2;
+  }
+  return perturb;
 }
 
 BalanceOptions make_balance_options(const CliOptions& options) {
@@ -506,6 +646,12 @@ int cmd_compare(const CliOptions& options) {
   ScenarioSpec spec;
   spec.suite = make_suite_spec(options);
   spec.threads = options.threads;
+  if (options.perturb) {
+    // No failure injection in compare (fail-proc is simulate-only), so
+    // the hyper-period sizing the default failure tick is irrelevant.
+    spec.suite.perturb = make_perturb(options, 0);
+    spec.replications = options.replications;
+  }
   if (!options.algo.empty() && options.algo != "all") {
     std::string name;
     std::istringstream list(options.algo);
@@ -533,22 +679,56 @@ int cmd_compare(const CliOptions& options) {
 }
 
 int cmd_simulate(const CliOptions& options) {
-  const Prepared p = prepare(options);
-  const Schedule& solved = solved_or_throw(p.outcome);
-  std::cout << summarize_solve(p.outcome.stats) << "\n";
-  const SimMetrics metrics =
-      simulate(solved, SimOptions{options.hyperperiods, true});
-  std::cout << "simulated " << options.hyperperiods << " hyper-periods ("
-            << metrics.span << " ticks): " << metrics.violations
-            << " violations\n";
-  for (std::size_t i = 0; i < metrics.procs.size(); ++i) {
-    const ProcMetrics& pm = metrics.procs[i];
-    std::cout << "  P" << i + 1 << ": idle "
-              << static_cast<int>(100 * pm.idle_fraction) << "%, static mem "
-              << pm.static_memory << ", peak buffers " << pm.peak_buffer
-              << "\n";
+  std::shared_ptr<const Solver> named;
+  if (!options.algo.empty()) {
+    named = SolverRegistry::builtin().require(options.algo);
+    // Same contract as `balance`: a machine-count mismatch is a usage
+    // error, caught before any workload is generated.
+    const int machines_exact = named->capabilities().machines_exact;
+    if (machines_exact != 0 && machines_exact != options.procs) {
+      usage("solver '" + named->name() + "' handles exactly " +
+            std::to_string(machines_exact) + " processors (--procs=" +
+            std::to_string(options.procs) + ")");
+    }
   }
-  return metrics.violations == 0 ? 0 : 2;
+  const Problem problem = Problem::generate(make_workload_spec(options));
+  const Outcome outcome =
+      named ? named->solve(problem)
+            : HeuristicSolver(make_balance_options(options)).solve(problem);
+  const Schedule& solved = solved_or_throw(outcome);
+  if (named) std::cout << "solver: " << named->name() << "\n";
+  std::cout << summarize_solve(outcome.stats) << "\n";
+
+  const SimOptions sim{options.hyperperiods, options.local_buffers};
+  if (!options.perturb) {
+    const SimMetrics metrics = simulate(solved, sim);
+    std::cout << summarize_sim(metrics, options.hyperperiods);
+    if (!options.out_prefix.empty()) {
+      write_file(options.out_prefix + "_sim.json",
+                 sim_report_to_json(metrics, options.hyperperiods));
+    }
+    return metrics.violations == 0 ? 0 : 2;
+  }
+
+  RobustnessOptions rob;
+  rob.sim = sim;
+  rob.replications = options.replications;
+  rob.perturb = make_perturb(options, solved.graph().hyperperiod());
+  // The repair stage (taken when a failure is injected) runs the same
+  // heuristic configuration the schedule was built with.
+  rob.repair.balance.policy = options.policy;
+  rob.repair.balance.enforce_memory_capacity =
+      options.capacity != kUnlimitedMemory;
+  const RobustnessReport report = run_robustness(solved, rob);
+  std::cout << summarize_robustness(report, rob);
+  if (!options.out_prefix.empty()) {
+    write_file(options.out_prefix + "_sim.json",
+               robustness_report_to_json(report, rob));
+  }
+  // Perturbed violations/misses are the measurement, not a failure of the
+  // tool; the run only "fails" when an injected processor failure could
+  // not be repaired.
+  return report.failure_injected && !report.recovered ? 2 : 0;
 }
 
 int cmd_bus(const CliOptions& options) {
