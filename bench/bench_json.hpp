@@ -33,6 +33,7 @@
 #include <string>
 #include <string_view>
 
+#include "lbmem/util/build_info.hpp"
 #include "lbmem/util/json.hpp"
 
 namespace lbmem_bench {
@@ -96,6 +97,10 @@ class HarnessStampedJSONReporter : public benchmark::JSONReporter {
       out << context.cpu_info.load_avg[i];
     }
     out << "],\n";
+    // Library build provenance (git SHA, compiler, build type) — the same
+    // stamp every --metrics-out / --trace-spans artifact carries, so a
+    // recorded number traces back to the exact build that produced it.
+    out << "    \"build\": {" << lbmem::build_info_json_members() << "},\n";
 #if defined(LBMEM_BENCHMARK_FROM_SOURCE)
     out << "    \"harness\": \"lbmem bench_json; google-benchmark built "
            "from source with this build's flags\",\n";

@@ -1,0 +1,250 @@
+/// \file bench_observability.cpp
+/// \brief Overhead of the instrumentation layer (obs/): the balancer and
+/// the online event loop, each measured with instrumentation off, with a
+/// metrics registry attached, and with metrics plus span tracing.
+///
+/// The Off variants reuse the exact workloads of BM_Balance/4000/8
+/// (bench_complexity.cpp, seed base 99'000) and BM_OnlineWcet/4000/8
+/// (bench_online.cpp, seed base 77'000), so their times are directly
+/// comparable across the recorded JSON files: Off must sit within noise
+/// of the uninstrumented benches — the disabled tracer is one relaxed
+/// atomic load plus a branch, and a null metrics pointer skips the
+/// end-of-run fold entirely.
+///
+/// Tracer lifecycle differs by shape on purpose. A 4000-task balance
+/// emits ~70k spans, so the balance bench builds a fresh, generously
+/// sized tracer per iteration (outside the timed region) to avoid
+/// measuring the full-buffer drop path. The online loop emits a handful of spans per
+/// event, so one generously-sized tracer spans the whole run and the
+/// dropped-span count is reported as a counter (expected 0).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_json.hpp"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "lbmem/gen/suites.hpp"
+#include "lbmem/lb/load_balancer.hpp"
+#include "lbmem/obs/metrics.hpp"
+#include "lbmem/obs/trace.hpp"
+#include "lbmem/online/rebalancer.hpp"
+
+namespace {
+
+using namespace lbmem;
+
+enum class Mode { Off, Metrics, Trace };
+
+/// Cache of prepared instances, keyed by (tasks, processors). Same spec
+/// and seed base as bench_complexity.cpp so the Off numbers line up with
+/// BM_Balance on the identical instance.
+const SuiteInstance& prepared(int tasks, int processors) {
+  static std::map<std::pair<int, int>, std::unique_ptr<SuiteInstance>> cache;
+  auto& slot = cache[{tasks, processors}];
+  if (!slot) {
+    SuiteSpec spec;
+    spec.params.tasks = tasks;
+    spec.params.period_levels = 3;
+    spec.params.edge_probability = 0.15;
+    spec.params.max_in_degree = 2;
+    spec.processors = processors;
+    spec.comm_cost = 2;
+    spec.count = 1;
+    spec.base_seed = 99'000 + static_cast<std::uint64_t>(tasks) * 31 +
+                     static_cast<std::uint64_t>(processors);
+    spec.max_seed_attempts = 400;
+    auto suite = make_suite(spec);
+    if (suite.empty()) {
+      throw std::runtime_error("no schedulable instance for N=" +
+                               std::to_string(tasks) +
+                               " M=" + std::to_string(processors));
+    }
+    slot = std::make_unique<SuiteInstance>(std::move(suite.front()));
+  }
+  return *slot;
+}
+
+void balance_obs_loop(benchmark::State& state, Mode mode) {
+  const int tasks = static_cast<int>(state.range(0));
+  const int processors = static_cast<int>(state.range(1));
+  const SuiteInstance& instance = prepared(tasks, processors);
+
+  obs::Registry registry;
+  BalanceOptions options;
+  if (mode != Mode::Off) options.metrics = &registry;
+  const LoadBalancer balancer(options);
+
+  std::uint64_t spans = 0;
+  std::uint64_t dropped = 0;
+  for (auto _ : state) {
+    std::optional<obs::Tracer> tracer;
+    std::optional<obs::TracerScope> scope;
+    if (mode == Mode::Trace) {
+      state.PauseTiming();
+      // A 4000-task balance emits ~70k spans; size the buffer so the
+      // measured cost is the live record path, never the drop path.
+      tracer.emplace(/*capacity_per_thread=*/std::size_t{1} << 17);
+      scope.emplace(&*tracer);
+      state.ResumeTiming();
+    }
+    const BalanceResult r = balancer.balance(instance.schedule);
+    benchmark::DoNotOptimize(r.schedule);
+    if (mode == Mode::Trace) {
+      state.PauseTiming();
+      scope.reset();
+      spans = static_cast<std::uint64_t>(tracer->span_count());
+      dropped = tracer->dropped();
+      tracer.reset();
+      state.ResumeTiming();
+    }
+  }
+  state.counters["tasks"] = tasks;
+  state.counters["procs"] = processors;
+  state.counters["metrics"] = static_cast<double>(registry.size());
+  state.counters["spans_per_iter"] = static_cast<double>(spans);
+  state.counters["dropped"] = static_cast<double>(dropped);
+}
+
+void BM_BalanceObsOff(benchmark::State& state) {
+  balance_obs_loop(state, Mode::Off);
+}
+void BM_BalanceObsMetrics(benchmark::State& state) {
+  balance_obs_loop(state, Mode::Metrics);
+}
+void BM_BalanceObsTrace(benchmark::State& state) {
+  balance_obs_loop(state, Mode::Trace);
+}
+
+/// Balanced steady-state system per (tasks, processors), built once.
+/// Mirrors bench_online.cpp (seed base 77'000) so the Off numbers line up
+/// with BM_OnlineWcet on the identical system.
+struct PristineSystem {
+  std::shared_ptr<const TaskGraph> graph;
+  std::unique_ptr<Schedule> balanced;
+  TaskId flip_task = -1;
+  Time flip_high = 0;
+};
+
+const PristineSystem& pristine(int tasks, int processors) {
+  static std::map<std::pair<int, int>, std::unique_ptr<PristineSystem>>
+      cache;
+  auto& slot = cache[{tasks, processors}];
+  if (!slot) {
+    SuiteSpec spec;
+    spec.params.tasks = tasks;
+    spec.params.period_levels = 3;
+    spec.params.edge_probability = 0.15;
+    spec.params.max_in_degree = 2;
+    spec.processors = processors;
+    spec.comm_cost = 2;
+    spec.count = 1;
+    spec.base_seed = 77'000 + static_cast<std::uint64_t>(tasks) * 31 +
+                     static_cast<std::uint64_t>(processors);
+    spec.max_seed_attempts = 400;
+    auto suite = make_suite(spec);
+    if (suite.empty()) {
+      throw std::runtime_error("no schedulable instance for N=" +
+                               std::to_string(tasks) +
+                               " M=" + std::to_string(processors));
+    }
+    auto system = std::make_unique<PristineSystem>();
+    system->graph = suite.front().graph;
+    system->balanced = std::make_unique<Schedule>(
+        LoadBalancer().balance(suite.front().schedule).schedule);
+    for (TaskId t = 0;
+         t < static_cast<TaskId>(system->graph->task_count()); ++t) {
+      const Time wcet = system->graph->task(t).wcet;
+      if (wcet >= 2 && wcet > system->flip_high) {
+        system->flip_task = t;
+        system->flip_high = wcet;
+      }
+    }
+    if (system->flip_task < 0) {
+      throw std::runtime_error("no task with wcet >= 2 to toggle");
+    }
+    slot = std::move(system);
+  }
+  return *slot;
+}
+
+/// Alternating WcetChange events through the incremental engine — the
+/// same loop as BM_OnlineWcet — with the obs hooks toggled by mode.
+void online_obs_loop(benchmark::State& state, Mode mode) {
+  const int tasks = static_cast<int>(state.range(0));
+  const int processors = static_cast<int>(state.range(1));
+  const PristineSystem& system = pristine(tasks, processors);
+
+  obs::Registry registry;
+  RebalancerOptions options;
+  options.incremental = true;
+  if (mode != Mode::Off) options.metrics = &registry;
+  Rebalancer engine =
+      Rebalancer::adopt(*system.graph, *system.balanced, options);
+  const std::string name = system.graph->task(system.flip_task).name;
+
+  // One tracer for the whole run: an online event records a handful of
+  // spans, so a 1M-span buffer comfortably outlasts the iteration budget
+  // and the measured cost is the live record path, not the drop path.
+  std::optional<obs::Tracer> tracer;
+  std::optional<obs::TracerScope> scope;
+  if (mode == Mode::Trace) {
+    tracer.emplace(/*capacity_per_thread=*/std::size_t{1} << 20);
+    scope.emplace(&*tracer);
+  }
+
+  std::int64_t rejected = 0;
+  bool low = true;
+  for (auto _ : state) {
+    Event event;
+    event.at = 1;
+    event.payload =
+        WcetChange{name, low ? system.flip_high - 1 : system.flip_high};
+    low = !low;
+    const EventOutcome outcome = engine.apply(event);
+    if (!outcome.applied) ++rejected;
+    benchmark::DoNotOptimize(outcome.makespan);
+  }
+  scope.reset();
+
+  state.counters["tasks"] = tasks;
+  state.counters["procs"] = processors;
+  state.counters["rejected"] = static_cast<double>(rejected);
+  state.counters["metrics"] = static_cast<double>(registry.size());
+  state.counters["spans"] =
+      tracer ? static_cast<double>(tracer->span_count()) : 0.0;
+  state.counters["dropped"] =
+      tracer ? static_cast<double>(tracer->dropped()) : 0.0;
+}
+
+void BM_OnlineObsOff(benchmark::State& state) {
+  online_obs_loop(state, Mode::Off);
+}
+void BM_OnlineObsMetrics(benchmark::State& state) {
+  online_obs_loop(state, Mode::Metrics);
+}
+void BM_OnlineObsTrace(benchmark::State& state) {
+  online_obs_loop(state, Mode::Trace);
+}
+
+}  // namespace
+
+// The acceptance point from the complexity study: N=4000, M=8.
+BENCHMARK(BM_BalanceObsOff)->Args({4000, 8})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BalanceObsMetrics)
+    ->Args({4000, 8})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BalanceObsTrace)->Args({4000, 8})->Unit(benchmark::kMillisecond);
+
+// The online latency point from the incremental-vs-full comparison.
+BENCHMARK(BM_OnlineObsOff)->Args({4000, 8})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OnlineObsMetrics)
+    ->Args({4000, 8})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OnlineObsTrace)->Args({4000, 8})->Unit(benchmark::kMillisecond);
+
+LBMEM_BENCHMARK_MAIN()

@@ -1,5 +1,7 @@
 #include "lbmem/api/scenario.hpp"
 
+#include "lbmem/obs/metrics.hpp"
+#include "lbmem/obs/trace.hpp"
 #include "lbmem/sim/robustness.hpp"
 #include "lbmem/util/thread_pool.hpp"
 
@@ -41,7 +43,26 @@ ScenarioReport ScenarioRunner::run(const ScenarioSpec& spec) const {
   // a data race and an ordering leak under the pool.
   const std::size_t width = solvers.size();
   report.cells.assign(suite.size() * width, ScenarioCell{});
+
+  // Metric ids are resolved once, on this thread, before the sweep: the
+  // pool workers then only shard-record, and the emitted name set is fixed
+  // up front (one wall-time histogram per racing solver — Timing class,
+  // wall clock is never deterministic; the cell counters are).
+  obs::MetricId cells_id, feasible_id;
+  std::vector<obs::MetricId> wall_ids(width);
+  if (spec.metrics != nullptr) {
+    cells_id = spec.metrics->counter("compare.cells",
+                                     obs::MetricClass::Deterministic);
+    feasible_id = spec.metrics->counter("compare.cells_feasible",
+                                        obs::MetricClass::Deterministic);
+    for (std::size_t s = 0; s < width; ++s) {
+      wall_ids[s] = spec.metrics->histogram(
+          "compare.wall_us." + solvers[s]->name(), obs::MetricClass::Timing);
+    }
+  }
+
   const auto solve_cell = [&](std::size_t idx) {
+    obs::ScopedSpan cell_span("compare.cell", "compare");
     const SuiteInstance& instance = suite[idx / width];
     const std::shared_ptr<const Solver>& solver = solvers[idx % width];
     const Problem problem(instance.graph, instance.schedule);
@@ -55,6 +76,13 @@ ScenarioReport ScenarioRunner::run(const ScenarioSpec& spec) const {
     cell.gain = outcome.stats.gain_total;
     cell.wall_seconds = outcome.stats.wall_seconds;
     cell.detail = outcome.detail;
+    if (spec.metrics != nullptr) {
+      spec.metrics->add(cells_id, 1);
+      if (cell.feasible) spec.metrics->add(feasible_id, 1);
+      spec.metrics->record(
+          wall_ids[idx % width],
+          static_cast<std::int64_t>(cell.wall_seconds * 1e6));
+    }
     if (spec.replications > 0 && outcome.feasible()) {
       // Robustness replications: the instance's noise stream is shared by
       // every solver racing on it (seeded from the workload seed, not the
@@ -62,6 +90,7 @@ ScenarioReport ScenarioRunner::run(const ScenarioSpec& spec) const {
       // the miss-rate column compares schedules, not luck.
       RobustnessOptions rob;
       rob.sim = spec.sim;
+      if (rob.sim.metrics == nullptr) rob.sim.metrics = spec.metrics;
       rob.perturb = spec.suite.perturb;
       rob.perturb.seed = perturb_hash(spec.suite.perturb.seed,
                                       kPerturbScenario, instance.seed);

@@ -44,6 +44,13 @@ struct ScenarioSpec {
   int replications = 0;
   /// Executor window per replication (hyper-periods, local buffers).
   SimOptions sim;
+  /// Observability sink (DESIGN.md F25): when set, the sweep counts its
+  /// cells (Deterministic class) and records one per-solver wall-time
+  /// histogram sample per cell (`compare.wall_us.<solver>`, Timing class).
+  /// Inherited into sim.metrics for the robustness replications unless
+  /// that pointer was already set. The registry is shard-per-thread, so
+  /// the parallel sweep records contention-free; it must outlive run().
+  obs::Registry* metrics = nullptr;
 };
 
 /// One solver's outcome on one suite instance.

@@ -6,6 +6,8 @@
 #include <queue>
 
 #include "lbmem/model/hyperperiod.hpp"
+#include "lbmem/obs/metrics.hpp"
+#include "lbmem/obs/trace.hpp"
 #include "lbmem/sched/timeline.hpp"
 #include "lbmem/util/check.hpp"
 #include "lbmem/util/math.hpp"
@@ -718,7 +720,37 @@ bool Attempt::run(std::vector<StepRecord>* trace, BalanceStats& stats) {
   // Verdict-only validation: the retry gate needs no diagnostics, and the
   // failing first attempt would otherwise pay for a full violation report
   // it immediately discards.
+  LBMEM_TRACE_SPAN("lb.validate");
   return is_valid(sched_);
+}
+
+/// Fold one run's BalanceStats into the registry (DESIGN.md F25): called
+/// once at the end of run_attempts(), never from the hot loop. Every
+/// metric is registered unconditionally so the emitted name set is the
+/// same whatever the run did. The three prune counters and the wall-clock
+/// histogram are Timing class — the prune split depends on the scan
+/// schedule (see the BalanceStats comment), everything else is identical
+/// for every thread count.
+void fold_stats(obs::Registry& reg, const BalanceStats& stats) {
+  using obs::MetricClass;
+  reg.add(reg.counter("lb.balance_runs"), 1);
+  reg.add(reg.counter("lb.fallbacks"), stats.fell_back ? 1 : 0);
+  reg.add(reg.counter("lb.attempts_used"), stats.attempts_used);
+  reg.add(reg.counter("lb.blocks_total"), stats.blocks_total);
+  reg.add(reg.counter("lb.blocks_category1"), stats.blocks_category1);
+  reg.add(reg.counter("lb.moves_off_home"), stats.moves_off_home);
+  reg.add(reg.counter("lb.gains_applied"), stats.gains_applied);
+  reg.add(reg.counter("lb.forced_stays"), stats.forced_stays);
+  reg.add(reg.counter("lb.gain_total"), stats.gain_total);
+  reg.record(reg.histogram("lb.gain_per_run"), stats.gain_total);
+  reg.add(reg.counter("lb.dest_evaluated", MetricClass::Timing),
+          stats.dest_evaluated);
+  reg.add(reg.counter("lb.dest_skipped_by_bound", MetricClass::Timing),
+          stats.dest_skipped_by_bound);
+  reg.add(reg.counter("lb.dest_cut_by_incumbent", MetricClass::Timing),
+          stats.dest_cut_by_incumbent);
+  reg.record(reg.histogram("lb.balance_wall_us", MetricClass::Timing),
+             static_cast<std::int64_t>(stats.wall_seconds * 1e6));
 }
 
 void Attempt::decide_block(BlockId id, std::vector<StepRecord>* trace,
@@ -732,7 +764,11 @@ void Attempt::decide_block(BlockId id, std::vector<StepRecord>* trace,
   // the M evaluations below. Overlap checks ignore the affected set (its
   // footprints must not block their own relocation), so nothing is
   // detached from the occupancy here.
-  prepare_block(block);
+  obs::ScopedSpan decide_span("lb.decide_block");
+  {
+    LBMEM_TRACE_SPAN("lb.prepare_block");
+    prepare_block(block);
+  }
 
   StepRecord record;
   record.block = block.id;
@@ -743,6 +779,8 @@ void Attempt::decide_block(BlockId id, std::vector<StepRecord>* trace,
   bool have_best = false;
   DestinationScore home_score;
   bool home_feasible = false;
+  {
+  LBMEM_TRACE_SPAN("lb.evaluate_candidates");
   if (trace != nullptr) {
     // Exhaustive evaluation in processor order: the trace is the full
     // decision record, one candidate entry per processor.
@@ -873,10 +911,12 @@ void Attempt::decide_block(BlockId id, std::vector<StepRecord>* trace,
       }
     }
   }
+  }
   if (have_best) {
     best = apply_migration_gate(best, home_score, home_feasible);
   }
 
+  obs::ScopedSpan commit_span("lb.commit");
   if (have_best) {
     record.chosen = best.proc;
     record.applied_gain = best.gain;
@@ -919,7 +959,10 @@ void Attempt::decide_block(BlockId id, std::vector<StepRecord>* trace,
 
 BalanceResult LoadBalancer::balance(const Schedule& input) const {
   LBMEM_REQUIRE(input.complete(), "balance requires a complete schedule");
-  const BlockDecomposition dec = build_blocks(input);
+  const BlockDecomposition dec = [&] {
+    LBMEM_TRACE_SPAN("lb.build_blocks");
+    return build_blocks(input);
+  }();
   return run_attempts(input, dec, /*warm_occupancy=*/nullptr,
                       /*return_occupancy=*/false);
 }
@@ -943,6 +986,7 @@ BalanceResult LoadBalancer::run_attempts(
     const Schedule& input, const BlockDecomposition& dec,
     const std::vector<ProcTimeline>* warm_occupancy,
     bool return_occupancy) const {
+  obs::ScopedSpan balance_span("lb.balance");
   Stopwatch watch;
 
   BalanceStats base;
@@ -981,6 +1025,7 @@ BalanceResult LoadBalancer::run_attempts(
     // gains entirely (pure memory spreading — every move is individually
     // checked, no optimistic shift propagation remains).
     const Time gain_override = (attempt == 1) ? options_.max_gain : 0;
+    LBMEM_TRACE_SPAN("lb.attempt");
     Attempt run(input, options_, gain_override, dec, warm_occupancy,
                 pool.get());
     BalanceStats stats = base;
@@ -997,6 +1042,7 @@ BalanceResult LoadBalancer::run_attempts(
       stats.memory_after.push_back(result.memory_on(p));
     }
     stats.wall_seconds = watch.seconds();
+    if (options_.metrics != nullptr) fold_stats(*options_.metrics, stats);
     BalanceResult out{std::move(result), std::move(stats), std::move(trace),
                       {}};
     if (return_occupancy &&
@@ -1016,6 +1062,7 @@ BalanceResult LoadBalancer::run_attempts(
   stats.max_memory_after = base.max_memory_before;
   stats.memory_after = base.memory_before;
   stats.wall_seconds = watch.seconds();
+  if (options_.metrics != nullptr) fold_stats(*options_.metrics, stats);
   return BalanceResult{input, std::move(stats), {}, {}};
 }
 

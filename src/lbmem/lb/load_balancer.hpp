@@ -30,6 +30,10 @@
 #include "lbmem/sched/schedule.hpp"
 #include "lbmem/sched/timeline.hpp"
 
+namespace lbmem::obs {
+class Registry;
+}
+
 namespace lbmem {
 
 /// Which instances constrain a move's placement (DESIGN.md F8).
@@ -83,6 +87,15 @@ struct BalanceOptions {
   /// closes failed processors. Blocks homed on a closed processor must be
   /// evacuated by the caller before balancing.
   std::vector<std::uint8_t> closed_procs;
+  /// Observability sink (DESIGN.md F25): when set, each balance() /
+  /// rebalance() run folds its BalanceStats into this registry once at
+  /// the end of the run — the candidate-evaluation hot loop records
+  /// nothing, so the zero-allocation and determinism guarantees are
+  /// untouched. Deterministic figures land in the registry's
+  /// Deterministic class; the three scan-schedule-dependent prune
+  /// counters (see the BalanceStats comment) and the wall-clock
+  /// histogram land in Timing. The registry must outlive the balancer.
+  obs::Registry* metrics = nullptr;
   /// Worker threads for destination-candidate evaluation (DESIGN.md F19).
   /// 1 (the default) keeps the classic sequential bound-and-prune scan
   /// byte-for-byte; 0 resolves to the hardware concurrency; >= 2 engages

@@ -1,0 +1,164 @@
+#include "lbmem/obs/trace.hpp"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "lbmem/util/build_info.hpp"
+
+namespace lbmem::obs {
+
+struct Tracer::ThreadBuffer {
+  std::vector<Span> spans;  ///< reserved to capacity; never reallocates
+  std::uint64_t dropped = 0;
+  std::uint32_t tid = 0;
+};
+
+std::atomic<Tracer*> Tracer::g_current{nullptr};
+
+namespace {
+
+std::atomic<std::uint64_t> g_tracer_serial{1};
+
+struct TlsEntry {
+  std::uint64_t serial;
+  void* buffer;
+};
+thread_local std::vector<TlsEntry> t_buffers;
+
+/// Entries for destroyed tracers can never match again (serials are not
+/// reused), so bound the scan: once the cache is full, evict the entry
+/// with the smallest serial. Evicting a still-live tracer is harmless —
+/// the thread re-registers on its next span and gets a fresh buffer.
+constexpr std::size_t kTlsCacheCap = 16;
+
+void evict_oldest(std::vector<TlsEntry>& cache) {
+  if (cache.size() <= kTlsCacheCap) return;
+  auto oldest = cache.begin();
+  for (auto it = cache.begin() + 1; it != cache.end(); ++it) {
+    if (it->serial < oldest->serial) oldest = it;
+  }
+  cache.erase(oldest);
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity_per_thread)
+    : capacity_(capacity_per_thread),
+      serial_(g_tracer_serial.fetch_add(1)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() {
+  // Never destroy a tracer while it is installed and threads may record.
+  if (g_current.load(std::memory_order_relaxed) == this) {
+    g_current.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+void Tracer::install(Tracer* tracer) {
+  g_current.store(tracer, std::memory_order_release);
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  for (const TlsEntry& entry : t_buffers) {
+    if (entry.serial == serial_) {
+      return *static_cast<ThreadBuffer*>(entry.buffer);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->spans.reserve(capacity_);  // the one allocation, per thread
+  buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+  buffers_.push_back(std::move(buffer));
+  ThreadBuffer* raw = buffers_.back().get();
+  t_buffers.push_back(TlsEntry{serial_, raw});
+  evict_oldest(t_buffers);
+  return *raw;
+}
+
+Span* Tracer::begin(const char* name, const char* category) {
+  ThreadBuffer& buffer = local_buffer();
+  if (buffer.spans.size() >= capacity_) {
+    ++buffer.dropped;
+    return nullptr;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  buffer.spans.push_back(Span{
+      name, category,
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+              .count()),
+      UINT64_MAX});
+  return &buffer.spans.back();
+}
+
+void Tracer::end(Span* span) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+          .count());
+  span->dur_ns = ns >= span->ts_ns ? ns - span->ts_ns : 0;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->dropped;
+  return total;
+}
+
+std::vector<std::string> Tracer::span_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& buffer : buffers_) {
+    for (const Span& span : buffer->spans) {
+      if (span.dur_ns != UINT64_MAX) names.emplace_back(span.name);
+    }
+  }
+  return names;
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& buffer : buffers_) {
+    for (const Span& span : buffer->spans) {
+      if (span.dur_ns != UINT64_MAX) ++count;
+    }
+  }
+  return count;
+}
+
+void Tracer::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\n  \"traceEvents\": [";
+  bool first = true;
+  char line[256];
+  for (const auto& buffer : buffers_) {
+    for (const Span& span : buffer->spans) {
+      if (span.dur_ns == UINT64_MAX) continue;  // still open: skip
+      // ts/dur are microseconds in the trace-event format; keep the
+      // nanosecond precision as a fraction. Names and categories are
+      // compile-time literals (identifier-ish), safe to emit verbatim.
+      std::snprintf(line, sizeof line,
+                    "%s\n    {\"name\": \"%s\", \"cat\": \"%s\", "
+                    "\"ph\": \"X\", \"ts\": %" PRIu64 ".%03u, "
+                    "\"dur\": %" PRIu64 ".%03u, \"pid\": 1, \"tid\": %u}",
+                    first ? "" : ",", span.name, span.category,
+                    span.ts_ns / 1000,
+                    static_cast<unsigned>(span.ts_ns % 1000),
+                    span.dur_ns / 1000,
+                    static_cast<unsigned>(span.dur_ns % 1000), buffer->tid);
+      out << line;
+      first = false;
+    }
+  }
+  std::uint64_t total_dropped = 0;
+  for (const auto& buffer : buffers_) total_dropped += buffer->dropped;
+  out << "\n  ],\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {"
+      << build_info_json_members() << ", \"dropped_spans\": " << total_dropped
+      << "}\n}\n";
+}
+
+}  // namespace lbmem::obs

@@ -1,0 +1,140 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Scoped-span tracer emitting Chrome trace-event / Perfetto
+/// compatible JSON (load the file in chrome://tracing or ui.perfetto.dev).
+///
+/// Cost model (DESIGN.md F26):
+///  * Disabled (the default): a ScopedSpan is one relaxed atomic load and
+///    a branch — nothing is recorded, nothing allocates, and
+///    `test_alloc_hotpath` plus the bit-identical-across-thread-counts
+///    guarantees are untouched. There is no compile-time knob; the
+///    instrumentation is always compiled in and the branch is the cost.
+///  * Enabled (`Tracer::install`): each recording thread gets one span
+///    buffer whose full capacity is reserved up front on the thread's
+///    first span — after that, recording a span is two steady_clock reads
+///    and a push into preallocated memory. When a buffer fills, further
+///    spans on that thread are *dropped and counted* (never reallocate,
+///    never block).
+///
+/// Spans are stored at begin time, so each thread's buffer is in span
+/// *begin* order; at `--threads=1` the whole file is a deterministic
+/// transcript of the control flow (the golden test ObsTrace.GoldenSpanNames
+/// pins it). Span names and categories must be string literals (or
+/// otherwise outlive the tracer): only the pointer is stored.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lbmem::obs {
+
+/// One completed (or still-open) span. ts/dur are nanoseconds since the
+/// tracer's construction; dur == UINT64_MAX marks a span whose ScopedSpan
+/// has not closed yet (skipped on emit).
+struct Span {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = UINT64_MAX;
+};
+
+class Tracer {
+ public:
+  /// \p capacity_per_thread is the fixed span capacity of each thread's
+  /// buffer (reserved on the thread's first span; never grown).
+  explicit Tracer(std::size_t capacity_per_thread = 1 << 15);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Make \p tracer the process-wide recording target (nullptr disables).
+  /// Not meant for concurrent flipping mid-run: install before spawning
+  /// recording work, uninstall after joining it.
+  static void install(Tracer* tracer);
+
+  /// The recording target, or nullptr when tracing is disabled. Relaxed
+  /// load — this is the whole disabled-path cost.
+  static Tracer* current() {
+    return g_current.load(std::memory_order_relaxed);
+  }
+
+  /// Begin a span on the calling thread. Returns the slot to close, or
+  /// nullptr if the thread's buffer is full (the drop is counted).
+  Span* begin(const char* name, const char* category);
+
+  /// Close a span returned by begin().
+  void end(Span* span);
+
+  /// Total spans dropped across all threads because a buffer was full.
+  std::uint64_t dropped() const;
+
+  /// Span names in emission order (per-thread buffers in registration
+  /// order, each in begin order) — the golden-transcript view. Only
+  /// closed spans are included, matching write_json().
+  std::vector<std::string> span_names() const;
+
+  /// Number of closed spans across all threads.
+  std::size_t span_count() const;
+
+  /// Emit Chrome trace-event JSON ({"traceEvents": [...]}; ph "X"
+  /// complete events, ts/dur in microseconds, build-info provenance under
+  /// "otherData"). Quiesce recording first.
+  void write_json(std::ostream& out) const;
+
+ private:
+  struct ThreadBuffer;
+  ThreadBuffer& local_buffer();
+
+  static std::atomic<Tracer*> g_current;
+
+  const std::size_t capacity_;
+  const std::uint64_t serial_;  ///< distinguishes tracers in the TLS cache
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: opens on construction when tracing is enabled, closes on
+/// destruction. Safe (and nearly free) to construct when disabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* category = "lbmem") {
+    Tracer* tracer = Tracer::current();
+    if (tracer) {
+      tracer_ = tracer;
+      span_ = tracer->begin(name, category);
+    }
+  }
+  ~ScopedSpan() {
+    if (tracer_ && span_) tracer_->end(span_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  Span* span_ = nullptr;
+};
+
+/// Install/uninstall a tracer for a lexical scope.
+class TracerScope {
+ public:
+  explicit TracerScope(Tracer* tracer) { Tracer::install(tracer); }
+  ~TracerScope() { Tracer::install(nullptr); }
+  TracerScope(const TracerScope&) = delete;
+  TracerScope& operator=(const TracerScope&) = delete;
+};
+
+}  // namespace lbmem::obs
+
+#define LBMEM_OBS_CONCAT_INNER(a, b) a##b
+#define LBMEM_OBS_CONCAT(a, b) LBMEM_OBS_CONCAT_INNER(a, b)
+
+/// Open a span for the rest of the enclosing scope.
+#define LBMEM_TRACE_SPAN(name) \
+  ::lbmem::obs::ScopedSpan LBMEM_OBS_CONCAT(lbmem_scoped_span_, __LINE__){name}

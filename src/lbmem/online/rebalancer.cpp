@@ -6,6 +6,8 @@
 
 #include "lbmem/api/solver.hpp"
 #include "lbmem/lb/block_builder.hpp"
+#include "lbmem/obs/metrics.hpp"
+#include "lbmem/obs/trace.hpp"
 #include "lbmem/sched/scheduler.hpp"
 #include "lbmem/util/check.hpp"
 #include "lbmem/util/stopwatch.hpp"
@@ -347,12 +349,14 @@ void Rebalancer::run_full_resolver(EventOutcome& out) {
 void Rebalancer::run_balance_stage(const std::vector<TaskId>& seeds,
                                    EventOutcome& out) {
   if (!options_.rebalance) return;
+  LBMEM_TRACE_SPAN("online.balance_stage");
   if (!options_.incremental && options_.full_resolver) {
     run_full_resolver(out);
     return;
   }
   BalanceOptions bopts = options_.balance;
   bopts.closed_procs = failed_;
+  if (bopts.metrics == nullptr) bopts.metrics = options_.metrics;
   const LoadBalancer balancer(bopts);
 
   // Scoped rebalancing is only defined under AllInstances (see
@@ -388,7 +392,50 @@ EventOutcome Rebalancer::fail_processor(ProcId proc, Time at) {
   return apply(Event{at, ProcessorFailure{proc}});
 }
 
+namespace {
+
+// Span names must be static literals (the tracer stores the pointer).
+const char* event_span_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::TaskArrival: return "online.TaskArrival";
+    case EventKind::TaskRemoval: return "online.TaskRemoval";
+    case EventKind::WcetChange: return "online.WcetChange";
+    case EventKind::ProcessorFailure: return "online.ProcessorFailure";
+  }
+  return "online.Event";
+}
+
+// One fold per apply(), at the shared epilogue. Every name is registered
+// on every fold so the emitted name set never depends on event history.
+// The dirty-set size is a property of the decision sequence (Deterministic);
+// the per-event latency is wall clock (Timing).
+void fold_event(obs::Registry& reg, const EventOutcome& out) {
+  const auto applied =
+      reg.counter("online.events_applied", obs::MetricClass::Deterministic);
+  const auto rejected =
+      reg.counter("online.events_rejected", obs::MetricClass::Deterministic);
+  const auto repaired =
+      reg.counter("online.repaired_tasks", obs::MetricClass::Deterministic);
+  const auto migrated = reg.counter("online.migrated_instances",
+                                    obs::MetricClass::Deterministic);
+  const auto dirty =
+      reg.histogram("online.dirty_blocks", obs::MetricClass::Deterministic);
+  const auto latency =
+      reg.histogram("online.repair_latency_us", obs::MetricClass::Timing);
+  reg.add(applied, out.applied ? 1 : 0);
+  reg.add(rejected, out.applied ? 0 : 1);
+  if (out.applied) {
+    reg.add(repaired, out.repaired_tasks);
+    reg.add(migrated, out.migrated_instances);
+    reg.record(dirty, out.dirty_blocks);
+  }
+  reg.record(latency, static_cast<std::int64_t>(out.wall_seconds * 1e6));
+}
+
+}  // namespace
+
 EventOutcome Rebalancer::apply(const Event& event) {
+  obs::ScopedSpan event_span(event_span_name(event.kind()), "online");
   Stopwatch watch;
   EventOutcome out;
   out.event = event;
@@ -400,6 +447,7 @@ EventOutcome Rebalancer::apply(const Event& event) {
     out.alive_tasks = static_cast<int>(graph_->task_count());
     out.alive_procs = alive_processor_count();
     out.wall_seconds = watch.seconds();
+    if (options_.metrics != nullptr) fold_event(*options_.metrics, out);
   };
 
   // Snapshot for the migration diff and (conceptually) the rollback: the
@@ -424,6 +472,7 @@ EventOutcome Rebalancer::apply(const Event& event) {
   // a full re-place before giving up (DESIGN.md F11).
   const auto repair_with_escalation = [&](Patched& candidate,
                                           const TaskGraph& graph) {
+    LBMEM_TRACE_SPAN("online.repair");
     std::string err = repair(candidate.sched, candidate.occ, candidate.dirty,
                              candidate.preferred, failed_,
                              candidate.repaired);

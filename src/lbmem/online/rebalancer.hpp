@@ -65,6 +65,14 @@ struct RebalancerOptions {
   /// architectures. The configured solver, not `balance`, decides policy
   /// and capacity handling in this mode.
   std::shared_ptr<const Solver> full_resolver;
+  /// Observability sink (DESIGN.md F25): when set, every apply() folds
+  /// its outcome into this registry — applied/rejected counters, the
+  /// repaired-tasks / migration totals, the dirty-set-size histogram
+  /// (Deterministic class) and the per-event repair-latency histogram
+  /// (Timing class). The balance stage inherits the pointer through
+  /// BalanceOptions::metrics unless `balance.metrics` was already set.
+  /// The registry must outlive the engine.
+  obs::Registry* metrics = nullptr;
 };
 
 /// What one event did to the system.

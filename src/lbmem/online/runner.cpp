@@ -42,9 +42,12 @@ OnlineReport OnlineRunner::replay(Rebalancer& system,
       report.total_balance_moves += outcome.balance_moves;
       report.total_balance_gain += outcome.balance_gain;
       report.total_resolver_discards += outcome.resolver_discarded ? 1 : 0;
+      report.dirty_blocks.record(outcome.dirty_blocks);
     } else {
       ++report.rejected;
     }
+    report.repair_latency_us.record(
+        static_cast<std::int64_t>(outcome.wall_seconds * 1e6));
     report.peak_max_memory =
         std::max(report.peak_max_memory, outcome.max_memory);
     report.total_wall_seconds += outcome.wall_seconds;

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "lbmem/obs/metrics.hpp"
 #include "lbmem/online/rebalancer.hpp"
 
 namespace lbmem {
@@ -44,6 +45,13 @@ struct OnlineReport {
   Mem final_max_memory = 0;
   double total_wall_seconds = 0.0;
   double max_wall_seconds = 0.0;
+  /// Per-event repair latency in microseconds (one sample per event; the
+  /// p50/p99 columns of report/online come from here). Wall clock — a
+  /// timing figure, stripped by the report layer under --timing=off.
+  obs::LatencyHistogram repair_latency_us;
+  /// Per-applied-event dirty-set size (blocks re-evaluated by the balance
+  /// stage). Deterministic: a property of the decision sequence.
+  obs::LatencyHistogram dirty_blocks;
 };
 
 /// Replays traces against a Rebalancer.

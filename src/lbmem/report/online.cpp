@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "lbmem/report/stats.hpp"
 #include "lbmem/util/json.hpp"
 #include "lbmem/util/table.hpp"
 
@@ -34,7 +35,8 @@ std::string event_target(const Event& event) {
 
 }  // namespace
 
-std::string summarize_online(const OnlineReport& report) {
+std::string summarize_online(const OnlineReport& report,
+                             bool include_timing) {
   Table table({"#", "t", "event", "target", "outcome", "repaired", "blocks",
                "migr", "gain", "makespan", "maxmem", "viol"});
   for (std::size_t i = 0; i < report.events.size(); ++i) {
@@ -82,6 +84,13 @@ std::string summarize_online(const OnlineReport& report) {
   out << "final makespan: " << report.final_makespan << ", final max memory: "
       << report.final_max_memory << " (peak " << report.peak_max_memory
       << ")\n";
+  // Wall clock — kept out of golden/diff renderings via --timing=off.
+  if (include_timing && report.repair_latency_us.count() > 0) {
+    const obs::LatencyHistogram& lat = report.repair_latency_us;
+    out << "repair latency (us): p50 " << lat.percentile(50) << ", p99 "
+        << lat.percentile(99) << ", max " << lat.max() << " over "
+        << lat.count() << " events\n";
+  }
   return out.str();
 }
 
@@ -131,10 +140,13 @@ std::string online_report_to_json(const OnlineReport& report,
       << ", \"total_resolver_discards\": " << report.total_resolver_discards
       << ", \"peak_max_memory\": " << report.peak_max_memory
       << ", \"final_makespan\": " << report.final_makespan
-      << ", \"final_max_memory\": " << report.final_max_memory;
+      << ", \"final_max_memory\": " << report.final_max_memory
+      << ", \"dirty_blocks\": " << histogram_to_json(report.dirty_blocks);
   if (include_timing) {
     out << ", \"total_wall_seconds\": " << report.total_wall_seconds
-        << ", \"max_wall_seconds\": " << report.max_wall_seconds;
+        << ", \"max_wall_seconds\": " << report.max_wall_seconds
+        << ", \"repair_latency_us\": "
+        << histogram_to_json(report.repair_latency_us);
   }
   out << "}\n}\n";
   return out.str();

@@ -9,13 +9,17 @@
 namespace lbmem {
 
 /// Per-event table (kind, target, outcome, migrations, makespan, memory)
-/// plus trajectory totals. Deterministic for a fixed trace: no wall-clock
-/// figures are included (they live in the JSON rendering only).
-std::string summarize_online(const OnlineReport& report);
+/// plus trajectory totals and — under \p include_timing — the per-event
+/// repair-latency p50/p99 line (from OnlineReport::repair_latency_us).
+/// With timing off the output is deterministic for a fixed trace.
+std::string summarize_online(const OnlineReport& report,
+                             bool include_timing = true);
 
-/// JSON object with an `events` array and a `summary` object. Set
-/// \p include_timing to false for byte-stable (golden/diff) output —
-/// wall_seconds fields are the only nondeterministic content.
+/// JSON object with an `events` array and a `summary` object (including
+/// the repair-latency and dirty-set histograms via histogram_to_json).
+/// Set \p include_timing to false for byte-stable (golden/diff) output —
+/// wall_seconds fields and the latency histogram are the only
+/// nondeterministic content.
 std::string online_report_to_json(const OnlineReport& report,
                                   bool include_timing = true);
 

@@ -1,0 +1,100 @@
+#include "lbmem/report/stats.hpp"
+
+#include <sstream>
+
+#include "lbmem/util/build_info.hpp"
+#include "lbmem/util/json.hpp"
+#include "lbmem/util/table.hpp"
+
+namespace lbmem {
+
+std::string histogram_to_json(const obs::LatencyHistogram& hist) {
+  std::ostringstream out;
+  out << "{\"kind\": \"histogram\", \"count\": " << hist.count()
+      << ", \"sum\": " << hist.sum() << ", \"min\": " << hist.min()
+      << ", \"max\": " << hist.max() << ", \"p50\": " << hist.percentile(50)
+      << ", \"p90\": " << hist.percentile(90)
+      << ", \"p99\": " << hist.percentile(99) << ", \"buckets\": [";
+  const auto buckets = hist.buckets();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << "[" << buckets[i].first << ", " << buckets[i].second << "]";
+  }
+  out << "]}";
+  return out.str();
+}
+
+namespace {
+
+std::string entry_to_json(const obs::SnapshotEntry& entry) {
+  if (entry.kind == obs::MetricKind::Histogram) {
+    return histogram_to_json(entry.histogram);
+  }
+  return std::string("{\"kind\": \"") + obs::to_string(entry.kind) +
+         "\", \"value\": " + std::to_string(entry.value) + "}";
+}
+
+void emit_class(std::ostringstream& out, const obs::Snapshot& snapshot,
+                obs::MetricClass cls) {
+  bool first = true;
+  for (const obs::SnapshotEntry& entry : snapshot.entries) {
+    if (entry.cls != cls) continue;
+    if (!first) out << ",";
+    out << "\n    \"" << json_escape(entry.name) << "\": "
+        << entry_to_json(entry);
+    first = false;
+  }
+  if (!first) out << "\n  ";
+}
+
+}  // namespace
+
+std::string metrics_to_json(const obs::Snapshot& snapshot,
+                            bool include_timing) {
+  std::ostringstream out;
+  out << "{\n  \"build\": {" << build_info_json_members() << "},\n"
+      << "  \"metrics\": {";
+  emit_class(out, snapshot, obs::MetricClass::Deterministic);
+  out << "}";
+  if (include_timing) {
+    out << ",\n  \"timing\": {";
+    emit_class(out, snapshot, obs::MetricClass::Timing);
+    out << "}";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string summarize_stats(const obs::Snapshot& snapshot,
+                            bool include_timing) {
+  Table table({"metric", "kind", "value", "p50", "p99", "max"});
+  int shown = 0;
+  int timing_hidden = 0;
+  for (const obs::SnapshotEntry& entry : snapshot.entries) {
+    if (entry.cls == obs::MetricClass::Timing && !include_timing) {
+      ++timing_hidden;
+      continue;
+    }
+    ++shown;
+    const std::string name = entry.cls == obs::MetricClass::Timing
+                                 ? entry.name + " (timing)"
+                                 : entry.name;
+    if (entry.kind == obs::MetricKind::Histogram) {
+      const obs::LatencyHistogram& h = entry.histogram;
+      table.add_row({name, "histogram", std::to_string(h.count()),
+                     std::to_string(h.percentile(50)),
+                     std::to_string(h.percentile(99)),
+                     std::to_string(h.max())});
+    } else {
+      table.add_row({name, obs::to_string(entry.kind),
+                     std::to_string(entry.value), "-", "-", "-"});
+    }
+  }
+  std::ostringstream out;
+  out << "--- stats (" << shown << " metrics";
+  if (timing_hidden > 0) out << ", " << timing_hidden << " timing hidden";
+  out << ") ---\n" << table.to_string();
+  return out.str();
+}
+
+}  // namespace lbmem

@@ -1,0 +1,39 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Renderings of a metrics-registry snapshot: the `--metrics-out`
+/// JSON artifact and the human-readable stats block.
+///
+/// JSON schema (stable; validated in CI):
+///   {
+///     "build":   { version, git_sha, compiler, build_type },
+///     "metrics": { "<name>": {kind, value | histogram fields}, ... },
+///     "timing":  { same shape, Timing-class metrics only }
+///   }
+/// "metrics" holds the Deterministic class only, so stripping (or
+/// omitting, via include_timing=false) the "timing" subtree leaves a
+/// byte-identical artifact for every `--threads` value — the same
+/// discipline as PR 5's `--timing=off` (DESIGN.md F25).
+
+#include <string>
+
+#include "lbmem/obs/metrics.hpp"
+
+namespace lbmem {
+
+/// One histogram as a JSON object: {"kind": "histogram", "count", "sum",
+/// "min", "max", "p50", "p90", "p99", "buckets": [[upper_edge, count]...]}.
+/// Every field is integral and run-deterministic for deterministic inputs.
+std::string histogram_to_json(const obs::LatencyHistogram& hist);
+
+/// The full snapshot artifact (see the file comment). With
+/// \p include_timing false, the "timing" key is omitted entirely.
+std::string metrics_to_json(const obs::Snapshot& snapshot,
+                            bool include_timing = true);
+
+/// Human-readable stats block: one table row per metric (histograms show
+/// count/p50/p99/max). Timing-class rows are marked and can be suppressed
+/// with \p include_timing = false.
+std::string summarize_stats(const obs::Snapshot& snapshot,
+                            bool include_timing = true);
+
+}  // namespace lbmem

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "lbmem/obs/metrics.hpp"
+#include "lbmem/obs/trace.hpp"
 #include "lbmem/sim/bus.hpp"
 #include "lbmem/util/check.hpp"
 
@@ -51,15 +53,38 @@ std::uint64_t instance_key(TaskInstance inst) {
          static_cast<std::uint32_t>(inst.k);
 }
 
+// One fold per executor run (DESIGN.md F25). Counts only — Deterministic
+// class: for a fixed spec they are identical however the run is threaded.
+// Names are registered on every fold so the emitted set is run-independent.
+void fold_sim(obs::Registry& reg, const SimMetrics& m) {
+  const auto runs =
+      reg.counter("sim.runs", obs::MetricClass::Deterministic);
+  const auto instances =
+      reg.counter("sim.instances", obs::MetricClass::Deterministic);
+  const auto violations =
+      reg.counter("sim.violations", obs::MetricClass::Deterministic);
+  const auto misses =
+      reg.counter("sim.deadline_misses", obs::MetricClass::Deterministic);
+  const auto lost =
+      reg.counter("sim.lost_instances", obs::MetricClass::Deterministic);
+  reg.add(runs, 1);
+  reg.add(instances, m.total_instances);
+  reg.add(violations, m.violations);
+  reg.add(misses, m.deadline_misses);
+  reg.add(lost, m.lost_instances);
+}
+
 }  // namespace
 
 SimMetrics simulate(const Schedule& sched, const SimOptions& options) {
+  LBMEM_TRACE_SPAN("sim.execute");
   return simulate_perturbed(sched, options, PerturbSpec{}, 0);
 }
 
 SimMetrics simulate_perturbed(const Schedule& sched, const SimOptions& options,
                               const PerturbSpec& perturb,
                               int first_hyperperiod) {
+  obs::ScopedSpan sim_span("sim.execute_perturbed", "sim");
   LBMEM_REQUIRE(sched.complete(), "simulate requires a complete schedule");
   LBMEM_REQUIRE(options.hyperperiods >= 1, "need at least one hyper-period");
   LBMEM_REQUIRE(first_hyperperiod >= 0, "window offset must be >= 0");
@@ -303,6 +328,7 @@ SimMetrics simulate_perturbed(const Schedule& sched, const SimOptions& options,
     metricsp.peak_total = metricsp.static_memory + metricsp.peak_buffer;
   }
 
+  if (options.metrics != nullptr) fold_sim(*options.metrics, metrics);
   return metrics;
 }
 

@@ -27,6 +27,10 @@
 #include "lbmem/sim/metrics.hpp"
 #include "lbmem/sim/perturb.hpp"
 
+namespace lbmem::obs {
+class Registry;
+}
+
 namespace lbmem {
 
 /// Simulation options.
@@ -35,6 +39,11 @@ struct SimOptions {
   int hyperperiods = 2;
   /// Include same-processor producer->consumer data in buffer occupancy.
   bool count_local_buffers = true;
+  /// Observability sink (DESIGN.md F25): when set, each run folds its
+  /// SimMetrics into this registry once on return — dispatch/violation/
+  /// miss counters (Deterministic class). The registry must outlive the
+  /// call; it is shared-safe, so parallel replications may point here.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Execute \p sched and return the collected metrics.

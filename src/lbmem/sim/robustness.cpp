@@ -4,6 +4,8 @@
 #include <cmath>
 #include <optional>
 
+#include "lbmem/obs/metrics.hpp"
+#include "lbmem/obs/trace.hpp"
 #include "lbmem/util/check.hpp"
 
 namespace lbmem {
@@ -101,6 +103,7 @@ RobustnessReport run_robustness(const Schedule& schedule,
   }
 
   for (int r = 0; r < options.replications; ++r) {
+    LBMEM_TRACE_SPAN("robustness.replication");
     const PerturbSpec spec = base.replication(r);
     RobustnessReplication rep;
     if (!report.failure_injected) {
@@ -161,6 +164,26 @@ RobustnessReport run_robustness(const Schedule& schedule,
   report.mean_span_inflation = inflation_sum / n;
   report.mean_miss_before = before_sum / n;
   report.mean_miss_after = after_sum / n;
+
+  // Fold the harness-level figures once per report (the executor already
+  // folded its own counts per run through options.sim.metrics).
+  if (options.sim.metrics != nullptr) {
+    obs::Registry& reg = *options.sim.metrics;
+    const auto reports = reg.counter("robustness.reports",
+                                     obs::MetricClass::Deterministic);
+    const auto failures = reg.counter("robustness.failures_injected",
+                                      obs::MetricClass::Deterministic);
+    const auto recoveries = reg.counter("robustness.recoveries",
+                                        obs::MetricClass::Deterministic);
+    const auto latency = reg.histogram("robustness.recovery_latency",
+                                       obs::MetricClass::Deterministic);
+    reg.add(reports, 1);
+    reg.add(failures, report.failure_injected ? 1 : 0);
+    reg.add(recoveries, report.recovered ? 1 : 0);
+    // Ticks, not wall clock: the latency is h*(w+1) - fail_at, a schedule
+    // property — deterministic by construction.
+    if (report.recovered) reg.record(latency, report.recovery_latency);
+  }
   return report;
 }
 

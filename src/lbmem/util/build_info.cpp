@@ -1,0 +1,57 @@
+#include "lbmem/util/build_info.hpp"
+
+#include "lbmem/util/json.hpp"
+
+#ifndef LBMEM_GIT_SHA
+#define LBMEM_GIT_SHA "unknown"
+#endif
+#ifndef LBMEM_BUILD_TYPE
+#define LBMEM_BUILD_TYPE "unknown"
+#endif
+#ifndef LBMEM_VERSION
+#define LBMEM_VERSION "0.0.0"
+#endif
+
+namespace lbmem {
+
+namespace {
+
+std::string detect_compiler() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#elif defined(_MSC_VER)
+  return "msvc " + std::to_string(_MSC_VER);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{LBMEM_VERSION, LBMEM_GIT_SHA, detect_compiler(),
+                              LBMEM_BUILD_TYPE};
+  return info;
+}
+
+std::string build_info_json_members() {
+  const BuildInfo& info = build_info();
+  return "\"version\": \"" + json_escape(info.version) +
+         "\", \"git_sha\": \"" + json_escape(info.git_sha) +
+         "\", \"compiler\": \"" + json_escape(info.compiler) +
+         "\", \"build_type\": \"" + json_escape(info.build_type) + "\"";
+}
+
+std::string build_info_line() {
+  const BuildInfo& info = build_info();
+  return "lbmem " + info.version + " (" + info.git_sha + ", " + info.compiler +
+         ", " + info.build_type + ")";
+}
+
+}  // namespace lbmem

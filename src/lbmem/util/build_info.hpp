@@ -1,0 +1,36 @@
+#pragma once
+/// \file build_info.hpp
+/// \brief Build provenance (git SHA, compiler, build type, version) stamped
+/// into every emitted artifact — `--metrics-out` / `--trace-spans` JSON,
+/// the bench recorder context, and `lbmem_cli --version` — so a number can
+/// always be traced back to the exact build that produced it.
+///
+/// The git SHA and build type are injected at configure time via per-file
+/// compile definitions on build_info.cpp (see src/CMakeLists.txt); the
+/// compiler string comes from predefined macros, so only the one .cpp
+/// recompiles when the SHA changes.
+
+#include <string>
+
+namespace lbmem {
+
+struct BuildInfo {
+  std::string version;     ///< project version (CMake PROJECT_VERSION)
+  std::string git_sha;     ///< short commit SHA, "+dirty" suffix, or "unknown"
+  std::string compiler;    ///< e.g. "gcc 13.2.0"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE, or "unknown"
+};
+
+/// The process's build provenance (static data, always available).
+const BuildInfo& build_info();
+
+/// The provenance as JSON object *members* (no surrounding braces), e.g.
+///   "version": "0.1.0", "git_sha": "abc1234", ...
+/// so emitters can splice it under whatever key they use ("build" here,
+/// "otherData" in the Chrome trace format).
+std::string build_info_json_members();
+
+/// One-line human rendering for `lbmem_cli --version`.
+std::string build_info_line();
+
+}  // namespace lbmem

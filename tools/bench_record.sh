@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Record the performance trajectory: build the Release bench preset, run
-# bench_complexity, bench_online, bench_solvers, bench_parallel and
-# bench_robustness with JSON output, and write BENCH_complexity.json /
-# BENCH_online.json / BENCH_solvers.json / BENCH_parallel.json /
-# BENCH_robustness.json at the repo root (override the destinations with
-# $1..$5). Check the results in so the perf history stays non-empty; see
-# README.md, "Performance", "Online rebalancing", "Choosing a solver",
-# "Parallelism" and "Robustness".
+# bench_complexity, bench_online, bench_solvers, bench_parallel,
+# bench_robustness and bench_observability with JSON output, and write
+# BENCH_complexity.json / BENCH_online.json / BENCH_solvers.json /
+# BENCH_parallel.json / BENCH_robustness.json / BENCH_observability.json
+# at the repo root (override the destinations with $1..$6). Check the
+# results in so the perf history stays non-empty; see README.md,
+# "Performance", "Online rebalancing", "Choosing a solver", "Parallelism",
+# "Robustness" and "Observability".
 #
 # The recorded context must describe a release-built harness: benchmarks
 # measure header-inline hot paths compiled into the bench binary, and a
@@ -70,6 +71,7 @@ online_out="${2:-${repo}/BENCH_online.json}"
 solvers_out="${3:-${repo}/BENCH_solvers.json}"
 parallel_out="${4:-${repo}/BENCH_parallel.json}"
 robustness_out="${5:-${repo}/BENCH_robustness.json}"
+observability_out="${6:-${repo}/BENCH_observability.json}"
 
 cd "${repo}"
 config_args=()
@@ -79,7 +81,7 @@ fi
 cmake --preset bench "${config_args[@]}"
 cmake --build --preset bench -j "$(nproc)" \
   --target bench_complexity bench_online bench_solvers bench_parallel \
-    bench_robustness
+    bench_robustness bench_observability
 
 "${repo}/build-bench/bench/bench_complexity" \
   --benchmark_out="${complexity_out}" \
@@ -110,3 +112,9 @@ echo "wrote ${parallel_out}"
   --benchmark_out_format=json
 check_release "${robustness_out}"
 echo "wrote ${robustness_out}"
+
+"${repo}/build-bench/bench/bench_observability" \
+  --benchmark_out="${observability_out}" \
+  --benchmark_out_format=json
+check_release "${observability_out}"
+echo "wrote ${observability_out}"

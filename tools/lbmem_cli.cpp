@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -28,16 +29,20 @@
 #include "lbmem/api/solvers.hpp"
 #include "lbmem/gen/event_trace.hpp"
 #include "lbmem/gen/paper_example.hpp"
+#include "lbmem/obs/metrics.hpp"
+#include "lbmem/obs/trace.hpp"
 #include "lbmem/online/runner.hpp"
 #include "lbmem/report/export.hpp"
 #include "lbmem/report/gantt.hpp"
 #include "lbmem/report/online.hpp"
 #include "lbmem/report/sim.hpp"
 #include "lbmem/report/solve.hpp"
+#include "lbmem/report/stats.hpp"
 #include "lbmem/report/summary.hpp"
 #include "lbmem/sim/bus.hpp"
 #include "lbmem/sim/engine.hpp"
 #include "lbmem/sim/robustness.hpp"
+#include "lbmem/util/build_info.hpp"
 #include "lbmem/util/check.hpp"
 
 namespace {
@@ -63,6 +68,9 @@ constexpr unsigned kWorkload =
 /// Subcommands whose balance stage is the configured heuristic.
 constexpr unsigned kHeuristicDriven =
     kBalance | kSimulate | kBus | kExport | kReplay;
+/// Subcommands carrying the observability flag family (--metrics-out,
+/// --trace-spans, --timing; DESIGN.md F25/F26).
+constexpr unsigned kObserved = kBalance | kSimulate | kReplay | kCompare;
 
 struct CommandSpec {
   const char* name;
@@ -150,7 +158,18 @@ constexpr FlagSpec kFlags[] = {
      kExport | kReplay | kCompare | kSimulate},
     {"count", "K", "workload instances in the comparison suite", kCompare},
     {"timing", "on|off",
-     "include wall-clock columns/fields in the compare output", kCompare},
+     "include wall-clock columns/fields in the output (off: byte-stable "
+     "across runs and thread counts)",
+     kObserved},
+    {"metrics-out", "FILE",
+     "write the run's metrics-registry snapshot as JSON; wall-clock "
+     "figures sit under a separate 'timing' subtree that --timing=off "
+     "strips, leaving the file byte-identical across thread counts",
+     kObserved},
+    {"trace-spans", "FILE",
+     "record scoped spans and write Chrome trace-event JSON (open in "
+     "chrome://tracing or ui.perfetto.dev)",
+     kObserved},
     {"events", "N", "events in the random trace", kReplay},
     {"event-seed", "S", "event-trace seed", kReplay},
     {"migration-penalty", "P", "price of moving a block off its processor",
@@ -264,7 +283,10 @@ struct CliOptions {
   // balance / compare:
   std::string algo;    ///< empty = the heuristic under --policy
   int count = 1;       ///< compare suite size
-  bool timing = true;  ///< compare wall-clock columns
+  bool timing = true;  ///< wall-clock columns/fields in reports
+  // observability:
+  std::string metrics_out;  ///< --metrics-out=FILE (empty = off)
+  std::string trace_spans;  ///< --trace-spans=FILE (empty = off)
   // replay:
   int events = 16;
   std::uint64_t event_seed = 1;
@@ -412,6 +434,12 @@ CliOptions parse_flags(const CommandSpec& cmd, int argc, char** argv,
         if (value == "on") options.timing = true;
         else if (value == "off") options.timing = false;
         else usage("unknown timing mode: " + value);
+      } else if (key == "metrics-out") {
+        if (value.empty()) usage("--metrics-out takes a file path");
+        options.metrics_out = value;
+      } else if (key == "trace-spans") {
+        if (value.empty()) usage("--trace-spans takes a file path");
+        options.trace_spans = value;
       } else if (key == "out") {
         options.out_prefix = value;
       } else if (key == "policy") {
@@ -508,6 +536,63 @@ void write_file(const std::string& path, const std::string& content) {
   std::cout << "wrote " << path << "\n";
 }
 
+/// Per-run observability session (DESIGN.md F25/F26): owns the metrics
+/// registry and — under --trace-spans — the installed tracer. Construct
+/// before the work, call finish() at each exit: it renders the stats
+/// block, writes --metrics-out, uninstalls the tracer and writes the span
+/// file. registry() is null when --metrics-out was not asked for, so the
+/// commands wire it through unconditionally and the library layers skip
+/// the fold.
+class ObsSession {
+ public:
+  explicit ObsSession(const CliOptions& options)
+      : metrics_path_(options.metrics_out),
+        spans_path_(options.trace_spans),
+        include_timing_(options.timing) {
+    if (!spans_path_.empty()) {
+      tracer_.emplace();
+      scope_.emplace(&*tracer_);
+    }
+  }
+
+  obs::Registry* registry() {
+    return metrics_path_.empty() ? nullptr : &registry_;
+  }
+
+  void finish() {
+    if (!metrics_path_.empty()) {
+      const obs::Snapshot snap = registry_.snapshot();
+      std::cout << summarize_stats(snap, include_timing_);
+      write_file(metrics_path_, metrics_to_json(snap, include_timing_));
+      metrics_path_.clear();
+    }
+    if (!spans_path_.empty()) {
+      scope_.reset();  // quiesce recording before serializing
+      std::ofstream out(spans_path_);
+      if (!out) {
+        std::cerr << "cannot write " << spans_path_ << "\n";
+        std::exit(1);
+      }
+      tracer_->write_json(out);
+      std::cout << "wrote " << spans_path_ << " (" << tracer_->span_count()
+                << " spans";
+      if (tracer_->dropped() > 0) {
+        std::cout << ", " << tracer_->dropped() << " dropped";
+      }
+      std::cout << ")\n";
+      spans_path_.clear();
+    }
+  }
+
+ private:
+  obs::Registry registry_;
+  std::optional<obs::Tracer> tracer_;
+  std::optional<obs::TracerScope> scope_;
+  std::string metrics_path_;
+  std::string spans_path_;
+  bool include_timing_ = true;
+};
+
 WorkloadSpec make_workload_spec(const CliOptions& options) {
   WorkloadSpec spec;
   spec.graph.tasks = options.tasks;
@@ -556,12 +641,14 @@ PerturbSpec make_perturb(const CliOptions& options, Time hyperperiod) {
   return perturb;
 }
 
-BalanceOptions make_balance_options(const CliOptions& options) {
+BalanceOptions make_balance_options(const CliOptions& options,
+                                    obs::Registry* metrics = nullptr) {
   BalanceOptions balance;
   balance.policy = options.policy;
   balance.enforce_memory_capacity = options.capacity != kUnlimitedMemory;
   balance.record_trace = options.trace;
   balance.threads = options.threads;
+  balance.metrics = metrics;
   if (options.threads_set && !options.trace_set) {
     // Tracing evaluates every destination exhaustively on one thread;
     // asking for threads without an explicit --trace choice means "run
@@ -579,9 +666,10 @@ struct Prepared {
   Outcome outcome;
 };
 
-Prepared prepare(const CliOptions& options) {
+Prepared prepare(const CliOptions& options,
+                 obs::Registry* metrics = nullptr) {
   Problem problem = Problem::generate(make_workload_spec(options));
-  const HeuristicSolver solver(make_balance_options(options));
+  const HeuristicSolver solver(make_balance_options(options, metrics));
   Outcome outcome = solver.solve(problem);
   return Prepared{std::move(problem), std::move(outcome)};
 }
@@ -610,6 +698,7 @@ int cmd_example() {
 }
 
 int cmd_balance(const CliOptions& options) {
+  ObsSession obs(options);
   if (!options.algo.empty()) {
     const auto solver = SolverRegistry::builtin().require(options.algo);
     // A machine-count mismatch is a usage error (exit 1), not an
@@ -632,20 +721,24 @@ int cmd_balance(const CliOptions& options) {
     if (!outcome.detail.empty()) {
       std::cout << "detail: " << outcome.detail << "\n";
     }
+    obs.finish();
     return 0;
   }
-  const Prepared p = prepare(options);
+  const Prepared p = prepare(options, obs.registry());
   const Schedule& solved = solved_or_throw(p.outcome);
   std::cout << "--- initial ---\n" << render_gantt(p.problem.initial_schedule())
             << "\n--- balanced (" << to_string(options.policy) << ") ---\n"
             << render_gantt(solved) << "\n" << summarize_solve(p.outcome.stats);
+  obs.finish();
   return 0;
 }
 
 int cmd_compare(const CliOptions& options) {
+  ObsSession obs(options);
   ScenarioSpec spec;
   spec.suite = make_suite_spec(options);
   spec.threads = options.threads;
+  spec.metrics = obs.registry();
   if (options.perturb) {
     // No failure injection in compare (fail-proc is simulate-only), so
     // the hyper-period sizing the default failure tick is irrelevant.
@@ -670,6 +763,7 @@ int cmd_compare(const CliOptions& options) {
     write_file(options.out_prefix + "_compare.json",
                scenario_report_to_json(report, options.timing));
   }
+  obs.finish();
   if (report.instances == 0) {
     std::cerr << "unschedulable: no workload instance could be generated ("
               << report.skipped_seeds << " seeds skipped)\n";
@@ -679,6 +773,7 @@ int cmd_compare(const CliOptions& options) {
 }
 
 int cmd_simulate(const CliOptions& options) {
+  ObsSession obs(options);
   std::shared_ptr<const Solver> named;
   if (!options.algo.empty()) {
     named = SolverRegistry::builtin().require(options.algo);
@@ -694,12 +789,14 @@ int cmd_simulate(const CliOptions& options) {
   const Problem problem = Problem::generate(make_workload_spec(options));
   const Outcome outcome =
       named ? named->solve(problem)
-            : HeuristicSolver(make_balance_options(options)).solve(problem);
+            : HeuristicSolver(make_balance_options(options, obs.registry()))
+                  .solve(problem);
   const Schedule& solved = solved_or_throw(outcome);
   if (named) std::cout << "solver: " << named->name() << "\n";
   std::cout << summarize_solve(outcome.stats) << "\n";
 
-  const SimOptions sim{options.hyperperiods, options.local_buffers};
+  SimOptions sim{options.hyperperiods, options.local_buffers};
+  sim.metrics = obs.registry();
   if (!options.perturb) {
     const SimMetrics metrics = simulate(solved, sim);
     std::cout << summarize_sim(metrics, options.hyperperiods);
@@ -707,6 +804,7 @@ int cmd_simulate(const CliOptions& options) {
       write_file(options.out_prefix + "_sim.json",
                  sim_report_to_json(metrics, options.hyperperiods));
     }
+    obs.finish();
     return metrics.violations == 0 ? 0 : 2;
   }
 
@@ -719,12 +817,14 @@ int cmd_simulate(const CliOptions& options) {
   rob.repair.balance.policy = options.policy;
   rob.repair.balance.enforce_memory_capacity =
       options.capacity != kUnlimitedMemory;
+  rob.repair.metrics = obs.registry();
   const RobustnessReport report = run_robustness(solved, rob);
   std::cout << summarize_robustness(report, rob);
   if (!options.out_prefix.empty()) {
     write_file(options.out_prefix + "_sim.json",
                robustness_report_to_json(report, rob));
   }
+  obs.finish();
   // Perturbed violations/misses are the measurement, not a failure of the
   // tool; the run only "fails" when an injected processor failure could
   // not be repaired.
@@ -747,7 +847,8 @@ int cmd_bus(const CliOptions& options) {
 }
 
 int cmd_replay(const CliOptions& options) {
-  Prepared p = prepare(options);
+  ObsSession obs(options);
+  Prepared p = prepare(options, obs.registry());
   // Same contract as `balance`: an invalid starting point (e.g. the
   // balancer fell back on a workload that busts a finite capacity) is
   // "unschedulable", not a baseline to replay events against.
@@ -767,6 +868,7 @@ int cmd_replay(const CliOptions& options) {
       options.capacity != kUnlimitedMemory;
   online_options.balance.migration_penalty = options.migration_penalty;
   online_options.incremental = options.incremental;
+  online_options.metrics = obs.registry();
   std::string mode = options.incremental ? "incremental" : "full";
   if (!options.resolver.empty()) {
     online_options.incremental = false;
@@ -781,12 +883,13 @@ int cmd_replay(const CliOptions& options) {
   const OnlineReport report = runner.replay(system, trace);
   std::cout << "--- replay (" << options.events << " events, seed "
             << options.event_seed << ", " << mode << " mode) ---\n"
-            << summarize_online(report);
+            << summarize_online(report, options.timing);
 
   if (!options.out_prefix.empty()) {
     write_file(options.out_prefix + "_online.json",
-               online_report_to_json(report));
+               online_report_to_json(report, options.timing));
   }
+  obs.finish();
   return report.total_violations == 0 ? 0 : 2;
 }
 
@@ -812,6 +915,10 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   if (command == "--help" || command == "-h") help(kAllCommands);
+  if (command == "--version") {
+    std::cout << build_info_line() << "\n";
+    return 0;
+  }
   const CommandSpec* cmd = find_command(command);
   if (cmd == nullptr) usage("unknown command: " + command);
   try {
