@@ -167,6 +167,68 @@ ScenarioReport ScenarioRunner::run(const ScenarioSpec& spec) const {
       }
     }
   }
+
+  // Adaptive post-pass (DESIGN.md F30), sequential and in suite order: a
+  // virtual policy that, per instance, mirrors the cell of the candidate
+  // with the best pooled miss rate observed on the previous instances.
+  // Pure fold over already-solved cells — thread-count invariant, and the
+  // per-instance noise streams are solver-fair (F24), so the pool compares
+  // schedules, not luck.
+  if (spec.adaptive && spec.replications > 0 && width > 0) {
+    report.adaptive = true;
+    std::vector<std::string> names;
+    names.reserve(width);
+    for (const auto& solver : solvers) names.push_back(solver->name());
+    MissRateSelector selector(std::move(names));
+    ScenarioSolverSummary& row = report.adaptive_summary;
+    row.solver = "adaptive";
+    report.adaptive_picks.reserve(suite.size());
+    std::vector<double> pooled;
+    double inflation_sum = 0.0;
+    int perturbed_cells = 0;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      const int pick = selector.pick();
+      const ScenarioCell& cell =
+          report.cells[i * width + static_cast<std::size_t>(pick)];
+      report.adaptive_picks.push_back(cell.solver);
+      row.mean_wall_seconds += cell.wall_seconds;
+      if (cell.feasible) {
+        ++row.solved;
+        row.mean_makespan += static_cast<double>(cell.makespan);
+        row.mean_max_memory += static_cast<double>(cell.max_memory);
+        row.mean_gain += static_cast<double>(cell.gain);
+      }
+      if (cell.perturbed) {
+        double sum = 0.0;
+        for (const double m : cell.rep_miss_rates) sum += m;
+        selector.observe(pick, cell.rep_miss_rates.empty()
+                                   ? 0.0
+                                   : sum / cell.rep_miss_rates.size());
+        pooled.insert(pooled.end(), cell.rep_miss_rates.begin(),
+                      cell.rep_miss_rates.end());
+        inflation_sum += cell.mean_span_inflation;
+        ++perturbed_cells;
+      } else {
+        // An infeasible pick still teaches the policy: a schedule that
+        // does not exist misses every deadline.
+        selector.observe(pick, 1.0);
+      }
+    }
+    if (row.solved > 0) {
+      const double n = row.solved;
+      row.mean_makespan /= n;
+      row.mean_max_memory /= n;
+      row.mean_gain /= n;
+    }
+    if (report.instances > 0) {
+      row.mean_wall_seconds /= report.instances;
+    }
+    row.miss_p50 = robustness_percentile(pooled, 50.0);
+    row.miss_p99 = robustness_percentile(pooled, 99.0);
+    if (perturbed_cells > 0) {
+      row.mean_span_inflation = inflation_sum / perturbed_cells;
+    }
+  }
   return report;
 }
 

@@ -44,6 +44,15 @@ struct ScenarioSpec {
   int replications = 0;
   /// Executor window per replication (hyper-periods, local buffers).
   SimOptions sim;
+  /// Miss-rate-driven solver selection (DESIGN.md F30): adds a virtual
+  /// "adaptive" summary row that, per instance (in suite order), mirrors
+  /// the cell of the candidate with the best pooled perturbed miss rate
+  /// observed on the *previous* instances — unobserved candidates are
+  /// explored first in spec order, an infeasible pick observes the
+  /// worst-case rate of 1.0 (an infeasible schedule misses everything).
+  /// A sequential post-pass over already-solved cells, so the row is
+  /// byte-identical for every thread count. Requires replications > 0.
+  bool adaptive = false;
   /// Observability sink (DESIGN.md F25): when set, the sweep counts its
   /// cells (Deterministic class) and records one per-solver wall-time
   /// histogram sample per cell (`compare.wall_us.<solver>`, Timing class).
@@ -105,6 +114,12 @@ struct ScenarioReport {
   std::vector<ScenarioCell> cells;
   /// solver order of the spec (summary row even when nothing solved).
   std::vector<ScenarioSolverSummary> summary;
+  /// Adaptive mode (ScenarioSpec::adaptive): present when true.
+  bool adaptive = false;
+  /// Per instance, the candidate the adaptive policy ran (suite order).
+  std::vector<std::string> adaptive_picks;
+  /// The virtual policy's aggregates (solver == "adaptive").
+  ScenarioSolverSummary adaptive_summary;
 };
 
 /// Runs registry subsets over generator suites.

@@ -1,6 +1,7 @@
 #include "lbmem/online/rebalancer.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_map>
 #include <utility>
 
@@ -97,6 +98,69 @@ void add_consumers(const TaskGraph& graph, TaskId t,
   }
 }
 
+/// Grow \p dirty by one dependency ring: every producer or consumer of a
+/// dirty task becomes dirty (the rung-1 scope widening, DESIGN.md F28).
+/// Returns false when the ring added nothing (fixpoint — retrying would
+/// repeat the identical repair).
+bool widen_by_ring(const TaskGraph& graph, std::vector<std::uint8_t>& dirty) {
+  std::vector<std::uint8_t> next = dirty;
+  for (const Dependence& dep : graph.dependences()) {
+    if (dirty[static_cast<std::size_t>(dep.producer)]) {
+      next[static_cast<std::size_t>(dep.consumer)] = 1;
+    }
+    if (dirty[static_cast<std::size_t>(dep.consumer)]) {
+      next[static_cast<std::size_t>(dep.producer)] = 1;
+    }
+  }
+  const bool grew = next != dirty;
+  dirty.swap(next);
+  return grew;
+}
+
+/// Shed-rung victim order (DESIGN.md F28): longest period first (the
+/// lowest rate-monotonic priority), heaviest memory among equals, name as
+/// the deterministic last resort.
+std::vector<TaskId> shed_order(const TaskGraph& graph) {
+  std::vector<TaskId> order;
+  order.reserve(graph.task_count());
+  for (TaskId t = 0; t < static_cast<TaskId>(graph.task_count()); ++t) {
+    order.push_back(t);
+  }
+  std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    const Task& ta = graph.task(a);
+    const Task& tb = graph.task(b);
+    if (ta.period != tb.period) return ta.period > tb.period;
+    if (ta.memory != tb.memory) return ta.memory > tb.memory;
+    return ta.name < tb.name;
+  });
+  return order;
+}
+
+/// \p graph minus the tasks in \p victims (and every dependence touching
+/// one) — the shed rung's shrunken system.
+std::unique_ptr<TaskGraph> drop_tasks(const TaskGraph& graph,
+                                      const std::vector<TaskId>& victims) {
+  std::vector<std::uint8_t> gone(graph.task_count(), 0);
+  for (const TaskId v : victims) gone[static_cast<std::size_t>(v)] = 1;
+  std::vector<TaskId> remap(graph.task_count(), -1);
+  auto shrunk = std::make_unique<TaskGraph>();
+  for (TaskId t = 0; t < static_cast<TaskId>(graph.task_count()); ++t) {
+    if (gone[static_cast<std::size_t>(t)]) continue;
+    remap[static_cast<std::size_t>(t)] = shrunk->add_task(graph.task(t));
+  }
+  for (const Dependence& dep : graph.dependences()) {
+    if (gone[static_cast<std::size_t>(dep.producer)] ||
+        gone[static_cast<std::size_t>(dep.consumer)]) {
+      continue;
+    }
+    shrunk->add_dependence(remap[static_cast<std::size_t>(dep.producer)],
+                           remap[static_cast<std::size_t>(dep.consumer)],
+                           dep.data_size);
+  }
+  shrunk->freeze();
+  return shrunk;
+}
+
 /// Scope guard undoing a durable engine mutation (set_wcet, failed_ flag)
 /// unless dismissed — keeps the "rejected events leave the system exactly
 /// as before" promise even when patching throws (bad_alloc, precondition).
@@ -140,11 +204,17 @@ namespace {
 /// consumers whose data-readiness a re-placement broke (consumers are
 /// always later in the order, so one pass suffices). Returns an empty
 /// string on success, else the reason the repair is infeasible.
+///
+/// \p stale, when non-null, is a frozen per-processor memory view
+/// (DESIGN.md F29) consulted *only* by the final placement tie-break —
+/// capacity projections and the occupancy timelines stay live, so
+/// staleness can cost balance quality but never feasibility.
 std::string repair(Schedule& work, std::vector<ProcTimeline>& occ,
                    std::vector<std::uint8_t>& dirty,
                    const std::vector<ProcId>& preferred,
                    const std::vector<std::uint8_t>& failed,
-                   std::vector<TaskId>& repaired) {
+                   std::vector<TaskId>& repaired,
+                   const std::vector<Mem>* stale = nullptr) {
   const TaskGraph& graph = work.graph();
   const auto detach = [&](TaskId t) {
     const InstanceIdx n = graph.instance_count(t);
@@ -207,6 +277,9 @@ std::string repair(Schedule& work, std::vector<ProcTimeline>& occ,
         const bool best_pref = (best_proc == pref);
         if (cand_pref != best_pref) {
           better = cand_pref;
+        } else if (stale != nullptr) {
+          better = (*stale)[static_cast<std::size_t>(p)] <
+                   (*stale)[static_cast<std::size_t>(best_proc)];
         } else {
           better = work.memory_on(p) < work.memory_on(best_proc);
         }
@@ -392,6 +465,52 @@ EventOutcome Rebalancer::fail_processor(ProcId proc, Time at) {
   return apply(Event{at, ProcessorFailure{proc}});
 }
 
+const std::vector<Mem>* Rebalancer::stale_memory() const {
+  return (options_.staleness_events > 0 && !stale_memory_.empty())
+             ? &stale_memory_
+             : nullptr;
+}
+
+EventOutcome Rebalancer::apply(const Event& event) {
+  // Stale-load tick (DESIGN.md F29): the frozen per-processor memory view
+  // is refreshed every staleness_events calls, before this event (and any
+  // expired backoff retries below) consult it.
+  if (options_.staleness_events > 0) {
+    if (staleness_tick_ == 0) {
+      const int m = sched_->architecture().processor_count();
+      stale_memory_.assign(static_cast<std::size_t>(m), 0);
+      for (ProcId p = 0; p < m; ++p) {
+        stale_memory_[static_cast<std::size_t>(p)] = sched_->memory_on(p);
+      }
+    }
+    staleness_tick_ = (staleness_tick_ + 1) % options_.staleness_events;
+  }
+
+  EventOutcome out = apply_one(event, /*allow_defer=*/true);
+
+  // Age the backoff queue by one event and re-attempt every entry whose
+  // countdown expired — oldest first, full ladder, no second deferral.
+  // An event parked by *this* call joins the queue afterwards, so it
+  // waits its full backoff.
+  if (!pending_.empty()) {
+    std::vector<PendingRetry> waiting;
+    waiting.reserve(pending_.size());
+    for (PendingRetry& p : pending_) {
+      if (--p.countdown > 0) {
+        waiting.push_back(std::move(p));
+        continue;
+      }
+      out.resolved_pending.push_back(
+          apply_one(p.event, /*allow_defer=*/false));
+    }
+    pending_ = std::move(waiting);
+  }
+  if (out.deferred) {
+    pending_.push_back(PendingRetry{event, options_.degraded.backoff_events});
+  }
+  return out;
+}
+
 namespace {
 
 // Span names must be static literals (the tracer stores the pointer).
@@ -414,6 +533,8 @@ void fold_event(obs::Registry& reg, const EventOutcome& out) {
       reg.counter("online.events_applied", obs::MetricClass::Deterministic);
   const auto rejected =
       reg.counter("online.events_rejected", obs::MetricClass::Deterministic);
+  const auto deferred =
+      reg.counter("online.events_deferred", obs::MetricClass::Deterministic);
   const auto repaired =
       reg.counter("online.repaired_tasks", obs::MetricClass::Deterministic);
   const auto migrated = reg.counter("online.migrated_instances",
@@ -422,19 +543,43 @@ void fold_event(obs::Registry& reg, const EventOutcome& out) {
       reg.histogram("online.dirty_blocks", obs::MetricClass::Deterministic);
   const auto latency =
       reg.histogram("online.repair_latency_us", obs::MetricClass::Timing);
+  // Degraded-mode ladder (DESIGN.md F28): retry attempts, recoveries per
+  // rung, shed victims, and the deepest rung ever needed as a gauge.
+  const auto retries = reg.counter("online.degraded.retries",
+                                   obs::MetricClass::Deterministic);
+  const auto rec_retry = reg.counter("online.degraded.recovered_retry",
+                                     obs::MetricClass::Deterministic);
+  const auto rec_replace = reg.counter("online.degraded.recovered_replace",
+                                       obs::MetricClass::Deterministic);
+  const auto rec_resolve = reg.counter("online.degraded.recovered_resolve",
+                                       obs::MetricClass::Deterministic);
+  const auto rec_shed = reg.counter("online.degraded.recovered_shed",
+                                    obs::MetricClass::Deterministic);
+  const auto shed = reg.counter("online.degraded.shed_tasks",
+                                obs::MetricClass::Deterministic);
+  const auto mode =
+      reg.gauge("online.degraded_mode", obs::MetricClass::Deterministic);
   reg.add(applied, out.applied ? 1 : 0);
-  reg.add(rejected, out.applied ? 0 : 1);
+  reg.add(rejected, (!out.applied && !out.deferred) ? 1 : 0);
+  reg.add(deferred, out.deferred ? 1 : 0);
+  reg.add(retries, out.degraded_retries);
   if (out.applied) {
     reg.add(repaired, out.repaired_tasks);
     reg.add(migrated, out.migrated_instances);
     reg.record(dirty, out.dirty_blocks);
+    reg.add(rec_retry, out.degraded_rung == 1 ? 1 : 0);
+    reg.add(rec_replace, out.degraded_rung == 2 ? 1 : 0);
+    reg.add(rec_resolve, out.degraded_rung == 3 ? 1 : 0);
+    reg.add(rec_shed, out.degraded_rung == 4 ? 1 : 0);
+    reg.add(shed, static_cast<std::int64_t>(out.shed.size()));
   }
+  reg.raise(mode, out.degraded_rung);
   reg.record(latency, static_cast<std::int64_t>(out.wall_seconds * 1e6));
 }
 
 }  // namespace
 
-EventOutcome Rebalancer::apply(const Event& event) {
+EventOutcome Rebalancer::apply_one(const Event& event, bool allow_defer) {
   obs::ScopedSpan event_span(event_span_name(event.kind()), "online");
   Stopwatch watch;
   EventOutcome out;
@@ -465,26 +610,125 @@ EventOutcome Rebalancer::apply(const Event& event) {
   };
 
   std::string reject;
-  std::unique_ptr<TaskGraph> new_graph;  // null = graph kept
+  std::unique_ptr<TaskGraph> new_graph;   // null = graph kept
+  std::unique_ptr<TaskGraph> shed_graph;  // rung 4 shrank the graph
   std::optional<Patched> patched;
+  const std::vector<Mem>* stale = stale_memory();
 
-  // Local repair first; if a local repair is infeasible, escalate once to
-  // a full re-place before giving up (DESIGN.md F11).
-  const auto repair_with_escalation = [&](Patched& candidate,
-                                          const TaskGraph& graph) {
+  // The repair ladder. Rung 0 is the plain dirty-set repair; without
+  // degraded mode a failure escalates once to a full re-place and then
+  // rejects (the historic F11/F13 behavior). With degraded mode the
+  // failure either defers for backoff or climbs: widened-scope retries,
+  // the constructive full re-place, a Solver-backed full resolve of the
+  // running system, and finally load shedding (DESIGN.md F28). Every rung
+  // builds its candidate from pristine pre-event state via make_base /
+  // full_replace_candidate, so a failed rung leaks nothing into the next
+  // — and a rejected event leaks nothing at all (F14).
+  const auto run_ladder = [&](const std::function<Patched()>& make_base,
+                              const TaskGraph& graph,
+                              bool same_graph) -> std::string {
     LBMEM_TRACE_SPAN("online.repair");
-    std::string err = repair(candidate.sched, candidate.occ, candidate.dirty,
-                             candidate.preferred, failed_,
-                             candidate.repaired);
-    if (err.empty() || candidate.full_replace) return err;
-    Patched full = full_replace_candidate(graph, pre());
-    std::string full_err =
-        repair(full.sched, full.occ, full.dirty, full.preferred, failed_,
-               full.repaired);
-    if (!full_err.empty()) return err;  // report the local failure
-    full.seeds = full.repaired;
-    candidate = std::move(full);
-    return std::string{};
+    Patched candidate = make_base();
+    const std::vector<std::uint8_t> base_dirty = candidate.dirty;
+    const bool base_full = candidate.full_replace;
+    std::string err =
+        repair(candidate.sched, candidate.occ, candidate.dirty,
+               candidate.preferred, failed_, candidate.repaired, stale);
+    if (err.empty()) {
+      patched.emplace(std::move(candidate));
+      return {};
+    }
+    const DegradedOptions& deg = options_.degraded;
+    if (deg.enabled && allow_defer && deg.backoff_events > 0) {
+      out.deferred = true;  // parked by apply(); re-attempted ladder-first
+      return err;
+    }
+    if (!base_full) {
+      // Rung 1 (degraded only): re-attempt with the dirty set widened by
+      // one dependency ring per retry.
+      if (deg.enabled) {
+        std::vector<std::uint8_t> dirty = base_dirty;
+        for (int r = 0; r < deg.max_retries; ++r) {
+          if (!widen_by_ring(graph, dirty)) break;  // fixpoint: no new scope
+          Patched retry = make_base();
+          retry.dirty = dirty;
+          ++out.degraded_retries;
+          if (repair(retry.sched, retry.occ, retry.dirty, retry.preferred,
+                     failed_, retry.repaired, stale)
+                  .empty()) {
+            out.degraded_rung = 1;
+            patched.emplace(std::move(retry));
+            return {};
+          }
+        }
+      }
+      // Rung 2 / the historic escalation: re-place every task.
+      Patched full = full_replace_candidate(graph, pre());
+      if (repair(full.sched, full.occ, full.dirty, full.preferred, failed_,
+                 full.repaired, stale)
+              .empty()) {
+        full.seeds = full.repaired;
+        if (deg.enabled) out.degraded_rung = 2;
+        patched.emplace(std::move(full));
+        return {};
+      }
+    }
+    if (!deg.enabled) return err;  // historic behavior: reject
+    // Rung 3: full resolve of the running system by a configured solver.
+    // Same-graph events only — the Problem aliases the engine's graph. An
+    // outcome that re-populates a failed processor is discarded (the
+    // full_resolver invariant carries over).
+    const Solver* resolver =
+        deg.resolver ? deg.resolver.get() : options_.full_resolver.get();
+    if (same_graph && resolver != nullptr) {
+      const Problem problem = Problem::adopt(pre());
+      Outcome outcome = resolver->solve(problem);
+      if (outcome.feasible()) {
+        bool on_failed = false;
+        for (ProcId p = 0; p < sched_->architecture().processor_count();
+             ++p) {
+          if (failed_[static_cast<std::size_t>(p)] &&
+              (outcome.schedule->busy_on(p) > 0 ||
+               outcome.schedule->memory_on(p) > 0)) {
+            on_failed = true;
+            break;
+          }
+        }
+        if (!on_failed) {
+          Patched resolved{std::move(*outcome.schedule)};
+          resolved.full_replace = true;
+          resolved.occ = build_occupancy(resolved.sched);
+          resolved.dirty.assign(graph.task_count(), 0);
+          resolved.preferred = instance0_procs(resolved.sched);
+          out.degraded_rung = 3;
+          patched.emplace(std::move(resolved));
+          return {};
+        }
+        out.resolver_discarded = true;
+      }
+    }
+    // Rung 4: shed the lowest-priority tasks (longest period first) until
+    // a full re-place of the survivors fits, bounded by max_shed.
+    const std::vector<TaskId> order = shed_order(graph);
+    const int cap =
+        std::min(deg.max_shed, static_cast<int>(graph.task_count()) - 1);
+    for (int s = 1; s <= cap; ++s) {
+      const std::vector<TaskId> victims(order.begin(), order.begin() + s);
+      auto shrunk = drop_tasks(graph, victims);
+      Patched cand = full_replace_candidate(*shrunk, pre());
+      if (!repair(cand.sched, cand.occ, cand.dirty, cand.preferred, failed_,
+                  cand.repaired, stale)
+               .empty()) {
+        continue;
+      }
+      cand.seeds = cand.repaired;
+      out.degraded_rung = 4;
+      for (const TaskId v : victims) out.shed.push_back(graph.task(v).name);
+      shed_graph = std::move(shrunk);
+      patched.emplace(std::move(cand));
+      return {};
+    }
+    return err;  // the whole ladder failed: report the rung-0 reason
   };
 
   switch (event.kind()) {
@@ -512,20 +756,22 @@ EventOutcome Rebalancer::apply(const Event& event) {
       // Guarded so the mutation unwinds on reject AND on any exception
       // thrown while patching (DESIGN.md F14).
       Rollback undo([this, t, old_wcet] { graph_->set_wcet(t, old_wcet); });
-      Patched candidate{pre()};
-      candidate.sched.refresh_aggregates();
-      candidate.occ = occ_;
-      candidate.dirty.assign(graph_->task_count(), 0);
-      candidate.dirty[static_cast<std::size_t>(t)] = 1;
-      candidate.preferred = instance0_procs(pre());
-      candidate.seeds.push_back(t);
-      add_consumers(*graph_, t, candidate.seeds);
-      reject = repair_with_escalation(candidate, *graph_);
+      const auto make_base = [&] {
+        Patched candidate{pre()};
+        candidate.sched.refresh_aggregates();
+        // The occupancy copy holds old-length pieces for t; the repair
+        // re-places t, so its pieces then carry the new WCET.
+        candidate.occ = occ_;
+        candidate.dirty.assign(graph_->task_count(), 0);
+        candidate.dirty[static_cast<std::size_t>(t)] = 1;
+        candidate.preferred = instance0_procs(pre());
+        candidate.seeds.push_back(t);
+        add_consumers(*graph_, t, candidate.seeds);
+        return candidate;
+      };
+      reject = run_ladder(make_base, *graph_, /*same_graph=*/true);
       if (!reject.empty()) break;  // ~Rollback restores the old WCET
       undo.dismiss();
-      // The occupancy copy holds old-length pieces for t; the repair
-      // re-placed t, so its pieces already carry the new WCET.
-      patched.emplace(std::move(candidate));
       break;
     }
 
@@ -546,17 +792,19 @@ EventOutcome Rebalancer::apply(const Event& event) {
       failed_[static_cast<std::size_t>(p)] = 1;
       // Un-fail on reject and on any exception while patching (F14).
       Rollback undo([this, p] { failed_[static_cast<std::size_t>(p)] = 0; });
-      Patched candidate{pre()};
-      candidate.occ = occ_;
-      candidate.dirty.assign(graph_->task_count(), 0);
-      for (const TaskInstance inst : pre().instances_on(p)) {
-        candidate.dirty[static_cast<std::size_t>(inst.task)] = 1;
-      }
-      candidate.preferred = instance0_procs(pre());
-      reject = repair_with_escalation(candidate, *graph_);
+      const auto make_base = [&] {
+        Patched candidate{pre()};
+        candidate.occ = occ_;
+        candidate.dirty.assign(graph_->task_count(), 0);
+        for (const TaskInstance inst : pre().instances_on(p)) {
+          candidate.dirty[static_cast<std::size_t>(inst.task)] = 1;
+        }
+        candidate.preferred = instance0_procs(pre());
+        return candidate;
+      };
+      reject = run_ladder(make_base, *graph_, /*same_graph=*/true);
       if (!reject.empty()) break;  // ~Rollback un-fails the processor
       undo.dismiss();
-      patched.emplace(std::move(candidate));
       break;
     }
 
@@ -586,29 +834,29 @@ EventOutcome Rebalancer::apply(const Event& event) {
         // larger circle, which preserves validity (DESIGN.md F13).
         const Time old_h = graph_->hyperperiod();
         const Time new_h = rebuilt->hyperperiod();
-        Patched candidate{
-            Schedule(*rebuilt, pre().architecture(), pre().comm())};
-        for (TaskId t = 0; t < static_cast<TaskId>(graph_->task_count());
-             ++t) {
-          candidate.sched.set_first_start(t, pre().first_start(t));
-          const InstanceIdx n_old = graph_->instance_count(t);
-          const InstanceIdx n_new = rebuilt->instance_count(t);
-          for (InstanceIdx k = 0; k < n_new; ++k) {
-            candidate.sched.assign(TaskInstance{t, k},
-                                   pre().proc(TaskInstance{t, k % n_old}));
+        const auto make_base = [&] {
+          Patched candidate{
+              Schedule(*rebuilt, pre().architecture(), pre().comm())};
+          for (TaskId t = 0; t < static_cast<TaskId>(graph_->task_count());
+               ++t) {
+            candidate.sched.set_first_start(t, pre().first_start(t));
+            const InstanceIdx n_old = graph_->instance_count(t);
+            const InstanceIdx n_new = rebuilt->instance_count(t);
+            for (InstanceIdx k = 0; k < n_new; ++k) {
+              candidate.sched.assign(TaskInstance{t, k},
+                                     pre().proc(TaskInstance{t, k % n_old}));
+            }
           }
-        }
-        candidate.occ =
-            (new_h == old_h) ? occ_ : build_occupancy(candidate.sched);
-        candidate.dirty.assign(rebuilt->task_count(), 0);
-        candidate.dirty[static_cast<std::size_t>(nid)] = 1;
-        candidate.preferred = instance0_procs(candidate.sched);
-        candidate.seeds.push_back(nid);
-        reject = repair_with_escalation(candidate, *rebuilt);
-        if (reject.empty()) {
-          new_graph = std::move(rebuilt);
-          patched.emplace(std::move(candidate));
-        }
+          candidate.occ =
+              (new_h == old_h) ? occ_ : build_occupancy(candidate.sched);
+          candidate.dirty.assign(rebuilt->task_count(), 0);
+          candidate.dirty[static_cast<std::size_t>(nid)] = 1;
+          candidate.preferred = instance0_procs(candidate.sched);
+          candidate.seeds.push_back(nid);
+          return candidate;
+        };
+        reject = run_ladder(make_base, *rebuilt, /*same_graph=*/false);
+        if (reject.empty()) new_graph = std::move(rebuilt);
       } catch (const ModelError& e) {
         reject = e.what();
       }
@@ -643,41 +891,46 @@ EventOutcome Rebalancer::apply(const Event& event) {
 
       const Time old_h = graph_->hyperperiod();
       const Time new_h = rebuilt->hyperperiod();
-      Patched candidate = [&] {
-        if (new_h != old_h) {
-          // The victim's period was load-bearing for the hyper-period;
-          // folding the old circle onto the smaller one is not validity-
-          // preserving, so every task is re-placed (DESIGN.md F13).
-          return full_replace_candidate(*rebuilt, pre());
-        }
-        Patched migrated{Schedule(*rebuilt, pre().architecture(), pre().comm())};
-        for (TaskId t = 0; t < static_cast<TaskId>(graph_->task_count());
-             ++t) {
-          if (t == victim) continue;
-          const TaskId nt = remap(t);
-          migrated.sched.set_first_start(nt, pre().first_start(t));
-          const InstanceIdx n = graph_->instance_count(t);
-          for (InstanceIdx k = 0; k < n; ++k) {
-            migrated.sched.assign(TaskInstance{nt, k},
-                                  pre().proc(TaskInstance{t, k}));
+      const auto make_base = [&] {
+        Patched candidate = [&] {
+          if (new_h != old_h) {
+            // The victim's period was load-bearing for the hyper-period;
+            // folding the old circle onto the smaller one is not validity-
+            // preserving, so every task is re-placed (DESIGN.md F13).
+            return full_replace_candidate(*rebuilt, pre());
+          }
+          Patched migrated{
+              Schedule(*rebuilt, pre().architecture(), pre().comm())};
+          for (TaskId t = 0; t < static_cast<TaskId>(graph_->task_count());
+               ++t) {
+            if (t == victim) continue;
+            const TaskId nt = remap(t);
+            migrated.sched.set_first_start(nt, pre().first_start(t));
+            const InstanceIdx n = graph_->instance_count(t);
+            for (InstanceIdx k = 0; k < n; ++k) {
+              migrated.sched.assign(TaskInstance{nt, k},
+                                    pre().proc(TaskInstance{t, k}));
+            }
+          }
+          // Ids shifted, so the occupancy owners must be rebuilt.
+          migrated.occ = build_occupancy(migrated.sched);
+          migrated.dirty.assign(rebuilt->task_count(), 0);
+          migrated.preferred = instance0_procs(migrated.sched);
+          return migrated;
+        }();
+        // Seed the balance around the hole the victim left.
+        for (const Dependence& dep : graph_->dependences()) {
+          if (dep.producer == victim) {
+            candidate.seeds.push_back(remap(dep.consumer));
+          }
+          if (dep.consumer == victim) {
+            candidate.seeds.push_back(remap(dep.producer));
           }
         }
-        // Ids shifted, so the occupancy owners must be rebuilt.
-        migrated.occ = build_occupancy(migrated.sched);
-        migrated.dirty.assign(rebuilt->task_count(), 0);
-        migrated.preferred = instance0_procs(migrated.sched);
-        return migrated;
-      }();
-      // Seed the balance around the hole the victim left.
-      for (const Dependence& dep : graph_->dependences()) {
-        if (dep.producer == victim) candidate.seeds.push_back(remap(dep.consumer));
-        if (dep.consumer == victim) candidate.seeds.push_back(remap(dep.producer));
-      }
-      reject = repair_with_escalation(candidate, *rebuilt);
-      if (reject.empty()) {
-        new_graph = std::move(rebuilt);
-        patched.emplace(std::move(candidate));
-      }
+        return candidate;
+      };
+      reject = run_ladder(make_base, *rebuilt, /*same_graph=*/false);
+      if (reject.empty()) new_graph = std::move(rebuilt);
       break;
     }
   }
@@ -689,6 +942,11 @@ EventOutcome Rebalancer::apply(const Event& event) {
     finish();
     return out;
   }
+
+  // The shed rung shrank the task graph — even for events that normally
+  // keep it (WcetChange, ProcessorFailure).
+  if (shed_graph) new_graph = std::move(shed_graph);
+  shed_.insert(shed_.end(), out.shed.begin(), out.shed.end());
 
   out.applied = true;
   out.graph_rebuilt = (new_graph != nullptr);
@@ -705,7 +963,9 @@ EventOutcome Rebalancer::apply(const Event& event) {
   if (new_graph) retired = std::move(graph_);
   commit(std::move(*patched), std::move(new_graph));
 
-  run_balance_stage(seeds, out);
+  // A rung-3 recovery *is* a full resolve — running the balance stage on
+  // top would second-guess the solver the caller configured.
+  if (out.degraded_rung != 3) run_balance_stage(seeds, out);
 
   out.migrated_instances = count_migrations(pre(), *sched_);
   finish();

@@ -9,6 +9,49 @@ namespace lbmem {
 OnlineRunner::OnlineRunner(ReplayOptions options)
     : options_(options) {}
 
+namespace {
+
+/// Fold one outcome (and, recursively, the deferred re-attempts it
+/// resolved) into the trajectory aggregates.
+void fold_outcome(OnlineReport& report, const EventOutcome& outcome) {
+  if (outcome.applied) {
+    ++report.applied;
+    report.total_migrations += outcome.migrated_instances;
+    report.total_repaired += outcome.repaired_tasks;
+    report.total_balance_moves += outcome.balance_moves;
+    report.total_balance_gain += outcome.balance_gain;
+    report.dirty_blocks.record(outcome.dirty_blocks);
+    switch (outcome.degraded_rung) {
+      case 1: ++report.recovered_retry; break;
+      case 2: ++report.recovered_replace; break;
+      case 3: ++report.recovered_resolve; break;
+      case 4: ++report.recovered_shed; break;
+      default: break;
+    }
+  } else if (outcome.deferred) {
+    ++report.deferred;
+  } else {
+    ++report.rejected;
+  }
+  report.total_resolver_discards += outcome.resolver_discarded ? 1 : 0;
+  report.total_retries += outcome.degraded_retries;
+  report.degraded_mode = std::max(report.degraded_mode, outcome.degraded_rung);
+  report.shed.insert(report.shed.end(), outcome.shed.begin(),
+                     outcome.shed.end());
+  report.repair_latency_us.record(
+      static_cast<std::int64_t>(outcome.wall_seconds * 1e6));
+  report.peak_max_memory =
+      std::max(report.peak_max_memory, outcome.max_memory);
+  report.total_wall_seconds += outcome.wall_seconds;
+  report.max_wall_seconds =
+      std::max(report.max_wall_seconds, outcome.wall_seconds);
+  for (const EventOutcome& resolved : outcome.resolved_pending) {
+    fold_outcome(report, resolved);
+  }
+}
+
+}  // namespace
+
 OnlineReport OnlineRunner::replay(Rebalancer& system,
                                   const EventTrace& trace) const {
   OnlineReport report;
@@ -35,26 +78,11 @@ OnlineReport OnlineRunner::replay(Rebalancer& system,
       report.total_violations += violations;
     }
 
-    if (outcome.applied) {
-      ++report.applied;
-      report.total_migrations += outcome.migrated_instances;
-      report.total_repaired += outcome.repaired_tasks;
-      report.total_balance_moves += outcome.balance_moves;
-      report.total_balance_gain += outcome.balance_gain;
-      report.total_resolver_discards += outcome.resolver_discarded ? 1 : 0;
-      report.dirty_blocks.record(outcome.dirty_blocks);
-    } else {
-      ++report.rejected;
-    }
-    report.repair_latency_us.record(
-        static_cast<std::int64_t>(outcome.wall_seconds * 1e6));
-    report.peak_max_memory =
-        std::max(report.peak_max_memory, outcome.max_memory);
-    report.total_wall_seconds += outcome.wall_seconds;
-    report.max_wall_seconds =
-        std::max(report.max_wall_seconds, outcome.wall_seconds);
+    fold_outcome(report, outcome);
 
-    const bool stop = options_.stop_on_reject && !outcome.applied;
+    // A deferred event is not a rejection — the ladder still owns it.
+    const bool stop =
+        options_.stop_on_reject && !outcome.applied && !outcome.deferred;
     report.events.push_back(std::move(outcome));
     report.violations.push_back(violations);
     if (stop) break;

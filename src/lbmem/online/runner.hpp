@@ -31,6 +31,10 @@ struct OnlineReport {
 
   int applied = 0;
   int rejected = 0;
+  /// Events parked by the degraded backoff rung (neither applied nor
+  /// rejected at their own tick; their re-attempt outcomes ride along in
+  /// EventOutcome::resolved_pending and are aggregated here too).
+  int deferred = 0;
   int total_violations = 0;
   int total_migrations = 0;
   int total_repaired = 0;
@@ -38,6 +42,16 @@ struct OnlineReport {
   /// Full-resolve outcomes discarded for re-populating a failed processor
   /// (see EventOutcome::resolver_discarded; 0 outside resolver mode).
   int total_resolver_discards = 0;
+  /// Degraded-mode ladder totals (DESIGN.md F28; all 0 with the ladder
+  /// off): widened-scope retry attempts, recoveries per rung, the deepest
+  /// rung any event needed, and every shed task in shed order.
+  int total_retries = 0;
+  int recovered_retry = 0;
+  int recovered_replace = 0;
+  int recovered_resolve = 0;
+  int recovered_shed = 0;
+  int degraded_mode = 0;
+  std::vector<std::string> shed;
   Time total_balance_gain = 0;
   /// Worst per-processor memory seen anywhere along the trajectory.
   Mem peak_max_memory = 0;

@@ -93,6 +93,18 @@ std::string summarize_robustness(const RobustnessReport& report,
       << ", comm jitter " << format_double(p.comm_jitter, 3) << ", stall p="
       << format_double(p.stall_prob, 3) << " x " << p.stall_ticks
       << ", bus fifo " << (p.bus_fifo ? "on" : "off") << "\n";
+  // Correlated-burst line (DESIGN.md F27) — only when a chain is active,
+  // so historic output is unchanged. The CLI configures the channels
+  // uniformly; report whichever chain is live.
+  if (p.any_burst()) {
+    const GilbertElliott& chain = p.wcet_burst.active()
+                                      ? p.wcet_burst
+                                      : (p.comm_burst.active() ? p.comm_burst
+                                                               : p.stall_burst);
+    out << "burst: storm entry p=" << format_double(chain.p, 3) << ", exit q="
+        << format_double(chain.q, 3) << ", intensity x"
+        << format_double(chain.factor, 3) << "\n";
+  }
   out << "miss rate p50 " << format_double(report.miss_p50, 3) << " / p99 "
       << format_double(report.miss_p99, 3) << ", mean span inflation "
       << format_double(report.mean_span_inflation, 3) << "\n";
@@ -113,14 +125,26 @@ std::string summarize_robustness(const RobustnessReport& report,
         << format_double(rep.span_inflation, 3) << ", violations "
         << rep.metrics.violations << "\n";
   }
-  if (report.failure_injected) {
-    out << "failure: P" << p.fail_proc + 1 << " at t=" << p.fail_at << " -> ";
-    if (report.recovered) {
-      out << "recovered, latency " << report.recovery_latency << " ticks ("
-          << report.repair_detail << ")\n";
+  for (const FailureOutcome& fo : report.failures) {
+    out << "failure: P" << fo.proc + 1 << " at t=" << fo.at << " -> ";
+    if (fo.repaired) {
+      out << "recovered, latency " << fo.recovery_latency << " ticks ("
+          << fo.detail << ")";
+      // Degraded-mode ladder annotations (DESIGN.md F28/F30) — printed
+      // only when a rung past the plain repair produced the table, so
+      // historic single-failure output is unchanged.
+      if (fo.degraded_rung > 0) out << ", rung " << fo.degraded_rung;
+      if (!fo.resolver.empty()) out << ", resolver " << fo.resolver;
+      if (!fo.shed.empty()) {
+        out << ", shed";
+        for (const std::string& name : fo.shed) out << " " << name;
+      }
+      out << "\n";
     } else {
-      out << "NOT recovered: " << report.repair_detail << "\n";
+      out << "NOT recovered: " << fo.detail << "\n";
     }
+  }
+  if (report.failure_injected) {
     out << "miss rate before recovery "
         << format_double(report.mean_miss_before, 3) << ", after "
         << format_double(report.mean_miss_after, 3) << "\n";
@@ -139,7 +163,16 @@ std::string robustness_report_to_json(const RobustnessReport& report,
       << ", \"comm_jitter\": " << p.comm_jitter
       << ", \"stall_prob\": " << p.stall_prob
       << ", \"stall_ticks\": " << p.stall_ticks << ", \"bus_fifo\": "
-      << (p.bus_fifo ? "true" : "false") << "}"
+      << (p.bus_fifo ? "true" : "false");
+  if (p.any_burst()) {
+    const GilbertElliott& chain = p.wcet_burst.active()
+                                      ? p.wcet_burst
+                                      : (p.comm_burst.active() ? p.comm_burst
+                                                               : p.stall_burst);
+    out << ", \"burst_p\": " << chain.p << ", \"burst_q\": " << chain.q
+        << ", \"burst_factor\": " << chain.factor;
+  }
+  out << "}"
       << ",\n  \"miss_p50\": " << report.miss_p50
       << ",\n  \"miss_p99\": " << report.miss_p99
       << ",\n  \"mean_span_inflation\": " << report.mean_span_inflation
@@ -147,13 +180,35 @@ std::string robustness_report_to_json(const RobustnessReport& report,
       << ",\n  \"total_deadline_misses\": " << report.total_deadline_misses
       << ",\n  \"total_lost_instances\": " << report.total_lost_instances;
   if (report.failure_injected) {
-    out << ",\n  \"failure\": {\"proc\": " << p.fail_proc
-        << ", \"at\": " << p.fail_at << ", \"recovered\": "
+    // Report-level roll-up (kept for single-failure consumers) plus the
+    // per-failure outcomes, in injection order.
+    out << ",\n  \"failure\": {\"recovered\": "
         << (report.recovered ? "true" : "false")
         << ", \"recovery_latency\": " << report.recovery_latency
         << ", \"miss_before\": " << report.mean_miss_before
         << ", \"miss_after\": " << report.mean_miss_after
-        << ", \"detail\": \"" << json_escape(report.repair_detail) << "\"}";
+        << ", \"detail\": \"" << json_escape(report.repair_detail) << "\"}"
+        << ",\n  \"failures\": [\n";
+    for (std::size_t f = 0; f < report.failures.size(); ++f) {
+      const FailureOutcome& fo = report.failures[f];
+      out << "    {\"proc\": " << fo.proc << ", \"at\": " << fo.at
+          << ", \"recovered\": " << (fo.repaired ? "true" : "false")
+          << ", \"recovery_latency\": " << fo.recovery_latency
+          << ", \"degraded_rung\": " << fo.degraded_rung;
+      if (!fo.resolver.empty()) {
+        out << ", \"resolver\": \"" << json_escape(fo.resolver) << "\"";
+      }
+      if (!fo.shed.empty()) {
+        out << ", \"shed\": [";
+        for (std::size_t s = 0; s < fo.shed.size(); ++s) {
+          out << (s ? ", " : "") << "\"" << json_escape(fo.shed[s]) << "\"";
+        }
+        out << "]";
+      }
+      out << ", \"detail\": \"" << json_escape(fo.detail) << "\"}"
+          << (f + 1 < report.failures.size() ? "," : "") << "\n";
+    }
+    out << "  ]";
   }
   out << ",\n  \"reps\": [\n";
   for (std::size_t r = 0; r < report.replications.size(); ++r) {

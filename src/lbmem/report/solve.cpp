@@ -108,7 +108,7 @@ std::string summarize_scenario(const ScenarioReport& report,
   }
   if (include_timing) headers.push_back("mean wall (ms)");
   Table table(std::move(headers));
-  for (const ScenarioSolverSummary& row : report.summary) {
+  const auto add_summary_row = [&](const ScenarioSolverSummary& row) {
     std::vector<std::string> cells;
     cells.push_back(row.solver);
     cells.push_back(std::to_string(row.solved) + "/" +
@@ -135,8 +135,20 @@ std::string summarize_scenario(const ScenarioReport& report,
       cells.push_back(format_double(1e3 * row.mean_wall_seconds, 3));
     }
     table.add_row(std::move(cells));
+  };
+  for (const ScenarioSolverSummary& row : report.summary) {
+    add_summary_row(row);
   }
+  // The miss-rate-driven virtual policy (DESIGN.md F30) rides as one more
+  // summary row plus its per-instance picks — only in adaptive mode, so
+  // historic compare output is untouched.
+  if (report.adaptive) add_summary_row(report.adaptive_summary);
   out << table.to_string();
+  if (report.adaptive) {
+    out << "adaptive picks:";
+    for (const std::string& pick : report.adaptive_picks) out << " " << pick;
+    out << "\n";
+  }
   return out.str();
 }
 
@@ -167,7 +179,29 @@ std::string scenario_report_to_json(const ScenarioReport& report,
     }
     out << "}" << (i + 1 < report.summary.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"cells\": [\n";
+  out << "  ]";
+  // Adaptive mode only (DESIGN.md F30): the virtual policy's aggregates
+  // and its per-instance picks, so historic JSON is byte-identical.
+  if (report.adaptive) {
+    const ScenarioSolverSummary& row = report.adaptive_summary;
+    out << ",\n  \"adaptive\": {\"solved\": " << row.solved
+        << ", \"mean_makespan\": " << row.mean_makespan
+        << ", \"mean_max_memory\": " << row.mean_max_memory
+        << ", \"mean_gain\": " << row.mean_gain
+        << ", \"miss_p50\": " << row.miss_p50
+        << ", \"miss_p99\": " << row.miss_p99
+        << ", \"mean_span_inflation\": " << row.mean_span_inflation;
+    if (include_timing) {
+      out << ", \"mean_wall_seconds\": " << row.mean_wall_seconds;
+    }
+    out << ", \"picks\": [";
+    for (std::size_t p = 0; p < report.adaptive_picks.size(); ++p) {
+      out << (p ? ", " : "") << "\"" << json_escape(report.adaptive_picks[p])
+          << "\"";
+    }
+    out << "]}";
+  }
+  out << ",\n  \"cells\": [\n";
   for (std::size_t i = 0; i < report.cells.size(); ++i) {
     const ScenarioCell& cell = report.cells[i];
     out << "    {\"solver\": \"" << json_escape(cell.solver)

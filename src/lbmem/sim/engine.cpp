@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "lbmem/obs/metrics.hpp"
@@ -96,7 +97,30 @@ SimMetrics simulate_perturbed(const Schedule& sched, const SimOptions& options,
 
   const bool jitter_on = perturb.wcet_jitter > 0.0;
   const bool stall_on = perturb.stall_prob > 0.0 && perturb.stall_ticks > 0;
-  const bool fail_on = perturb.fail_proc != kNoProc;
+
+  // Permanent failures: per-processor first fail tick (sentinel: never).
+  // all_failures() already merged the legacy pair with `failures`.
+  constexpr Time kNever = std::numeric_limits<Time>::max();
+  std::vector<Time> fail_time(
+      static_cast<std::size_t>(arch.processor_count()), kNever);
+  for (const ProcessorFault& f : perturb.all_failures()) {
+    LBMEM_REQUIRE(f.proc >= 0 && f.proc < arch.processor_count(),
+                  "injected failure names an unknown processor");
+    fail_time[static_cast<std::size_t>(f.proc)] = f.at;
+  }
+
+  // Correlated bursts (DESIGN.md F27): each channel's Gilbert–Elliott
+  // chain is evaluated once per absolute window; while it storms, the
+  // channel's base intensity is scaled by its factor (probabilities clamp
+  // at 1). The state is a pure function of (seed, channel, window), so a
+  // stitched run sees the same storms as an unsplit one.
+  const auto effective = [&perturb](std::uint64_t channel,
+                                    const GilbertElliott& chain, double base,
+                                    std::uint64_t abs_rep) {
+    if (base <= 0.0 || !chain.active()) return base;
+    if (!burst_storm(perturb.seed, channel, abs_rep, chain)) return base;
+    return base * chain.factor;
+  };
 
   SimMetrics metrics;
   metrics.procs.resize(static_cast<std::size_t>(arch.processor_count()));
@@ -116,6 +140,12 @@ SimMetrics simulate_perturbed(const Schedule& sched, const SimOptions& options,
     const std::uint64_t abs_rep =
         static_cast<std::uint64_t>(first_hyperperiod + w);
     const Time offset = h * static_cast<Time>(first_hyperperiod + w);
+    const double wcet_jitter_w =
+        effective(kPerturbWcet, perturb.wcet_burst, perturb.wcet_jitter,
+                  abs_rep);
+    const double stall_prob_w = std::min(
+        1.0, effective(kPerturbStall, perturb.stall_burst, perturb.stall_prob,
+                       abs_rep));
     for (const TaskInstance inst : instances) {
       const Task& task = graph.task(inst.task);
       const ProcId p = sched.proc(inst);
@@ -125,7 +155,7 @@ SimMetrics simulate_perturbed(const Schedule& sched, const SimOptions& options,
       ++metrics.total_instances;
       const std::size_t slot =
           static_cast<std::size_t>(w) * dense + graph.dense_index(inst);
-      if (fail_on && p == perturb.fail_proc && s >= perturb.fail_at) {
+      if (s >= fail_time[static_cast<std::size_t>(p)]) {
         lost[slot] = 1;
         ++metrics.lost_instances;
         continue;
@@ -136,10 +166,10 @@ SimMetrics simulate_perturbed(const Schedule& sched, const SimOptions& options,
             perturb_unit(perturb.seed, kPerturbWcet, abs_rep,
                          instance_key(inst));
         e += static_cast<Time>(std::llround(
-            static_cast<double>(task.wcet) * perturb.wcet_jitter * u));
+            static_cast<double>(task.wcet) * wcet_jitter_w * u));
       }
       if (stall_on && perturb_unit(perturb.seed, kPerturbStall, abs_rep,
-                                   instance_key(inst)) < perturb.stall_prob) {
+                                   instance_key(inst)) < stall_prob_w) {
         e += perturb.stall_ticks;
       }
       actual_end[slot] = e;
@@ -216,6 +246,9 @@ SimMetrics simulate_perturbed(const Schedule& sched, const SimOptions& options,
     const std::uint64_t abs_rep =
         static_cast<std::uint64_t>(first_hyperperiod + w);
     const Time offset = h * static_cast<Time>(first_hyperperiod + w);
+    const double comm_jitter_w =
+        effective(kPerturbComm, perturb.comm_burst, perturb.comm_jitter,
+                  abs_rep);
     for (std::int32_t e = 0;
          e < static_cast<std::int32_t>(graph.dependence_count()); ++e) {
       const Dependence& dep =
@@ -255,7 +288,7 @@ SimMetrics simulate_perturbed(const Schedule& sched, const SimOptions& options,
                       static_cast<std::uint32_t>(k),
                   static_cast<std::uint64_t>(pk));
               length += static_cast<Time>(std::llround(
-                  static_cast<double>(comm) * perturb.comm_jitter * u));
+                  static_cast<double>(comm) * comm_jitter_w * u));
             }
             if (perturb.bus_fifo) {
               datum.fifo_key = static_cast<std::int64_t>(data.size());

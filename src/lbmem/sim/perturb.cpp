@@ -1,5 +1,7 @@
 #include "lbmem/sim/perturb.hpp"
 
+#include <algorithm>
+
 namespace lbmem {
 
 namespace {
@@ -30,6 +32,44 @@ double perturb_unit(std::uint64_t seed, std::uint64_t channel, std::uint64_t a,
   // Top 53 bits -> [0, 1), the standard exact double mapping.
   return static_cast<double>(perturb_hash(seed, channel, a, b, c) >> 11) *
          0x1.0p-53;
+}
+
+bool burst_storm(std::uint64_t seed, std::uint64_t channel,
+                 std::uint64_t window, const GilbertElliott& chain) {
+  if (!(chain.p > 0.0)) return false;
+  // The chain state is a prefix product of per-window transition draws,
+  // each a pure function of (seed, channel, w): re-deriving it from
+  // window 0 keeps the model stateless — any caller, for any window split,
+  // computes the identical state — at O(window) cost, which is trivial at
+  // hyper-period granularity.
+  bool storm = false;
+  for (std::uint64_t w = 0; w <= window; ++w) {
+    const double u = perturb_unit(seed, kPerturbBurst, channel, w);
+    storm = storm ? !(u < chain.q) : (u < chain.p);
+  }
+  return storm;
+}
+
+std::vector<ProcessorFault> PerturbSpec::all_failures() const {
+  std::vector<ProcessorFault> all;
+  if (fail_proc != kNoProc) all.push_back(ProcessorFault{fail_proc, fail_at});
+  all.insert(all.end(), failures.begin(), failures.end());
+  std::sort(all.begin(), all.end(),
+            [](const ProcessorFault& a, const ProcessorFault& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.proc < b.proc;
+            });
+  // A processor only dies once: keep its earliest fail time (the sort
+  // already put it first among duplicates).
+  std::vector<ProcessorFault> deduped;
+  deduped.reserve(all.size());
+  for (const ProcessorFault& f : all) {
+    const bool seen =
+        std::any_of(deduped.begin(), deduped.end(),
+                    [&](const ProcessorFault& d) { return d.proc == f.proc; });
+    if (!seen) deduped.push_back(f);
+  }
+  return deduped;
 }
 
 PerturbSpec PerturbSpec::replication(int rep) const {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <optional>
 
+#include "lbmem/api/solver.hpp"
 #include "lbmem/obs/metrics.hpp"
 #include "lbmem/obs/trace.hpp"
 #include "lbmem/util/check.hpp"
@@ -49,7 +51,81 @@ SimMetrics merge_windows(const SimMetrics& a, const SimMetrics& b, Time h,
   return m;
 }
 
+/// Deep-copy the engine's running table (graph + rebound schedule) so the
+/// phase simulations can keep reading it after a later repair rebuilds or
+/// retires the engine's own graph (shed and epoch events do).
+const Schedule* snapshot_table(
+    const TaskGraph& graph, const Schedule& sched,
+    std::vector<std::unique_ptr<TaskGraph>>& graphs,
+    std::vector<std::unique_ptr<Schedule>>& scheds) {
+  auto g = std::make_unique<TaskGraph>(graph);
+  auto s = std::make_unique<Schedule>(*g, sched.architecture(), sched.comm());
+  for (TaskId t = 0; t < static_cast<TaskId>(g->task_count()); ++t) {
+    s->set_first_start(t, sched.first_start(t));
+    const InstanceIdx n = g->instance_count(t);
+    for (InstanceIdx k = 0; k < n; ++k) {
+      s->assign(TaskInstance{t, k}, sched.proc(TaskInstance{t, k}));
+    }
+  }
+  graphs.push_back(std::move(g));
+  scheds.push_back(std::move(s));
+  return scheds.back().get();
+}
+
 }  // namespace
+
+MissRateSelector::MissRateSelector(std::vector<std::string> names) {
+  entries_.reserve(names.size());
+  for (std::string& name : names) {
+    Entry entry;
+    entry.name = std::move(name);
+    entries_.push_back(std::move(entry));
+  }
+}
+
+int MissRateSelector::pick() const {
+  LBMEM_REQUIRE(!entries_.empty(),
+                "miss-rate selection needs at least one candidate");
+  // Exploration first: every candidate gets observed before any pooled
+  // comparison happens (registration order keeps it deterministic).
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].count == 0) return static_cast<int>(i);
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (pooled(static_cast<int>(i)) < pooled(static_cast<int>(best))) {
+      best = i;
+    }
+  }
+  return static_cast<int>(best);
+}
+
+void MissRateSelector::observe(int index, double miss_rate) {
+  LBMEM_REQUIRE(index >= 0 && index < size(),
+                "miss-rate observation names an unknown candidate");
+  Entry& entry = entries_[static_cast<std::size_t>(index)];
+  entry.sum += miss_rate;
+  ++entry.count;
+}
+
+const std::string& MissRateSelector::name(int index) const {
+  LBMEM_REQUIRE(index >= 0 && index < size(),
+                "candidate index out of range");
+  return entries_[static_cast<std::size_t>(index)].name;
+}
+
+double MissRateSelector::pooled(int index) const {
+  LBMEM_REQUIRE(index >= 0 && index < size(),
+                "candidate index out of range");
+  const Entry& entry = entries_[static_cast<std::size_t>(index)];
+  return entry.count > 0 ? entry.sum / static_cast<double>(entry.count) : 0.0;
+}
+
+int MissRateSelector::observations(int index) const {
+  LBMEM_REQUIRE(index >= 0 && index < size(),
+                "candidate index out of range");
+  return entries_[static_cast<std::size_t>(index)].count;
+}
 
 double robustness_percentile(std::vector<double> values, double pct) {
   if (values.empty()) return 0.0;
@@ -71,76 +147,170 @@ RobustnessReport run_robustness(const Schedule& schedule,
   const int reps = options.sim.hyperperiods;
   const PerturbSpec& base = options.perturb;
 
+  const std::vector<ProcessorFault> faults = base.all_failures();
+  for (const ProcessorFault& f : faults) {
+    LBMEM_REQUIRE(f.at >= 0 && f.at < h * static_cast<Time>(reps),
+                  "every fail time must fall inside the simulated window");
+  }
+
   RobustnessReport report;
+  report.failure_injected = !faults.empty();
   report.replications.reserve(static_cast<std::size_t>(options.replications));
 
-  // Failure handoff: repair once per report — the repair decision depends
-  // on the schedule and the failed processor, never on the noise draws, so
-  // re-running it per replication would only duplicate work.
-  int fail_window = 0;
+  // Phase boundaries: the hyper-period after each failure's window, where
+  // the repaired table (if any) swaps in; the run's end closes the list.
+  std::vector<int> cuts;
+  cuts.reserve(faults.size() + 1);
+  for (const ProcessorFault& f : faults) {
+    cuts.push_back(static_cast<int>(f.at / h) + 1);
+  }
+  cuts.push_back(reps);
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  // Failure handoff: each repair runs once per report — the decision
+  // depends on the schedule and the failed processor, never on the noise
+  // draws, so re-running it per replication would only duplicate work.
   std::optional<Rebalancer> system;
-  const Schedule* repaired = nullptr;
-  if (base.fail_proc != kNoProc) {
-    LBMEM_REQUIRE(base.fail_at >= 0 &&
-                      base.fail_at < h * static_cast<Time>(reps),
-                  "fail_at must fall inside the simulated window");
-    report.failure_injected = true;
-    fail_window = static_cast<int>(base.fail_at / h);
+  if (!faults.empty()) {
     system.emplace(Rebalancer::adopt(graph, schedule, options.repair));
-    const EventOutcome out =
-        system->fail_processor(base.fail_proc, base.fail_at);
-    report.recovered = out.applied;
-    if (out.applied) {
-      repaired = &system->schedule();
+  }
+
+  // Adaptive mode (DESIGN.md F30): miss-rate-driven rung-3 selection.
+  const bool adaptive = !options.adaptive_resolvers.empty();
+  std::vector<std::string> candidate_names;
+  candidate_names.reserve(options.adaptive_resolvers.size());
+  for (const auto& solver : options.adaptive_resolvers) {
+    LBMEM_REQUIRE(solver != nullptr, "adaptive candidate must be non-null");
+    candidate_names.push_back(solver->name());
+  }
+  MissRateSelector selector(std::move(candidate_names));
+
+  // Tables the phases execute. Snapshots keep repaired tables alive after
+  // later repairs mutate the engine; `active` is the table in force.
+  std::vector<std::unique_ptr<TaskGraph>> snap_graphs;
+  std::vector<std::unique_ptr<Schedule>> snap_scheds;
+  const Schedule* active = &schedule;
+
+  // Rejected failures: those processors stay dead for the rest of the run
+  // (at = 0 loses every dispatch placed on them in later phases).
+  std::vector<ProcessorFault> dead;
+
+  struct Accum {
+    SimMetrics metrics;
+    bool any = false;
+    double before = 0.0;
+    double after = 0.0;
+  };
+  std::vector<Accum> acc(static_cast<std::size_t>(options.replications));
+
+  // Phase-major sweep: simulate each phase for every replication, then
+  // decide the repairs at its closing boundary. The adaptive pool only
+  // ever contains phases that already ran — "observed so far" is literal.
+  std::size_t fault_idx = 0;
+  int governing = -1;  // selector index whose resolved table is in force
+  int seg_start = 0;
+  for (const int cut : cuts) {
+    if (cut > seg_start) {
+      SimOptions seg = options.sim;
+      seg.hyperperiods = cut - seg_start;
+      // Failures live in this phase: permanently dead processors plus
+      // every not-yet-repaired failure at its absolute fail time (ones
+      // beyond this phase's window never trigger — times are absolute).
+      std::vector<ProcessorFault> live = dead;
+      for (std::size_t i = fault_idx; i < faults.size(); ++i) {
+        live.push_back(faults[i]);
+      }
+      double pooled = 0.0;
+      for (int r = 0; r < options.replications; ++r) {
+        LBMEM_TRACE_SPAN("robustness.replication");
+        PerturbSpec spec = base.replication(r);
+        spec.fail_proc = kNoProc;
+        spec.fail_at = 0;
+        spec.failures = live;
+        const SimMetrics m = simulate_perturbed(*active, seg, spec, seg_start);
+        Accum& a = acc[static_cast<std::size_t>(r)];
+        if (report.failure_injected) {
+          if (seg_start == 0) a.before = m.miss_rate();
+          if (seg_start > 0) a.after = m.miss_rate();  // final phase wins
+        }
+        pooled += m.miss_rate();
+        a.metrics = a.any ? merge_windows(a.metrics, m, h, reps) : m;
+        a.any = true;
+      }
+      // Credit the phase to the candidate whose resolved table governed
+      // it — and only to it (solver-fair, F24: candidates never pool
+      // each other's phases).
+      if (governing >= 0) {
+        selector.observe(governing,
+                         pooled / static_cast<double>(options.replications));
+      }
+    }
+
+    // Repairs whose failure window closed at this boundary, in fail-time
+    // order; each accepted repair's table governs from here on.
+    while (fault_idx < faults.size() &&
+           static_cast<int>(faults[fault_idx].at / h) + 1 == cut) {
+      const ProcessorFault f = faults[fault_idx++];
+      FailureOutcome fo;
+      fo.proc = f.proc;
+      fo.at = f.at;
+      int pick = -1;
+      if (adaptive) {
+        pick = selector.pick();
+        fo.resolver = selector.name(pick);
+        system->set_degraded_resolver(options.adaptive_resolvers
+                                          [static_cast<std::size_t>(pick)]);
+      }
+      const EventOutcome out = system->fail_processor(f.proc, f.at);
+      fo.repaired = out.applied;
+      fo.degraded_rung = out.degraded_rung;
+      fo.shed = out.shed;
+      if (out.applied) {
+        fo.recovery_latency = h * static_cast<Time>(cut) - f.at;
+        fo.detail =
+            "repaired " + std::to_string(out.repaired_tasks) + " tasks, " +
+            std::to_string(out.migrated_instances) + " instances migrated";
+        active = snapshot_table(system->graph(), system->schedule(),
+                                snap_graphs, snap_scheds);
+        governing = (out.degraded_rung == 3) ? pick : -1;
+      } else {
+        dead.push_back(ProcessorFault{f.proc, 0});
+        fo.detail = out.reject_reason;
+        governing = -1;
+      }
+      report.failures.push_back(std::move(fo));
+    }
+    seg_start = cut;
+  }
+
+  // Report-level aggregates over the per-failure outcomes.
+  if (!report.failures.empty()) {
+    report.recovered = std::all_of(
+        report.failures.begin(), report.failures.end(),
+        [](const FailureOutcome& fo) { return fo.repaired; });
+    for (const FailureOutcome& fo : report.failures) {
       report.recovery_latency =
-          h * static_cast<Time>(fail_window + 1) - base.fail_at;
-      report.repair_detail =
-          "repaired " + std::to_string(out.repaired_tasks) + " tasks, " +
-          std::to_string(out.migrated_instances) + " instances migrated";
+          std::max(report.recovery_latency, fo.recovery_latency);
+    }
+    if (report.failures.size() == 1) {
+      report.repair_detail = report.failures.front().detail;
     } else {
-      report.repair_detail = out.reject_reason;
+      for (const FailureOutcome& fo : report.failures) {
+        if (!report.repair_detail.empty()) report.repair_detail += "; ";
+        report.repair_detail += "P" + std::to_string(fo.proc + 1) + "@t=" +
+                                std::to_string(fo.at) + ": " + fo.detail;
+      }
     }
   }
 
-  for (int r = 0; r < options.replications; ++r) {
-    LBMEM_TRACE_SPAN("robustness.replication");
-    const PerturbSpec spec = base.replication(r);
+  for (const Accum& a : acc) {
     RobustnessReplication rep;
-    if (!report.failure_injected) {
-      rep.metrics = simulate_perturbed(schedule, options.sim, spec, 0);
-    } else {
-      SimOptions pre = options.sim;
-      pre.hyperperiods = fail_window + 1;
-      const SimMetrics before = simulate_perturbed(schedule, pre, spec, 0);
-      rep.miss_rate_before = before.miss_rate();
-      const int tail = reps - fail_window - 1;
-      if (tail > 0) {
-        SimOptions post = options.sim;
-        post.hyperperiods = tail;
-        PerturbSpec tail_spec = spec;
-        SimMetrics after;
-        if (report.recovered) {
-          // The repaired schedule hosts nothing on the dead processor;
-          // drop the failure so the executor needs no special casing.
-          tail_spec.fail_proc = kNoProc;
-          tail_spec.fail_at = 0;
-          after = simulate_perturbed(*repaired, post, tail_spec,
-                                     fail_window + 1);
-        } else {
-          // Hard failure: the dead processor stays dead for the whole
-          // tail (fail_at = 0 loses every dispatch placed on it).
-          tail_spec.fail_at = 0;
-          after = simulate_perturbed(schedule, post, tail_spec,
-                                     fail_window + 1);
-        }
-        rep.miss_rate_after = after.miss_rate();
-        rep.metrics = merge_windows(before, after, h, reps);
-      } else {
-        rep.metrics = before;
-      }
-    }
+    rep.metrics = a.metrics;
     rep.miss_rate = rep.metrics.miss_rate();
     rep.span_inflation = rep.metrics.span_inflation();
+    rep.miss_rate_before = a.before;
+    rep.miss_rate_after = a.after;
     report.replications.push_back(std::move(rep));
   }
 
@@ -171,18 +341,21 @@ RobustnessReport run_robustness(const Schedule& schedule,
     obs::Registry& reg = *options.sim.metrics;
     const auto reports = reg.counter("robustness.reports",
                                      obs::MetricClass::Deterministic);
-    const auto failures = reg.counter("robustness.failures_injected",
-                                      obs::MetricClass::Deterministic);
+    const auto failures_id = reg.counter("robustness.failures_injected",
+                                         obs::MetricClass::Deterministic);
     const auto recoveries = reg.counter("robustness.recoveries",
                                         obs::MetricClass::Deterministic);
     const auto latency = reg.histogram("robustness.recovery_latency",
                                        obs::MetricClass::Deterministic);
     reg.add(reports, 1);
-    reg.add(failures, report.failure_injected ? 1 : 0);
-    reg.add(recoveries, report.recovered ? 1 : 0);
-    // Ticks, not wall clock: the latency is h*(w+1) - fail_at, a schedule
+    reg.add(failures_id, static_cast<std::int64_t>(report.failures.size()));
+    // Ticks, not wall clock: each latency is h*(w+1) - fail_at, a schedule
     // property — deterministic by construction.
-    if (report.recovered) reg.record(latency, report.recovery_latency);
+    for (const FailureOutcome& fo : report.failures) {
+      if (!fo.repaired) continue;
+      reg.add(recoveries, 1);
+      reg.record(latency, fo.recovery_latency);
+    }
   }
   return report;
 }

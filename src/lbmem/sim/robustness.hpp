@@ -5,30 +5,40 @@
 /// the failure -> online-repair handoff and aggregate miss-rate statistics.
 ///
 /// Each replication executes the schedule for sim.hyperperiods windows
-/// under the spec's noise with a replication-derived seed. When the spec
-/// injects a ProcessorFailure, the run is stitched from two windows:
+/// under the spec's noise with a replication-derived seed. Injected
+/// ProcessorFailures (any number, independent fail times) split the run
+/// into *phases* at hyper-period boundaries:
 ///
-///   * [0, w_f]: the original schedule with the failure active — every
-///     dispatch on the dead processor from fail_at on is lost (w_f is the
-///     hyper-period containing fail_at);
-///   * [w_f+1, end): the failure is handed to online/Rebalancer once per
-///     report (noise never changes what repair does). If the repair is
-///     accepted, the repaired schedule takes over at the next hyper-period
-///     boundary — recovery_latency = (w_f+1)*H - fail_at, the table-swap
-///     discipline of strict-periodic dispatchers — and the tail runs
-///     clean. If the repair is rejected (Rebalancer rolls back, DESIGN.md
-///     F14), the system degrades hard: the tail keeps the original
-///     schedule with everything on the dead processor lost.
+///   * a failure at tick `at` (window w_f = at / H) is live from `at` to
+///     the end of window w_f — every dispatch on the dead processor in
+///     that span is lost;
+///   * at the boundary (w_f+1)*H the failure is handed to the
+///     online/Rebalancer once per report (noise never changes what repair
+///     does). If the repair — possibly escalated through the degraded
+///     ladder, DESIGN.md F28 — is accepted, the repaired table takes over
+///     for the following phase: recovery_latency = (w_f+1)*H - at, the
+///     table-swap discipline of strict-periodic dispatchers. If it is
+///     rejected (Rebalancer rolls back, F14), the processor stays dead for
+///     the rest of the run, losing every dispatch placed on it.
 ///
-/// Dependences crossing the swap boundary are not tracked across windows
+/// Dependences crossing a swap boundary are not tracked across windows
 /// (each window re-derives its producers); the boundary hyper-period is
 /// where the miss-rate-before figure already charges the damage.
 ///
+/// The harness is *phase-major*: each phase is simulated for every
+/// replication before the next repair is decided. That ordering is what
+/// lets the adaptive mode (DESIGN.md F30) pick the rung-3 resolver with
+/// the best pooled perturbed miss rate observed so far — the pool is real
+/// history, not a separate calibration pass.
+///
 /// Determinism: replication seeds are derived by value
-/// (PerturbSpec::replication), repair runs once, and each replication is
-/// self-contained — so the report is bit-identical however replications
-/// are ordered or distributed over threads.
+/// (PerturbSpec::replication), draws and burst-chain states are keyed by
+/// absolute window coordinates (stitched phases see exactly what an
+/// unsplit run sees), repairs run once per report, and the selector is a
+/// pure fold of the phase history — so the report is bit-identical
+/// however replications are ordered or distributed over threads.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,6 +57,45 @@ struct RobustnessOptions {
   int replications = 3;
   /// Online-engine configuration for the failure repair.
   RebalancerOptions repair;
+  /// Miss-rate-driven solver selection (DESIGN.md F30): rung-3 resolver
+  /// candidates. When non-empty, each failure repair first installs the
+  /// candidate with the best pooled perturbed miss rate observed so far
+  /// (unobserved candidates explored first in registration order; ties to
+  /// the earlier candidate) via Rebalancer::set_degraded_resolver. Only
+  /// phases governed by a candidate's own resolved table feed its pool —
+  /// the selection is solver-fair (F24): candidates never score each
+  /// other's noise. Requires repair.degraded.enabled for the rung to be
+  /// reachable.
+  std::vector<std::shared_ptr<const Solver>> adaptive_resolvers;
+};
+
+/// Deterministic miss-rate-driven candidate selection (DESIGN.md F30).
+/// pick() returns the first never-observed candidate (exploration in
+/// registration order), else the candidate with the lowest pooled mean
+/// observed miss rate, ties to the earlier registration. A pure fold of
+/// the observation sequence — thread-count invariant by construction.
+class MissRateSelector {
+ public:
+  explicit MissRateSelector(std::vector<std::string> names);
+
+  /// Index of the candidate the next decision should use.
+  int pick() const;
+  /// Pool one miss-rate observation for candidate \p index.
+  void observe(int index, double miss_rate);
+
+  const std::string& name(int index) const;
+  int size() const { return static_cast<int>(entries_.size()); }
+  /// Pooled mean for \p index (0 when never observed).
+  double pooled(int index) const;
+  int observations(int index) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    double sum = 0.0;
+    int count = 0;
+  };
+  std::vector<Entry> entries_;
 };
 
 /// One replication's outcome.
@@ -60,17 +109,41 @@ struct RobustnessReplication {
   double miss_rate_after = 0.0;
 };
 
+/// One injected processor failure's fate.
+struct FailureOutcome {
+  ProcId proc = kNoProc;
+  Time at = 0;
+  /// The repair (ladder included) was accepted.
+  bool repaired = false;
+  /// Failure to repaired-table activation: (w_f+1)*H - at (0 on reject).
+  Time recovery_latency = 0;
+  /// Degraded-mode rung that produced the accepted table (0 = plain).
+  int degraded_rung = 0;
+  /// Adaptive mode only: name of the rung-3 candidate installed for this
+  /// repair (empty outside adaptive mode).
+  std::string resolver;
+  /// Tasks dropped by the shed rung for this repair.
+  std::vector<std::string> shed;
+  /// Repair summary, or the Rebalancer's rejection reason.
+  std::string detail;
+};
+
 /// The aggregate robustness report.
 struct RobustnessReport {
   std::vector<RobustnessReplication> replications;
-  /// The spec configured a ProcessorFailure inside the window.
+  /// The spec configured at least one ProcessorFailure inside the window.
   bool failure_injected = false;
-  /// The Rebalancer accepted the repair (false: hard failure, rollback).
+  /// Every injected failure's repair was accepted (false: at least one
+  /// hard failure, rollback).
   bool recovered = false;
-  /// Failure detection to repaired-table activation: (w_f+1)*H - fail_at.
+  /// Worst failure-to-repaired-table-activation latency over the repaired
+  /// failures: max of (w_f+1)*H - fail_at.
   Time recovery_latency = 0;
-  /// Repair summary, or the Rebalancer's rejection reason.
+  /// Repair summary, or the Rebalancer's rejection reason (the first
+  /// failure's detail; see `failures` for the rest).
   std::string repair_detail;
+  /// Per-failure outcomes, in injection (fail-time) order.
+  std::vector<FailureOutcome> failures;
   /// Nearest-rank percentiles of the per-replication miss rates.
   double miss_p50 = 0.0;
   double miss_p99 = 0.0;
@@ -90,7 +163,7 @@ struct RobustnessReport {
 double robustness_percentile(std::vector<double> values, double pct);
 
 /// Run the harness on \p schedule. Requires a complete schedule,
-/// replications >= 1, and — when a failure is configured — fail_at inside
+/// replications >= 1, and every configured failure's fail time inside
 /// [0, hyperperiods * H).
 RobustnessReport run_robustness(const Schedule& schedule,
                                 const RobustnessOptions& options);

@@ -164,6 +164,52 @@ TEST(ApiScenario, SharedNoiseStreamIsSolverFair) {
                    report.summary[1].mean_span_inflation);
 }
 
+TEST(ApiScenario, AdaptiveRowExploresThenMirrorsTheBestCandidate) {
+  // DESIGN.md F30: the virtual policy explores unobserved candidates in
+  // spec order, then exploits the best pooled miss rate; every pick
+  // mirrors an existing cell, so its aggregates are reachable outcomes.
+  ScenarioSpec spec = small_spec();
+  spec.suite.count = 4;
+  spec.solvers = {"initial", "heuristic-lex", "memory-greedy"};
+  spec.replications = 2;
+  spec.suite.perturb.wcet_jitter = 0.75;
+  spec.adaptive = true;
+  const ScenarioReport report = ScenarioRunner().run(spec);
+  ASSERT_TRUE(report.adaptive);
+  EXPECT_EQ(report.adaptive_summary.solver, "adaptive");
+  ASSERT_EQ(report.adaptive_picks.size(),
+            static_cast<std::size_t>(report.instances));
+  // Exploration first: the opening picks walk the spec order.
+  EXPECT_EQ(report.adaptive_picks[0], "initial");
+  EXPECT_EQ(report.adaptive_picks[1], "heuristic-lex");
+  EXPECT_EQ(report.adaptive_picks[2], "memory-greedy");
+  // Every pick names a configured candidate.
+  for (const std::string& pick : report.adaptive_picks) {
+    EXPECT_TRUE(pick == "initial" || pick == "heuristic-lex" ||
+                pick == "memory-greedy")
+        << pick;
+  }
+  EXPECT_LE(report.adaptive_summary.solved, report.instances);
+}
+
+TEST(ApiScenario, AdaptiveRowIsThreadCountInvariant) {
+  // The adaptive post-pass is a sequential fold over already-solved
+  // cells: picks, summary row, and JSON must not depend on thread count.
+  ScenarioSpec spec = small_spec();
+  spec.suite.count = 3;
+  spec.solvers = {"initial", "heuristic-lex", "memory-greedy"};
+  spec.replications = 2;
+  spec.suite.perturb.wcet_jitter = 0.5;
+  spec.adaptive = true;
+  spec.threads = 1;
+  const ScenarioReport sequential = ScenarioRunner().run(spec);
+  spec.threads = 8;
+  const ScenarioReport threaded = ScenarioRunner().run(spec);
+  EXPECT_EQ(sequential.adaptive_picks, threaded.adaptive_picks);
+  EXPECT_EQ(scenario_report_to_json(sequential, /*include_timing=*/false),
+            scenario_report_to_json(threaded, /*include_timing=*/false));
+}
+
 TEST(ApiScenario, UnknownSolverNameFailsBeforeGeneration) {
   ScenarioSpec spec = small_spec();
   spec.solvers = {"heuristic-lex", "does-not-exist"};

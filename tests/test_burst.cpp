@@ -1,0 +1,157 @@
+/// Tests for the correlated-burst noise model (DESIGN.md F27): the
+/// Gilbert–Elliott chain's statelessness (stitched windows agree with
+/// unsplit runs), its stationary storm fraction, per-channel independence,
+/// and the storm factor's effect on the executed timeline.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "lbmem/gen/paper_example.hpp"
+#include "lbmem/sim/engine.hpp"
+#include "lbmem/sim/perturb.hpp"
+
+namespace lbmem {
+namespace {
+
+Time total_busy(const SimMetrics& m) {
+  Time sum = 0;
+  for (const ProcMetrics& pm : m.procs) sum += pm.busy;
+  return sum;
+}
+
+/// The chain walked incrementally with the same per-window draws
+/// burst_storm re-derives — the O(1)-per-step mirror the tests use to
+/// cover thousands of windows without the O(window^2) re-derivation.
+class ChainWalker {
+ public:
+  ChainWalker(std::uint64_t seed, std::uint64_t channel,
+              const GilbertElliott& chain)
+      : seed_(seed), channel_(channel), chain_(chain) {}
+
+  /// Advance to window `next_` and return the storm state there.
+  bool step() {
+    const double u = perturb_unit(seed_, kPerturbBurst, channel_, next_++);
+    storm_ = storm_ ? !(u < chain_.q) : (u < chain_.p);
+    return storm_;
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t channel_;
+  GilbertElliott chain_;
+  std::uint64_t next_ = 0;
+  bool storm_ = false;
+};
+
+TEST(Burst, InactiveChainNeverStorms) {
+  // p == 0 never leaves quiet; factor == 1 is declared inert up front so
+  // the engine can skip the per-window derivation entirely.
+  GilbertElliott off;
+  EXPECT_FALSE(off.active());
+  for (std::uint64_t w : {0ull, 1ull, 17ull, 400ull}) {
+    EXPECT_FALSE(burst_storm(3, kPerturbWcet, w, off));
+  }
+  GilbertElliott unit{0.5, 0.5, 1.0};
+  EXPECT_FALSE(unit.active());
+  GilbertElliott live{0.5, 0.5, 2.0};
+  EXPECT_TRUE(live.active());
+}
+
+TEST(Burst, StateIsPureFunctionOfAbsoluteWindow) {
+  // burst_storm(w) must equal the incremental walk at w for any w — the
+  // statelessness that makes stitched phases agree with unsplit runs.
+  const GilbertElliott chain{0.25, 0.3, 4.0};
+  ChainWalker walk(9, kPerturbWcet, chain);
+  for (std::uint64_t w = 0; w <= 300; ++w) {
+    EXPECT_EQ(burst_storm(9, kPerturbWcet, w, chain), walk.step())
+        << "window " << w;
+  }
+}
+
+TEST(Burst, StationaryStormFractionIsPOverPPlusQ) {
+  // Long-run storm occupancy approaches p / (p + q) — the Gilbert–Elliott
+  // stationary distribution. 20000 windows of a p+q = 0.5 chain mix fast
+  // enough that the empirical fraction lands within a few percent.
+  const GilbertElliott chain{0.2, 0.3, 4.0};
+  const int kWindows = 20000;
+  ChainWalker walk(123, kPerturbStall, chain);
+  int storms = 0;
+  for (int w = 0; w < kWindows; ++w) {
+    if (walk.step()) ++storms;
+  }
+  const double fraction = static_cast<double>(storms) / kWindows;
+  EXPECT_NEAR(fraction, 0.2 / (0.2 + 0.3), 0.03);
+}
+
+TEST(Burst, ChannelsEvolveIndependently) {
+  // Distinct channels draw distinct transition streams: the WCET chain
+  // storming says nothing about the comm chain.
+  const GilbertElliott chain{0.3, 0.3, 4.0};
+  bool differed = false;
+  for (std::uint64_t w = 0; w < 200 && !differed; ++w) {
+    differed = burst_storm(5, kPerturbWcet, w, chain) !=
+               burst_storm(5, kPerturbComm, w, chain);
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(Burst, StitchedWindowsEqualUnsplitRun) {
+  // The engine keys the chain by the *absolute* window index, so a run
+  // stitched from consecutive windows (the robustness harness's
+  // table-swap discipline) sees exactly the storms an unsplit run sees —
+  // the burst extension of PerturbSim.WindowStitchingUsesAbsoluteRepIndex.
+  const TaskGraph g = paper_example_graph();
+  const Schedule s = paper_example_schedule(g);
+  PerturbSpec spec;
+  spec.seed = 11;
+  spec.wcet_jitter = 0.5;
+  spec.wcet_burst = GilbertElliott{0.4, 0.3, 3.0};
+  const SimMetrics full = simulate_perturbed(s, SimOptions{4, true}, spec, 0);
+  SimMetrics stitched;
+  Time busy = 0;
+  std::int64_t misses = 0;
+  for (int w = 0; w < 4; ++w) {
+    const SimMetrics m = simulate_perturbed(s, SimOptions{1, true}, spec, w);
+    busy += total_busy(m);
+    misses += m.deadline_misses;
+  }
+  EXPECT_EQ(total_busy(full), busy);
+  EXPECT_EQ(full.deadline_misses, misses);
+}
+
+TEST(Burst, StormsRaiseExecutedLoad) {
+  // A storm multiplies the WCET-overrun intensity, so the always-storming
+  // chain must execute strictly more work than the identically seeded
+  // i.i.d. baseline (overruns only ever add ticks).
+  const TaskGraph g = paper_example_graph();
+  const Schedule s = paper_example_schedule(g);
+  PerturbSpec base;
+  base.seed = 21;
+  base.wcet_jitter = 0.5;
+  PerturbSpec stormy = base;
+  stormy.wcet_burst = GilbertElliott{1.0, 1e-9, 3.0};
+  const SimMetrics quiet = simulate_perturbed(s, SimOptions{3, true}, base, 0);
+  const SimMetrics storm =
+      simulate_perturbed(s, SimOptions{3, true}, stormy, 0);
+  EXPECT_GT(total_busy(storm), total_busy(quiet));
+}
+
+TEST(Burst, BurstWithoutBaseNoiseIsInert) {
+  // A storm scales the channel's base intensity; with zero base jitter
+  // there is nothing to scale and the execution stays nominal.
+  const TaskGraph g = paper_example_graph();
+  const Schedule s = paper_example_schedule(g);
+  PerturbSpec spec;
+  spec.seed = 13;
+  spec.wcet_burst = GilbertElliott{1.0, 0.1, 8.0};
+  EXPECT_FALSE(spec.any_burst());
+  const SimMetrics plain = simulate(s, SimOptions{2, true});
+  const SimMetrics m = simulate_perturbed(s, SimOptions{2, true}, spec, 0);
+  EXPECT_EQ(m.span, plain.span);
+  EXPECT_EQ(total_busy(m), total_busy(plain));
+  EXPECT_EQ(m.deadline_misses, 0);
+}
+
+}  // namespace
+}  // namespace lbmem

@@ -565,6 +565,132 @@ TEST(CliReplay, OutputIsDeterministic) {
   EXPECT_EQ(first.output, second.output);
 }
 
+TEST(CliSimulate, UnrepairedFailureExitsWithTwo) {
+  // The degraded-operation contract: exit 2 whenever at least one
+  // injected failure could not be repaired, so CI notices silent
+  // capacity-starved degradation. This survivor cannot absorb the dead
+  // processor's tasks within --capacity.
+  const RunResult r = run_cli(
+      "simulate --perturb --fail-proc=2 --capacity=100 "
+      "--tasks=8 --procs=2 --seed=7");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("NOT recovered"), std::string::npos) << r.output;
+}
+
+TEST(CliSimulate, DegradedLadderRescuesTheStarvedFailure) {
+  // Same scenario, --degraded on: the shed rung drops work instead of
+  // failing hard, the shed set is reported, and the exit code clears.
+  const RunResult r = run_cli(
+      "simulate --perturb --fail-proc=2 --capacity=100 "
+      "--tasks=8 --procs=2 --seed=7 --degraded");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("rung 4"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("shed"), std::string::npos) << r.output;
+}
+
+TEST(CliSimulate, ConcurrentFailuresReportPerFailureOutcomes) {
+  // --fail-proc/--fail-at take comma lists: every failure gets its own
+  // outcome line, in injection order.
+  const RunResult r = run_cli(
+      std::string("simulate --perturb --fail-proc=1,2 --fail-at=3,9 "
+                  "--degraded ") +
+      kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("failure: P1 at t=3"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("failure: P2 at t=9"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliSimulate, FailureListHygiene) {
+  // A tick count that does not match the victim count is a usage error,
+  // not a silently recycled default.
+  const RunResult mismatch = run_cli(
+      std::string("simulate --perturb --fail-proc=1,2 --fail-at=3 ") +
+      kSmallWorkload);
+  EXPECT_EQ(mismatch.exit_code, 1);
+  EXPECT_NE(mismatch.output.find("one tick per --fail-proc"),
+            std::string::npos)
+      << mismatch.output;
+}
+
+TEST(CliSimulate, BurstKnobsConfigureTheChain) {
+  const RunResult r = run_cli(
+      std::string("simulate --perturb --replications=2 --jitter=0.5 "
+                  "--burst-p=0.3 --burst-q=0.4 --burst-factor=3 ") +
+      kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("burst: storm entry p=0.300"), std::string::npos)
+      << r.output;
+  // Burst knobs are perturbation knobs: bare use is a usage error.
+  const RunResult orphan = run_cli("simulate --burst-p=0.3");
+  EXPECT_EQ(orphan.exit_code, 1);
+  EXPECT_NE(orphan.output.find("add --perturb"), std::string::npos)
+      << orphan.output;
+}
+
+TEST(CliCompare, AdaptiveRequiresPerturb) {
+  const RunResult r = run_cli(
+      std::string("compare --adaptive ") + kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("add --perturb"), std::string::npos) << r.output;
+}
+
+TEST(CliCompare, AdaptiveAddsPolicyRowAndPicks) {
+  const RunResult r = run_cli(
+      std::string("compare --perturb --replications=2 --adaptive "
+                  "--timing=off --count=3 ") +
+      kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("adaptive"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("adaptive picks:"), std::string::npos) << r.output;
+}
+
+TEST(CliCompare, AdaptiveSweepIsByteIdenticalAcrossThreads) {
+  // The adaptive post-pass folds already-solved cells sequentially, so
+  // the policy row and its picks must not depend on the thread count.
+  const std::string base =
+      std::string("compare --perturb --replications=2 --adaptive "
+                  "--timing=off --count=3 ") +
+      kSmallWorkload;
+  const RunResult sequential = run_cli(base + " --threads=1");
+  const RunResult threaded = run_cli(base + " --threads=8");
+  EXPECT_EQ(sequential.exit_code, 0) << sequential.output;
+  EXPECT_EQ(sequential.output, threaded.output);
+}
+
+TEST(CliReplay, DegradedModeReportsLadderCountsInJson) {
+  namespace fs = std::filesystem;
+#if defined(_WIN32)
+  const int pid = _getpid();
+#else
+  const int pid = getpid();
+#endif
+  const fs::path dir = fs::temp_directory_path() /
+                       ("lbmem_cli_degraded_test_" + std::to_string(pid));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string prefix = (dir / "out").string();
+  // This trace's P1 failure climbs to the shed rung (the anchor the
+  // degraded-mode smoke pins): the per-event rung, the per-rung recovery
+  // counters, and the shed set must all land in the JSON artifact.
+  const RunResult r = run_cli(
+      std::string("replay --events=12 --event-seed=5 --timing=off "
+                  "--degraded \"--out=") +
+      prefix + "\" " + kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream json(prefix + "_online.json");
+  ASSERT_TRUE(json.good()) << "missing " << prefix << "_online.json";
+  std::stringstream content;
+  content << json.rdbuf();
+  EXPECT_NE(content.str().find("\"degraded_rung\""), std::string::npos);
+  EXPECT_NE(content.str().find("\"recovered_shed\""), std::string::npos);
+  EXPECT_NE(content.str().find("\"recovered_retry\""), std::string::npos);
+  EXPECT_NE(content.str().find("\"degraded_mode\""), std::string::npos);
+  EXPECT_NE(content.str().find("\"shed\""), std::string::npos);
+  fs::remove_all(dir);
+}
+
 TEST(CliExport, WritesAllArtifacts) {
   namespace fs = std::filesystem;
   // Per-process directory: concurrent runs from several build trees

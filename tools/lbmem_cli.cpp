@@ -12,8 +12,8 @@
 /// replay: when any post-event schedule is invalid; for compare: when no
 /// schedulable instance could be generated; for simulate: when the
 /// unperturbed execution reports violations — under --perturb violations
-/// are the measurement, and exit 2 instead means an injected processor
-/// failure could not be repaired).
+/// are the measurement, and exit 2 instead means at least one injected
+/// processor failure could not be repaired).
 
 #include <cstdint>
 #include <fstream>
@@ -148,12 +148,37 @@ constexpr FlagSpec kFlags[] = {
      "serialize remote transfers through one FIFO bus (default on)",
      kSimulate | kCompare},
     {"perturb-seed", "S", "perturbation noise seed", kSimulate | kCompare},
-    {"fail-proc", "P",
-     "inject a permanent failure of processor P (1-based); the online "
-     "engine repairs the schedule mid-run",
+    {"burst-p", "F",
+     "Gilbert-Elliott storm entry probability per hyper-period (correlated "
+     "fault bursts; applies to the wcet/comm/stall channels)",
+     kSimulate | kCompare},
+    {"burst-q", "F", "storm exit probability per hyper-period (default 0.5)",
+     kSimulate | kCompare},
+    {"burst-factor", "F",
+     "noise-intensity multiplier while a channel is in its storm state "
+     "(default 4)",
+     kSimulate | kCompare},
+    {"fail-proc", "P[,P...]",
+     "inject permanent failures of these processors (1-based, comma list); "
+     "the online engine repairs the schedule mid-run",
      kSimulate},
-    {"fail-at", "T", "failure tick (default: half a hyper-period in)",
+    {"fail-at", "T[,T...]",
+     "failure ticks, one per --fail-proc entry (default: half a "
+     "hyper-period in)",
      kSimulate},
+    {"degraded", "on|off",
+     "degraded-mode repair ladder (bare --degraded = on): widened retries, "
+     "full re-place, solver resolve, load shedding instead of hard reject",
+     kSimulate | kReplay},
+    {"staleness", "K",
+     "freeze the repair path's per-processor load view for K events "
+     "(stale-information mode; 0 = live)",
+     kReplay},
+    {"adaptive", "on|off",
+     "miss-rate-driven solver selection (bare --adaptive = on): adds the "
+     "virtual 'adaptive' row that per instance mirrors the candidate with "
+     "the best pooled perturbed miss rate so far; needs --perturb",
+     kCompare},
     {"out", "PREFIX", "write JSON/DOT artifacts under this path prefix",
      kExport | kReplay | kCompare | kSimulate},
     {"count", "K", "workload instances in the comparison suite", kCompare},
@@ -278,8 +303,11 @@ struct CliOptions {
   Time stall_ticks = 0;
   bool bus_fifo = true;
   std::uint64_t perturb_seed = 1;
-  int fail_proc = 0;           ///< 1-based; 0 = no injected failure
-  Time fail_at = -1;           ///< <0 = default (half a hyper-period in)
+  double burst_p = 0.0;        ///< Gilbert-Elliott storm entry probability
+  double burst_q = 0.5;        ///< storm exit probability
+  double burst_factor = 4.0;   ///< storm noise multiplier
+  std::vector<int> fail_procs;  ///< 1-based; empty = no injected failure
+  std::vector<Time> fail_ats;   ///< one per fail_procs entry (or defaulted)
   // balance / compare:
   std::string algo;    ///< empty = the heuristic under --policy
   int count = 1;       ///< compare suite size
@@ -293,6 +321,12 @@ struct CliOptions {
   Time migration_penalty = 0;
   bool incremental = true;
   std::string resolver;
+  /// --degraded: escalate rejected repairs through the ladder (F28).
+  bool degraded = false;
+  /// --staleness=K: frozen load view for the repair path (F29).
+  int staleness = 0;
+  /// --adaptive: miss-rate-driven compare row (F30).
+  bool adaptive = false;
   /// --trace=on (default) records the full per-block decision trace, which
   /// evaluates every destination exhaustively; --trace=off runs the pruned
   /// production path (bound-and-prune selection) — decisions are identical.
@@ -319,11 +353,13 @@ CliOptions parse_flags(const CommandSpec& cmd, int argc, char** argv,
     if (arg == "--help" || arg == "-h") help(cmd.bit);
     const auto eq = arg.find('=');
     if (arg.rfind("--", 0) != 0 ||
-        (eq == std::string::npos && arg != "--perturb")) {
+        (eq == std::string::npos && arg != "--perturb" &&
+         arg != "--degraded" && arg != "--adaptive")) {
       usage("malformed flag: " + arg);
     }
-    // `--perturb` is the one flag usable bare (== --perturb=on): it is a
-    // mode switch, and "run it perturbed" should not need a value.
+    // `--perturb`, `--degraded` and `--adaptive` are usable bare
+    // (== --flag=on): they are mode switches, and "run it perturbed /
+    // degraded / adaptive" should not need a value.
     const std::string key =
         eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
     const std::string value =
@@ -393,13 +429,55 @@ CliOptions parse_flags(const CommandSpec& cmd, int argc, char** argv,
       } else if (key == "perturb-seed") {
         options.perturb_knob_set = true;
         options.perturb_seed = std::stoull(value);
+      } else if (key == "burst-p") {
+        options.perturb_knob_set = true;
+        options.burst_p = std::stod(value);
+        if (options.burst_p < 0 || options.burst_p > 1) {
+          usage("--burst-p takes a probability in [0, 1]");
+        }
+      } else if (key == "burst-q") {
+        options.perturb_knob_set = true;
+        options.burst_q = std::stod(value);
+        if (options.burst_q <= 0 || options.burst_q > 1) {
+          usage("--burst-q takes a probability in (0, 1]");
+        }
+      } else if (key == "burst-factor") {
+        options.perturb_knob_set = true;
+        options.burst_factor = std::stod(value);
+        if (options.burst_factor <= 0) {
+          usage("--burst-factor takes a multiplier > 0");
+        }
       } else if (key == "fail-proc") {
         options.fail_proc_set = true;
-        options.fail_proc = std::stoi(value);
+        std::string item;
+        std::istringstream list(value);
+        while (std::getline(list, item, ',')) {
+          if (!item.empty()) options.fail_procs.push_back(std::stoi(item));
+        }
+        if (options.fail_procs.empty()) {
+          usage("--fail-proc takes a comma list of processors");
+        }
       } else if (key == "fail-at") {
         options.fail_at_set = true;
-        options.fail_at = std::stoll(value);
-        if (options.fail_at < 0) usage("--fail-at takes a tick >= 0");
+        std::string item;
+        std::istringstream list(value);
+        while (std::getline(list, item, ',')) {
+          if (item.empty()) continue;
+          const Time at = std::stoll(item);
+          if (at < 0) usage("--fail-at takes ticks >= 0");
+          options.fail_ats.push_back(at);
+        }
+      } else if (key == "degraded") {
+        if (value == "on") options.degraded = true;
+        else if (value == "off") options.degraded = false;
+        else usage("unknown degraded mode: " + value);
+      } else if (key == "staleness") {
+        options.staleness = std::stoi(value);
+        if (options.staleness < 0) usage("--staleness takes events >= 0");
+      } else if (key == "adaptive") {
+        if (value == "on") options.adaptive = true;
+        else if (value == "off") options.adaptive = false;
+        else usage("unknown adaptive mode: " + value);
       } else if (key == "events") {
         options.events = std::stoi(value);
       } else if (key == "event-seed") {
@@ -496,13 +574,23 @@ CliOptions parse_flags(const CommandSpec& cmd, int argc, char** argv,
           "--fail-proc) configure the perturbed executor; add --perturb");
   }
   if (options.fail_at_set && !options.fail_proc_set) {
-    usage("--fail-at sets when the failure strikes; name the victim with "
+    usage("--fail-at sets when the failures strike; name the victims with "
           "--fail-proc");
   }
-  if (options.fail_proc_set &&
-      (options.fail_proc < 1 || options.fail_proc > options.procs)) {
-    usage("--fail-proc is 1-based and must name one of the " +
-          std::to_string(options.procs) + " processors");
+  if (options.fail_at_set &&
+      options.fail_ats.size() != options.fail_procs.size()) {
+    usage("--fail-at needs one tick per --fail-proc entry (" +
+          std::to_string(options.fail_procs.size()) + " given)");
+  }
+  for (const int proc : options.fail_procs) {
+    if (proc < 1 || proc > options.procs) {
+      usage("--fail-proc is 1-based and must name one of the " +
+            std::to_string(options.procs) + " processors");
+    }
+  }
+  if (options.adaptive && !options.perturb) {
+    usage("--adaptive ranks candidates by perturbed miss rate; add "
+          "--perturb");
   }
   if (cmd.bit == kBalance && options.threads_set && options.trace_set &&
       options.trace) {
@@ -634,9 +722,21 @@ PerturbSpec make_perturb(const CliOptions& options, Time hyperperiod) {
   perturb.stall_prob = options.stall_prob;
   perturb.stall_ticks = options.stall_ticks;
   perturb.bus_fifo = options.bus_fifo;
-  if (options.fail_proc > 0) {
-    perturb.fail_proc = static_cast<ProcId>(options.fail_proc - 1);
-    perturb.fail_at = options.fail_at >= 0 ? options.fail_at : hyperperiod / 2;
+  if (options.burst_p > 0.0) {
+    GilbertElliott chain;
+    chain.p = options.burst_p;
+    chain.q = options.burst_q;
+    chain.factor = options.burst_factor;
+    perturb.wcet_burst = chain;
+    perturb.comm_burst = chain;
+    perturb.stall_burst = chain;
+  }
+  for (std::size_t i = 0; i < options.fail_procs.size(); ++i) {
+    ProcessorFault fault;
+    fault.proc = static_cast<ProcId>(options.fail_procs[i] - 1);
+    fault.at =
+        i < options.fail_ats.size() ? options.fail_ats[i] : hyperperiod / 2;
+    perturb.failures.push_back(fault);
   }
   return perturb;
 }
@@ -744,6 +844,7 @@ int cmd_compare(const CliOptions& options) {
     // the hyper-period sizing the default failure tick is irrelevant.
     spec.suite.perturb = make_perturb(options, 0);
     spec.replications = options.replications;
+    spec.adaptive = options.adaptive;
   }
   if (!options.algo.empty() && options.algo != "all") {
     std::string name;
@@ -817,6 +918,7 @@ int cmd_simulate(const CliOptions& options) {
   rob.repair.balance.policy = options.policy;
   rob.repair.balance.enforce_memory_capacity =
       options.capacity != kUnlimitedMemory;
+  rob.repair.degraded.enabled = options.degraded;
   rob.repair.metrics = obs.registry();
   const RobustnessReport report = run_robustness(solved, rob);
   std::cout << summarize_robustness(report, rob);
@@ -869,6 +971,8 @@ int cmd_replay(const CliOptions& options) {
   online_options.balance.migration_penalty = options.migration_penalty;
   online_options.incremental = options.incremental;
   online_options.metrics = obs.registry();
+  online_options.degraded.enabled = options.degraded;
+  online_options.staleness_events = options.staleness;
   std::string mode = options.incremental ? "incremental" : "full";
   if (!options.resolver.empty()) {
     online_options.incremental = false;
@@ -876,6 +980,7 @@ int cmd_replay(const CliOptions& options) {
         SolverRegistry::builtin().require(options.resolver);
     mode = "full (resolver " + options.resolver + ")";
   }
+  if (options.degraded) mode += ", degraded ladder";
   Rebalancer system = Rebalancer::adopt(
       p.problem.graph(), *p.outcome.schedule, online_options);
 
