@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,48 @@ struct AliveTask {
 
 bool harmonic(Time a, Time b) { return a % b == 0 || b % a == 0; }
 
+/// Stateful inter-arrival clock for the configured ArrivalModel. The
+/// UniformGap path makes exactly the one rng.uniform(min_gap, max_gap)
+/// draw per event the legacy generator made, at the same position in the
+/// Rng stream, so default-parameter traces are byte-identical.
+class ArrivalClock {
+ public:
+  ArrivalClock(const EventTraceParams& params, Rng& rng)
+      : params_(params), rng_(rng) {}
+
+  /// Gap between the previous event and the next one (>= 0 ticks).
+  Time next_gap() {
+    switch (params_.arrival) {
+      case ArrivalModel::UniformGap:
+        return rng_.uniform(params_.min_gap, params_.max_gap);
+      case ArrivalModel::Poisson: {
+        // Exponential inter-arrival with mean mean_gap, rounded to the
+        // tick grid. uniform01() < 1, so the log argument stays positive.
+        const double u = rng_.uniform01();
+        return static_cast<Time>(
+            std::llround(-params_.mean_gap * std::log(1.0 - u)));
+      }
+      case ArrivalModel::Bursty: {
+        if (burst_left_ <= 0) {
+          // Start a new burst after an idle gap.
+          burst_left_ = static_cast<int>(rng_.uniform(
+              params_.burst_len_min, params_.burst_len_max));
+          --burst_left_;
+          return rng_.uniform(params_.idle_gap_min, params_.idle_gap_max);
+        }
+        --burst_left_;
+        return params_.burst_gap;
+      }
+    }
+    return 0;
+  }
+
+ private:
+  const EventTraceParams& params_;
+  Rng& rng_;
+  int burst_left_ = 0;  ///< events remaining in the current burst
+};
+
 }  // namespace
 
 EventTrace random_event_trace(const TaskGraph& base, const Architecture& arch,
@@ -32,7 +75,16 @@ EventTrace random_event_trace(const TaskGraph& base, const Architecture& arch,
                 "invalid data-size range");
   LBMEM_REQUIRE(params.min_gap >= 0 && params.min_gap <= params.max_gap,
                 "invalid gap range");
+  LBMEM_REQUIRE(params.mean_gap > 0.0, "mean_gap must be positive");
+  LBMEM_REQUIRE(params.burst_len_min >= 1 &&
+                    params.burst_len_min <= params.burst_len_max,
+                "invalid burst length range");
+  LBMEM_REQUIRE(params.burst_gap >= 0, "burst_gap must be non-negative");
+  LBMEM_REQUIRE(params.idle_gap_min >= 0 &&
+                    params.idle_gap_min <= params.idle_gap_max,
+                "invalid idle gap range");
   Rng rng(seed);
+  ArrivalClock clock(params, rng);
 
   std::vector<AliveTask> alive;
   alive.reserve(base.task_count());
@@ -59,7 +111,7 @@ EventTrace random_event_trace(const TaskGraph& base, const Architecture& arch,
       params.failure_weight};
 
   for (int i = 0; i < params.events; ++i) {
-    now += rng.uniform(params.min_gap, params.max_gap);
+    now += clock.next_gap();
     std::size_t kind = rng.pick_weighted(weights);
 
     // Degrade structurally impossible picks to a WCET change, the one kind

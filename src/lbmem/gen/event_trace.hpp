@@ -24,6 +24,27 @@
 
 namespace lbmem {
 
+/// How inter-arrival times between consecutive events are drawn. The
+/// timestamps give a trace a *rate*, not just an order — the streaming
+/// service (stream/service.hpp) admits events by arrival tick, so the
+/// distribution decides how bursty the offered load is.
+enum class ArrivalModel {
+  /// Legacy default: one uniform draw in [min_gap, max_gap] per event.
+  /// This is byte-identical to the pre-stream generator (same single Rng
+  /// draw at the same stream position), so existing seeded traces and the
+  /// replay goldens are unchanged.
+  UniformGap,
+  /// Memoryless (Poisson process): exponential inter-arrival times with
+  /// mean `mean_gap` ticks, rounded to the tick grid (minimum gap 0 —
+  /// simultaneous arrivals are legal and exercise the coalescer).
+  Poisson,
+  /// Two-state bursty traffic: runs of `burst_len_min..burst_len_max`
+  /// events spaced `burst_gap` ticks apart, separated by idle gaps drawn
+  /// uniformly from [idle_gap_min, idle_gap_max] — the arrival-side
+  /// analogue of the Gilbert–Elliott noise bursts (DESIGN.md F27).
+  Bursty,
+};
+
 /// Tunable trace-generator parameters.
 struct EventTraceParams {
   /// Number of events to emit.
@@ -44,9 +65,22 @@ struct EventTraceParams {
   /// Data-size range of arriving tasks' dependences.
   Mem data_min = 1;
   Mem data_max = 6;
-  /// Informational inter-event timestamp gap range.
+  /// Inter-arrival model for the `at` tick stamped on every event (the
+  /// streaming service's arrival clock). UniformGap reproduces the legacy
+  /// generator byte for byte.
+  ArrivalModel arrival = ArrivalModel::UniformGap;
+  /// UniformGap: inter-arrival gap range.
   Time min_gap = 1;
   Time max_gap = 64;
+  /// Poisson: mean inter-arrival gap in ticks (> 0).
+  double mean_gap = 16.0;
+  /// Bursty: events per burst, intra-burst gap, and the idle gap range
+  /// between bursts.
+  int burst_len_min = 4;
+  int burst_len_max = 16;
+  Time burst_gap = 1;
+  Time idle_gap_min = 64;
+  Time idle_gap_max = 256;
 };
 
 /// Generate a trace over \p base running on \p arch. Deterministic in

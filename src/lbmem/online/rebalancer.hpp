@@ -211,6 +211,15 @@ class Rebalancer {
   void set_degraded_resolver(std::shared_ptr<const Solver> resolver) {
     options_.degraded.resolver = std::move(resolver);
   }
+  /// Arm or disarm the degraded-mode repair ladder between events — the
+  /// stream service's overload-escalation hook (DESIGN.md F33): under
+  /// backlog pressure a hard reject is worse than a shed, so the service
+  /// flips the ladder on past its high-water mark and restores the
+  /// configured state once the backlog drains.
+  void set_degraded_enabled(bool enabled) {
+    options_.degraded.enabled = enabled;
+  }
+  bool degraded_enabled() const { return options_.degraded.enabled; }
   /// Events currently parked for retry backoff.
   int pending_retries() const { return static_cast<int>(pending_.size()); }
 

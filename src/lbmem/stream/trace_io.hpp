@@ -1,0 +1,49 @@
+#pragma once
+/// \file trace_io.hpp
+/// \brief Text serialization of event traces — the wire format of the
+/// `serve` subcommand.
+///
+/// A trace file is line-oriented: one event per line, `#` comments and
+/// blank lines ignored, fields separated by single spaces. The first
+/// field is the arrival tick (`at_tick`), the second the event kind:
+///
+///     # lbmem-trace v1
+///     17 wcet t4 3
+///     33 arrival dyn0 32 3 5 t4:2 t9:1
+///     40 removal dyn0
+///     52 failure 2
+///
+///  * `wcet <task> <new_wcet>`
+///  * `arrival <name> <period> <wcet> <memory> [<producer>:<data> ...]`
+///  * `removal <task>`
+///  * `failure <proc>`  (0-based processor id)
+///
+/// Task names must not contain whitespace or ':' (the generator never
+/// emits such names; the writer rejects them). Arrival ticks must be
+/// non-decreasing — a trace is an ordered stream, and the streaming
+/// service's admission clock depends on it. parse_trace throws
+/// lbmem::ModelError with a line number on any malformed input, so a
+/// truncated pipe fails loudly instead of serving half a trace.
+
+#include <iosfwd>
+#include <string>
+
+#include "lbmem/online/event.hpp"
+
+namespace lbmem {
+
+/// Serialize \p trace (header comment + one line per event). Throws
+/// ModelError when a task name cannot be represented in the format.
+void write_trace(std::ostream& out, const EventTrace& trace);
+
+/// Convenience: the serialized trace as one string.
+std::string trace_to_string(const EventTrace& trace);
+
+/// Parse a trace. Throws ModelError (with a 1-based line number) on
+/// malformed lines, unknown kinds, negative or decreasing ticks.
+EventTrace parse_trace(std::istream& in);
+
+/// Convenience: parse from a string.
+EventTrace parse_trace(const std::string& text);
+
+}  // namespace lbmem

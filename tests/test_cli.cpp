@@ -724,4 +724,121 @@ TEST(CliExport, WritesAllArtifacts) {
   fs::remove_all(dir);
 }
 
+TEST(CliServe, StreamsAGeneratedTrace) {
+  const RunResult r = run_cli(
+      std::string("serve --events=60 --event-seed=3 --arrivals=poisson "
+                  "--mean-gap=4 --cycle-ticks=32 ") +
+      kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("--- serve (60 events"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("final violations: 0"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("coalescing:"), std::string::npos) << r.output;
+}
+
+TEST(CliServe, OutputIsDeterministic) {
+  const std::string args =
+      std::string("serve --events=40 --event-seed=9 --arrivals=bursty "
+                  "--timing=off ") +
+      kSmallWorkload;
+  const RunResult first = run_cli(args);
+  const RunResult second = run_cli(args);
+  EXPECT_EQ(first.exit_code, 0) << first.output;
+  EXPECT_EQ(first.output, second.output);
+}
+
+TEST(CliServe, StatsEveryPrintsProgressLines) {
+  const RunResult r = run_cli(
+      std::string("serve --events=60 --event-seed=3 --stats-every=10 "
+                  "--timing=off ") +
+      kSmallWorkload);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("cycle 10 "), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find(" backlog="), std::string::npos) << r.output;
+}
+
+TEST(CliServe, EmitTraceRoundTripsThroughTraceIn) {
+  namespace fs = std::filesystem;
+#if defined(_WIN32)
+  const int pid = _getpid();
+#else
+  const int pid = getpid();
+#endif
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("lbmem_cli_serve_test_" + std::to_string(pid));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string trace_path = (dir / "trace.txt").string();
+  const std::string prefix = (dir / "out").string();
+
+  const RunResult emit = run_cli(
+      std::string("serve --events=30 --event-seed=5 \"--emit-trace=") +
+      trace_path + "\" " + kSmallWorkload);
+  EXPECT_EQ(emit.exit_code, 0) << emit.output;
+  // Emit mode writes the trace and exits without serving.
+  EXPECT_EQ(emit.output.find("--- serve"), std::string::npos) << emit.output;
+  {
+    std::ifstream in(trace_path);
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_EQ(header, "# lbmem-trace v1");
+  }
+
+  // Serving the recorded trace matches serving the generated one: the
+  // outputs differ only in the trace-source label inside the banner line.
+  const auto strip_banner = [](const std::string& text) {
+    const std::size_t pos = text.find("--- serve (");
+    if (pos == std::string::npos) return text;
+    return text.substr(text.find('\n', pos));
+  };
+  const RunResult from_file = run_cli(
+      std::string("serve \"--trace-in=") + trace_path + "\" --timing=off " +
+      kSmallWorkload);
+  EXPECT_EQ(from_file.exit_code, 0) << from_file.output;
+  EXPECT_NE(from_file.output.find("--- serve (30 events"), std::string::npos)
+      << from_file.output;
+  const RunResult generated = run_cli(
+      std::string("serve --events=30 --event-seed=5 --timing=off ") +
+      kSmallWorkload);
+  EXPECT_EQ(strip_banner(from_file.output), strip_banner(generated.output));
+
+  // --out writes the JSON report artifact.
+  const RunResult with_out = run_cli(
+      std::string("serve \"--trace-in=") + trace_path +
+      "\" --timing=off \"--out=" + prefix + "\" " + kSmallWorkload);
+  EXPECT_EQ(with_out.exit_code, 0) << with_out.output;
+  std::error_code ec;
+  EXPECT_GT(fs::file_size(prefix + "_serve.json", ec), 0u);
+  EXPECT_FALSE(ec);
+  fs::remove_all(dir);
+}
+
+TEST(CliServe, FlagHygiene) {
+  // Generation knobs conflict with a recorded trace.
+  RunResult r = run_cli("serve --trace-in=foo.txt --events=10");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("--trace-in"), std::string::npos) << r.output;
+  // emit + trace-in is contradictory.
+  r = run_cli("serve --trace-in=foo.txt --emit-trace=bar.txt");
+  EXPECT_EQ(r.exit_code, 1);
+  // mean-gap parameterizes the Poisson model only.
+  r = run_cli("serve --mean-gap=8");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("poisson"), std::string::npos) << r.output;
+  // Serve-only flags do not leak into replay.
+  r = run_cli("replay --cycle-ticks=16");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("does not apply"), std::string::npos) << r.output;
+  // Bad values are rejected.
+  r = run_cli("serve --cycle-ticks=0");
+  EXPECT_EQ(r.exit_code, 1);
+  r = run_cli("serve --arrivals=psychic");
+  EXPECT_EQ(r.exit_code, 1);
+  // A missing trace file is an error, not an empty serve.
+  r = run_cli("serve --trace-in=/nonexistent/trace.txt");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
 }  // namespace

@@ -1,14 +1,14 @@
 #!/usr/bin/env bash
 # Record the performance trajectory: build the Release bench preset, run
 # bench_complexity, bench_online, bench_solvers, bench_parallel,
-# bench_robustness, bench_observability and bench_degraded with JSON
-# output, and write BENCH_complexity.json / BENCH_online.json /
-# BENCH_solvers.json / BENCH_parallel.json / BENCH_robustness.json /
-# BENCH_observability.json / BENCH_degraded.json at the repo root
-# (override the destinations with $1..$7). Check the results in so the
-# perf history stays non-empty; see README.md, "Performance", "Online
-# rebalancing", "Choosing a solver", "Parallelism", "Robustness" and
-# "Observability".
+# bench_robustness, bench_observability, bench_degraded and
+# bench_throughput with JSON output, and write BENCH_complexity.json /
+# BENCH_online.json / BENCH_solvers.json / BENCH_parallel.json /
+# BENCH_robustness.json / BENCH_observability.json / BENCH_degraded.json /
+# BENCH_throughput.json at the repo root (override the destinations with
+# $1..$8). Check the results in so the perf history stays non-empty; see
+# README.md, "Performance", "Online rebalancing", "Choosing a solver",
+# "Parallelism", "Robustness", "Observability" and "Serving".
 #
 # The recorded context must describe a release-built harness: benchmarks
 # measure header-inline hot paths compiled into the bench binary, and a
@@ -74,6 +74,7 @@ parallel_out="${4:-${repo}/BENCH_parallel.json}"
 robustness_out="${5:-${repo}/BENCH_robustness.json}"
 observability_out="${6:-${repo}/BENCH_observability.json}"
 degraded_out="${7:-${repo}/BENCH_degraded.json}"
+throughput_out="${8:-${repo}/BENCH_throughput.json}"
 
 cd "${repo}"
 config_args=()
@@ -83,7 +84,7 @@ fi
 cmake --preset bench "${config_args[@]}"
 cmake --build --preset bench -j "$(nproc)" \
   --target bench_complexity bench_online bench_solvers bench_parallel \
-    bench_robustness bench_observability bench_degraded
+    bench_robustness bench_observability bench_degraded bench_throughput
 
 "${repo}/build-bench/bench/bench_complexity" \
   --benchmark_out="${complexity_out}" \
@@ -126,3 +127,9 @@ echo "wrote ${observability_out}"
   --benchmark_out_format=json
 check_release "${degraded_out}"
 echo "wrote ${degraded_out}"
+
+"${repo}/build-bench/bench/bench_throughput" \
+  --benchmark_out="${throughput_out}" \
+  --benchmark_out_format=json
+check_release "${throughput_out}"
+echo "wrote ${throughput_out}"

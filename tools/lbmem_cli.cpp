@@ -13,7 +13,8 @@
 /// schedulable instance could be generated; for simulate: when the
 /// unperturbed execution reports violations — under --perturb violations
 /// are the measurement, and exit 2 instead means at least one injected
-/// processor failure could not be repaired).
+/// processor failure could not be repaired; for serve: when the final
+/// post-trace schedule is invalid).
 
 #include <cstdint>
 #include <fstream>
@@ -38,10 +39,13 @@
 #include "lbmem/report/sim.hpp"
 #include "lbmem/report/solve.hpp"
 #include "lbmem/report/stats.hpp"
+#include "lbmem/report/stream.hpp"
 #include "lbmem/report/summary.hpp"
 #include "lbmem/sim/bus.hpp"
 #include "lbmem/sim/engine.hpp"
 #include "lbmem/sim/robustness.hpp"
+#include "lbmem/stream/service.hpp"
+#include "lbmem/stream/trace_io.hpp"
 #include "lbmem/util/build_info.hpp"
 #include "lbmem/util/check.hpp"
 
@@ -59,18 +63,20 @@ enum : unsigned {
   kExport = 1u << 4,
   kReplay = 1u << 5,
   kCompare = 1u << 6,
-  kAllCommands = (1u << 7) - 1,
+  kServe = 1u << 7,
+  kAllCommands = (1u << 8) - 1,
 };
 
 /// Flags shared by every workload-generating subcommand.
 constexpr unsigned kWorkload =
-    kBalance | kSimulate | kBus | kExport | kReplay | kCompare;
+    kBalance | kSimulate | kBus | kExport | kReplay | kCompare | kServe;
 /// Subcommands whose balance stage is the configured heuristic.
 constexpr unsigned kHeuristicDriven =
-    kBalance | kSimulate | kBus | kExport | kReplay;
+    kBalance | kSimulate | kBus | kExport | kReplay | kServe;
 /// Subcommands carrying the observability flag family (--metrics-out,
 /// --trace-spans, --timing; DESIGN.md F25/F26).
-constexpr unsigned kObserved = kBalance | kSimulate | kReplay | kCompare;
+constexpr unsigned kObserved =
+    kBalance | kSimulate | kReplay | kCompare | kServe;
 
 struct CommandSpec {
   const char* name;
@@ -88,6 +94,9 @@ constexpr CommandSpec kCommands[] = {
     {"bus", kBus, "balance + single-medium analysis"},
     {"export", kExport, "emit DOT/JSON artifacts"},
     {"replay", kReplay, "online: replay a random event trace"},
+    {"serve", kServe,
+     "online: stream a timestamped event trace through the batching "
+     "repair-queue service"},
 };
 
 struct FlagSpec {
@@ -121,9 +130,9 @@ constexpr FlagSpec kFlags[] = {
      kHeuristicDriven},
     {"threads", "N",
      "worker threads, 0 = hardware concurrency; compare parallelizes the "
-     "(instance x solver) sweep, balance the destination scan (implies "
-     "--trace=off) — results are identical for every N",
-     kBalance | kCompare},
+     "(instance x solver) sweep, balance and serve the destination scan "
+     "(balance implies --trace=off) — results are identical for every N",
+     kBalance | kCompare | kServe},
     {"hyperperiods", "K", "hyper-periods to simulate", kSimulate},
     {"local-buffers", "on|off",
      "count same-processor producer->consumer data in buffer occupancy",
@@ -168,8 +177,9 @@ constexpr FlagSpec kFlags[] = {
      kSimulate},
     {"degraded", "on|off",
      "degraded-mode repair ladder (bare --degraded = on): widened retries, "
-     "full re-place, solver resolve, load shedding instead of hard reject",
-     kSimulate | kReplay},
+     "full re-place, solver resolve, load shedding instead of hard reject; "
+     "serve arms it automatically past --overload even when off",
+     kSimulate | kReplay | kServe},
     {"staleness", "K",
      "freeze the repair path's per-processor load view for K events "
      "(stale-information mode; 0 = live)",
@@ -180,7 +190,7 @@ constexpr FlagSpec kFlags[] = {
      "the best pooled perturbed miss rate so far; needs --perturb",
      kCompare},
     {"out", "PREFIX", "write JSON/DOT artifacts under this path prefix",
-     kExport | kReplay | kCompare | kSimulate},
+     kExport | kReplay | kCompare | kSimulate | kServe},
     {"count", "K", "workload instances in the comparison suite", kCompare},
     {"timing", "on|off",
      "include wall-clock columns/fields in the output (off: byte-stable "
@@ -195,15 +205,47 @@ constexpr FlagSpec kFlags[] = {
      "record scoped spans and write Chrome trace-event JSON (open in "
      "chrome://tracing or ui.perfetto.dev)",
      kObserved},
-    {"events", "N", "events in the random trace", kReplay},
-    {"event-seed", "S", "event-trace seed", kReplay},
+    {"events", "N", "events in the random trace", kReplay | kServe},
+    {"event-seed", "S", "event-trace seed", kReplay | kServe},
     {"migration-penalty", "P", "price of moving a block off its processor",
-     kReplay},
+     kReplay | kServe},
     {"mode", "incremental|full", "balance-stage strategy", kReplay},
     {"resolver", "NAME",
      "full-resolve each event through this registered solver (implies "
      "--mode=full)",
      kReplay},
+    {"arrivals", "uniform|poisson|bursty",
+     "inter-arrival model stamping the generated trace's event ticks",
+     kServe},
+    {"mean-gap", "F", "mean inter-arrival gap in ticks (--arrivals=poisson)",
+     kServe},
+    {"cycle-ticks", "T", "width of one admission window in virtual ticks",
+     kServe},
+    {"queue-cap", "N",
+     "pending-queue bound; overflow sheds the incoming event (failures "
+     "exempt), 0 = unbounded",
+     kServe},
+    {"batch-max", "N", "most events drained per cycle", kServe},
+    {"budget-us", "U",
+     "per-cycle repair budget in microseconds (0 = unbounded; min one "
+     "event per cycle, queued failures always flush)",
+     kServe},
+    {"coalesce", "on|off",
+     "collapse the pending queue (last-write-wins, annihilation, fold) "
+     "before each drain (default on)",
+     kServe},
+    {"overload", "N",
+     "backlog high-water mark arming the degraded repair ladder "
+     "(disarmed at half the mark; 0 = never)",
+     kServe},
+    {"stats-every", "K", "print a stats line every K cycles (0 = off)",
+     kServe},
+    {"trace-in", "FILE",
+     "serve this trace file instead of generating one ('-' = stdin)",
+     kServe},
+    {"emit-trace", "FILE",
+     "write the generated trace ('-' = stdout) and exit without serving",
+     kServe},
 };
 
 std::string command_list(unsigned mask) {
@@ -315,12 +357,24 @@ struct CliOptions {
   // observability:
   std::string metrics_out;  ///< --metrics-out=FILE (empty = off)
   std::string trace_spans;  ///< --trace-spans=FILE (empty = off)
-  // replay:
+  // replay / serve:
   int events = 16;
   std::uint64_t event_seed = 1;
   Time migration_penalty = 0;
   bool incremental = true;
   std::string resolver;
+  // serve (streaming service):
+  ArrivalModel arrivals = ArrivalModel::UniformGap;
+  double mean_gap = 16.0;
+  Time cycle_ticks = 64;
+  int queue_cap = 4096;
+  int batch_max = 256;
+  std::int64_t budget_us = 0;
+  bool coalesce = true;
+  int overload = 0;
+  std::int64_t stats_every = 0;
+  std::string trace_in;    ///< --trace-in=FILE|- (empty = generate)
+  std::string emit_trace;  ///< --emit-trace=FILE|- (write trace, exit)
   /// --degraded: escalate rejected repairs through the ladder (F28).
   bool degraded = false;
   /// --staleness=K: frozen load view for the repair path (F29).
@@ -343,6 +397,8 @@ struct CliOptions {
   bool perturb_knob_set = false;  ///< any perturbation knob besides --perturb
   bool fail_proc_set = false;
   bool fail_at_set = false;
+  bool trace_gen_set = false;  ///< any trace-generation knob (serve)
+  bool mean_gap_set = false;
 };
 
 CliOptions parse_flags(const CommandSpec& cmd, int argc, char** argv,
@@ -479,9 +535,56 @@ CliOptions parse_flags(const CommandSpec& cmd, int argc, char** argv,
         else if (value == "off") options.adaptive = false;
         else usage("unknown adaptive mode: " + value);
       } else if (key == "events") {
+        options.trace_gen_set = true;
         options.events = std::stoi(value);
       } else if (key == "event-seed") {
+        options.trace_gen_set = true;
         options.event_seed = std::stoull(value);
+      } else if (key == "arrivals") {
+        options.trace_gen_set = true;
+        if (value == "uniform") options.arrivals = ArrivalModel::UniformGap;
+        else if (value == "poisson") options.arrivals = ArrivalModel::Poisson;
+        else if (value == "bursty") options.arrivals = ArrivalModel::Bursty;
+        else usage("unknown arrivals model: " + value);
+      } else if (key == "mean-gap") {
+        options.trace_gen_set = true;
+        options.mean_gap_set = true;
+        options.mean_gap = std::stod(value);
+        if (options.mean_gap <= 0) usage("--mean-gap takes ticks > 0");
+      } else if (key == "cycle-ticks") {
+        options.cycle_ticks = std::stoll(value);
+        if (options.cycle_ticks < 1) usage("--cycle-ticks takes ticks >= 1");
+      } else if (key == "queue-cap") {
+        options.queue_cap = std::stoi(value);
+        if (options.queue_cap < 0) {
+          usage("--queue-cap takes a bound >= 1, or 0 for unbounded");
+        }
+      } else if (key == "batch-max") {
+        options.batch_max = std::stoi(value);
+        if (options.batch_max < 1) usage("--batch-max takes a count >= 1");
+      } else if (key == "budget-us") {
+        options.budget_us = std::stoll(value);
+        if (options.budget_us < 0) {
+          usage("--budget-us takes microseconds >= 0");
+        }
+      } else if (key == "coalesce") {
+        if (value == "on") options.coalesce = true;
+        else if (value == "off") options.coalesce = false;
+        else usage("unknown coalesce mode: " + value);
+      } else if (key == "overload") {
+        options.overload = std::stoi(value);
+        if (options.overload < 0) usage("--overload takes a backlog >= 0");
+      } else if (key == "stats-every") {
+        options.stats_every = std::stoll(value);
+        if (options.stats_every < 0) {
+          usage("--stats-every takes cycles >= 0");
+        }
+      } else if (key == "trace-in") {
+        if (value.empty()) usage("--trace-in takes a file path or '-'");
+        options.trace_in = value;
+      } else if (key == "emit-trace") {
+        if (value.empty()) usage("--emit-trace takes a file path or '-'");
+        options.emit_trace = value;
       } else if (key == "migration-penalty") {
         options.penalty_set = true;
         options.migration_penalty = std::stoll(value);
@@ -607,6 +710,19 @@ CliOptions parse_flags(const CommandSpec& cmd, int argc, char** argv,
     if (options.penalty_set) {
       usage("--migration-penalty configures the built-in balance stage, "
             "which --resolver bypasses");
+    }
+  }
+  if (cmd.bit == kServe) {
+    if (!options.trace_in.empty() && options.trace_gen_set) {
+      usage("--trace-in serves a recorded trace; the generation knobs "
+            "(--events/--event-seed/--arrivals/--mean-gap) do not apply");
+    }
+    if (!options.trace_in.empty() && !options.emit_trace.empty()) {
+      usage("--emit-trace writes the generated trace; it cannot be "
+            "combined with --trace-in");
+    }
+    if (options.mean_gap_set && options.arrivals != ArrivalModel::Poisson) {
+      usage("--mean-gap parameterizes --arrivals=poisson");
     }
   }
   return options;
@@ -998,6 +1114,98 @@ int cmd_replay(const CliOptions& options) {
   return report.total_violations == 0 ? 0 : 2;
 }
 
+int cmd_serve(const CliOptions& options) {
+  ObsSession obs(options);
+  Prepared p = prepare(options, obs.registry());
+  // Same contract as `replay`: an invalid starting point is
+  // "unschedulable", not a baseline to stream events against.
+  solved_or_throw(p.outcome);
+
+  EventTrace trace;
+  std::string source;
+  if (!options.trace_in.empty()) {
+    if (options.trace_in == "-") {
+      trace = parse_trace(std::cin);
+      source = "stdin";
+    } else {
+      std::ifstream in(options.trace_in);
+      if (!in) {
+        std::cerr << "cannot read " << options.trace_in << "\n";
+        return 1;
+      }
+      trace = parse_trace(in);
+      source = options.trace_in;
+    }
+  } else {
+    EventTraceParams trace_params;
+    trace_params.events = options.events;
+    trace_params.arrival = options.arrivals;
+    trace_params.mean_gap = options.mean_gap;
+    trace = random_event_trace(p.problem.graph(),
+                               p.outcome.schedule->architecture(),
+                               trace_params, options.event_seed);
+    source = "generated, seed " + std::to_string(options.event_seed);
+  }
+
+  if (!options.emit_trace.empty()) {
+    // Emit mode: the trace is the deliverable. For '-' the trace is the
+    // *only* stdout content, so `serve --emit-trace=- | serve --trace-in=-`
+    // round-trips without a scraper.
+    if (options.emit_trace == "-") {
+      write_trace(std::cout, trace);
+    } else {
+      write_file(options.emit_trace, trace_to_string(trace));
+    }
+    obs.finish();
+    return 0;
+  }
+
+  std::cout << "--- balanced starting point ---\n"
+            << summarize_solve(p.outcome.stats) << "\n";
+
+  RebalancerOptions online_options;
+  online_options.balance.policy = options.policy;
+  online_options.balance.enforce_memory_capacity =
+      options.capacity != kUnlimitedMemory;
+  online_options.balance.migration_penalty = options.migration_penalty;
+  online_options.balance.threads = options.threads;
+  online_options.metrics = obs.registry();
+  online_options.degraded.enabled = options.degraded;
+  Rebalancer system = Rebalancer::adopt(
+      p.problem.graph(), *p.outcome.schedule, online_options);
+
+  StreamOptions stream;
+  stream.cycle_ticks = options.cycle_ticks;
+  stream.queue_capacity = options.queue_cap;
+  stream.batch_max = options.batch_max;
+  stream.budget_us = options.budget_us;
+  stream.coalesce = options.coalesce;
+  stream.overload_backlog = options.overload;
+  stream.metrics = obs.registry();
+
+  const bool timing = options.timing;
+  StreamService::ProgressFn progress;
+  if (options.stats_every > 0) {
+    progress = [timing](const StreamProgress& snap) {
+      std::cout << progress_line(snap, timing) << "\n";
+    };
+  }
+
+  const StreamService service(stream);
+  const StreamReport report =
+      service.serve(system, trace, progress, options.stats_every);
+  std::cout << "--- serve (" << trace.size() << " events, " << source
+            << ", cycle " << options.cycle_ticks << " ticks) ---\n"
+            << summarize_stream(report, options.timing);
+
+  if (!options.out_prefix.empty()) {
+    write_file(options.out_prefix + "_serve.json",
+               stream_report_to_json(report, options.timing));
+  }
+  obs.finish();
+  return report.final_violations > 0 ? 2 : 0;
+}
+
 int cmd_export(const CliOptions& options) {
   const Prepared p = prepare(options);
   const Schedule& solved = solved_or_throw(p.outcome);
@@ -1036,6 +1244,7 @@ int main(int argc, char** argv) {
       case kBus: return cmd_bus(options);
       case kExport: return cmd_export(options);
       case kReplay: return cmd_replay(options);
+      case kServe: return cmd_serve(options);
     }
     usage("unknown command: " + command);
   } catch (const ScheduleError& e) {
